@@ -1,0 +1,19 @@
+//! The figure-reproduction bench target.
+//!
+//! `cargo bench -p mp-bench --bench experiments` runs a quick-scale reproduction of every
+//! table and figure and prints the regenerated rows/series, so that `bench_output.txt`
+//! contains the experiment data alongside the Criterion performance numbers.
+
+use mp_bench::{ExperimentScale, Experiments};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") {
+        ExperimentScale::Standard
+    } else {
+        ExperimentScale::Quick
+    };
+    let start = std::time::Instant::now();
+    let experiments = Experiments::new(scale);
+    println!("{}", experiments.run_all());
+    println!("[experiments bench] total wall time: {:.1?} (scale {:?})", start.elapsed(), scale);
+}

@@ -1,0 +1,58 @@
+//! Criterion benches of the modeling layer: OLS fitting and bottom-up training cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use mp_power::{ActivityVector, BottomUpModel, LinearRegression, SampleKind, TrainingSet, WorkloadSample};
+use mp_uarch::{CmpSmtConfig, SmtMode};
+
+fn synthetic_training(samples: usize) -> TrainingSet {
+    let mut rng = SmallRng::seed_from_u64(17);
+    let mut set = TrainingSet::new();
+    for i in 0..samples {
+        let cores = 1 + (i as u32 % 8);
+        let smt = SmtMode::ALL[i % 3];
+        let a = ActivityVector {
+            fxu: rng.gen_range(0.0..4.0),
+            vsu: rng.gen_range(0.0..3.0),
+            lsu: rng.gen_range(0.0..3.0),
+            l1: rng.gen_range(0.0..2.0),
+            l2: rng.gen_range(0.0..0.5),
+            l3: rng.gen_range(0.0..0.2),
+            mem: rng.gen_range(0.0..0.1),
+        };
+        let power = 140.0 + 10.0 * f64::from(cores) + 3.0 * a.fxu + 5.0 * a.vsu + 13.0 * a.mem;
+        let kind = if i % 3 == 0 { SampleKind::Random } else { SampleKind::MicroArch };
+        let config = if kind == SampleKind::MicroArch {
+            CmpSmtConfig::new(1, smt)
+        } else {
+            CmpSmtConfig::new(cores, smt)
+        };
+        set.push(
+            WorkloadSample { name: format!("s{i}"), config, activity: a, power, ipc: 1.0 },
+            kind,
+        );
+    }
+    set
+}
+
+fn bench_regression(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let xs: Vec<Vec<f64>> =
+        (0..600).map(|_| (0..9).map(|_| rng.gen_range(0.0..4.0)).collect()).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| 7.0 + x.iter().sum::<f64>()).collect();
+    c.bench_function("ols_fit_600x9", |b| {
+        b.iter(|| LinearRegression::fit(&xs, &ys).expect("fit succeeds"))
+    });
+}
+
+fn bench_bottom_up_training(c: &mut Criterion) {
+    let training = synthetic_training(600);
+    c.bench_function("bottom_up_train_600_samples", |b| {
+        b.iter(|| BottomUpModel::train(&training, 100.0).expect("training succeeds"))
+    });
+}
+
+criterion_group!(benches, bench_regression, bench_bottom_up_training);
+criterion_main!(benches);

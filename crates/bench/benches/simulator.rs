@@ -1,0 +1,54 @@
+//! Criterion benches of the simulator substrate: cycles simulated per second for
+//! representative kernels and configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use microprobe::platform::{Platform, SimPlatform};
+use microprobe::prelude::*;
+use mp_uarch::{CmpSmtConfig, SmtMode};
+
+fn build_kernel(loop_instructions: usize) -> microprobe::ir::MicroBenchmark {
+    let arch = mp_uarch::power7();
+    let computes = arch.isa.compute_instructions();
+    let mut synth = Synthesizer::new(arch);
+    synth.add_pass(SkeletonPass::endless_loop(loop_instructions));
+    synth.add_pass(InstructionMixPass::uniform(computes));
+    synth.add_pass(DependencyDistancePass::random(1, 8));
+    synth.synthesize().expect("benchmark generates")
+}
+
+fn build_memory_kernel(loop_instructions: usize) -> microprobe::ir::MicroBenchmark {
+    let arch = mp_uarch::power7();
+    let loads = arch.isa.loads();
+    let mut synth = Synthesizer::new(arch);
+    synth.add_pass(SkeletonPass::endless_loop(loop_instructions));
+    synth.add_pass(InstructionMixPass::uniform(loads));
+    synth.add_pass(MemoryPass::new(HitDistribution::caches_balanced()));
+    synth.synthesize().expect("benchmark generates")
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let platform = SimPlatform::power7_fast();
+    let compute = build_kernel(256);
+    let memory = build_memory_kernel(256);
+
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    for (cores, smt) in [(1, SmtMode::Smt1), (4, SmtMode::Smt2), (8, SmtMode::Smt4)] {
+        let config = CmpSmtConfig::new(cores, smt);
+        group.bench_with_input(
+            BenchmarkId::new("compute_kernel", config.label()),
+            &config,
+            |b, config| b.iter(|| platform.run(&compute, *config)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("memory_kernel", config.label()),
+            &config,
+            |b, config| b.iter(|| platform.run(&memory, *config)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Regenerates Figure 5a (SPEC power breakdown, real vs predicted, CMP-SMT 4-4) and
+//! Figure 5b (PAAE of the bottom-up model across configurations).
+
+use mp_bench::{ExperimentScale, Experiments};
+
+fn main() {
+    let scale = ExperimentScale::from_arg(std::env::args().nth(1).as_deref());
+    let experiments = Experiments::new(scale);
+    let study = experiments.model_study();
+    println!("{}", experiments.fig5a(&study));
+    println!("{}", experiments.fig5b(&study));
+}

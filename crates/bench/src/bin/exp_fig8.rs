@@ -1,0 +1,10 @@
+//! Regenerates Figure 8: average per-component power breakdown per configuration.
+
+use mp_bench::{ExperimentScale, Experiments};
+
+fn main() {
+    let scale = ExperimentScale::from_arg(std::env::args().nth(1).as_deref());
+    let experiments = Experiments::new(scale);
+    let study = experiments.model_study();
+    println!("{}", experiments.fig8(&study));
+}

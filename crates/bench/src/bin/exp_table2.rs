@@ -1,0 +1,8 @@
+//! Regenerates Table 2: the automatically generated training micro-benchmark suite.
+
+use mp_bench::{ExperimentScale, Experiments};
+
+fn main() {
+    let scale = ExperimentScale::from_arg(std::env::args().nth(1).as_deref());
+    println!("{}", Experiments::new(scale).table2());
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table 3: the EPI-based instruction taxonomy derived by the bootstrap.
+
+use mp_bench::{ExperimentScale, Experiments};
+
+fn main() {
+    let scale = ExperimentScale::from_arg(std::env::args().nth(1).as_deref());
+    let experiments = Experiments::new(scale);
+    let taxonomy = experiments.taxonomy_study();
+    println!("{}", experiments.table3(&taxonomy));
+}

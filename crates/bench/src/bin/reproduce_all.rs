@@ -1,0 +1,12 @@
+//! Regenerates every table and figure of the paper's evaluation in one run.
+//!
+//! Usage: `cargo run --release -p mp-bench --bin reproduce_all [quick|standard|full]`
+
+use mp_bench::{ExperimentScale, Experiments};
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let scale = ExperimentScale::from_arg(arg.as_deref());
+    let experiments = Experiments::new(scale);
+    println!("{}", experiments.run_all());
+}

@@ -1,0 +1,16 @@
+//! Experiment harness for the MicroProbe reproduction.
+//!
+//! The [`runner`] module turns benchmark populations into measured
+//! [`WorkloadSample`](mp_power::WorkloadSample)s (running the simulated platform over
+//! the requested CMP-SMT configurations, in parallel), and the [`experiments`] module
+//! implements one function per table/figure of the paper's evaluation.  The binaries in
+//! `src/bin` and the `experiments` bench target print the regenerated rows/series; see
+//! `EXPERIMENTS.md` at the repository root for the recorded outputs.
+
+pub mod experiments;
+pub mod runner;
+pub mod table3;
+
+pub use experiments::{ExperimentScale, Experiments};
+pub use runner::{measure_benchmarks, MeasuredBenchmark};
+pub use table3::{Table3, Table3Row};

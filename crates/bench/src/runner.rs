@@ -1,0 +1,117 @@
+//! Parallel measurement of benchmark populations across CMP-SMT configurations.
+
+use microprobe::ir::MicroBenchmark;
+use microprobe::platform::Platform;
+use mp_power::{SampleKind, WorkloadSample};
+use mp_uarch::CmpSmtConfig;
+
+/// A benchmark queued for measurement, with the label the power models use.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasuredBenchmark {
+    /// Workload name.
+    pub name: String,
+    /// The benchmark to run.
+    pub benchmark: MicroBenchmark,
+    /// Training-set label.
+    pub kind: SampleKind,
+}
+
+impl MeasuredBenchmark {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, benchmark: MicroBenchmark, kind: SampleKind) -> Self {
+        Self { name: name.into(), benchmark, kind }
+    }
+}
+
+/// Runs every `(benchmark, configuration)` pair and returns the measured workload
+/// samples together with their labels.
+///
+/// Work is spread over `parallelism` OS threads (the simulated platform is pure
+/// computation, so this scales with host cores).
+pub fn measure_benchmarks<P: Platform>(
+    platform: &P,
+    benchmarks: &[MeasuredBenchmark],
+    configs: &[CmpSmtConfig],
+    parallelism: usize,
+) -> Vec<(WorkloadSample, SampleKind)> {
+    let jobs: Vec<(usize, CmpSmtConfig)> = benchmarks
+        .iter()
+        .enumerate()
+        .flat_map(|(i, _)| configs.iter().map(move |c| (i, *c)))
+        .collect();
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    let parallelism = parallelism.max(1).min(jobs.len());
+    let chunk_size = jobs.len().div_ceil(parallelism);
+
+    let mut results: Vec<Vec<(WorkloadSample, SampleKind)>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .chunks(chunk_size)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .map(|(idx, config)| {
+                            let mb = &benchmarks[*idx];
+                            let measurement = platform.run(&mb.benchmark, *config);
+                            (WorkloadSample::from_measurement(&mb.name, &measurement), mb.kind)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            results.push(handle.join().expect("measurement worker does not panic"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// Default parallelism: the host's available cores.
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microprobe::platform::SimPlatform;
+    use microprobe::prelude::*;
+    use mp_uarch::SmtMode;
+
+    fn tiny_benchmark(name: &str) -> MicroBenchmark {
+        let arch = mp_uarch::power7();
+        let computes = arch.isa.compute_instructions();
+        let mut synth = Synthesizer::new(arch).with_name_prefix(name);
+        synth.add_pass(SkeletonPass::endless_loop(32));
+        synth.add_pass(InstructionMixPass::uniform(computes));
+        synth.synthesize().unwrap()
+    }
+
+    #[test]
+    fn measures_every_pair_and_labels_them() {
+        let platform = SimPlatform::power7_fast();
+        let benchmarks = vec![
+            MeasuredBenchmark::new("a", tiny_benchmark("a"), SampleKind::MicroArch),
+            MeasuredBenchmark::new("b", tiny_benchmark("b"), SampleKind::Random),
+        ];
+        let configs =
+            vec![CmpSmtConfig::new(1, SmtMode::Smt1), CmpSmtConfig::new(2, SmtMode::Smt2)];
+        let samples = measure_benchmarks(&platform, &benchmarks, &configs, 2);
+        assert_eq!(samples.len(), 4);
+        assert!(samples.iter().any(|(s, k)| s.name == "a" && *k == SampleKind::MicroArch));
+        assert!(samples.iter().any(|(s, k)| s.name == "b" && *k == SampleKind::Random));
+        for (s, _) in &samples {
+            assert!(s.power > 0.0);
+            assert!(s.ipc > 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_inputs_produce_no_samples() {
+        let platform = SimPlatform::power7_fast();
+        assert!(measure_benchmarks(&platform, &[], &[], 4).is_empty());
+    }
+}

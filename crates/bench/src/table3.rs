@@ -1,0 +1,195 @@
+//! The Table 3 EPI-based instruction taxonomy.
+
+use microprobe::bootstrap::BootstrapRecord;
+use mp_isa::{InstructionDef, Unit};
+use mp_uarch::MicroArchitecture;
+
+/// One taxonomy row: an instruction with its measured IPC and EPI.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3Row {
+    /// Category label, following the paper's naming (e.g. "FXU", "LSU and VSU").
+    pub category: String,
+    /// Instruction mnemonic.
+    pub mnemonic: String,
+    /// Core IPC measured by the bootstrap.
+    pub core_ipc: f64,
+    /// EPI normalized to the smallest EPI across the whole taxonomy ("Global").
+    pub global_epi: f64,
+    /// EPI normalized to the smallest EPI within the category ("Category").
+    pub category_epi: f64,
+}
+
+/// The assembled taxonomy.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Table3 {
+    rows: Vec<Table3Row>,
+}
+
+impl Table3 {
+    /// Builds the taxonomy from bootstrap records, keeping the `per_category` instructions
+    /// with the highest EPI per category (the paper shows three per category).
+    pub fn from_bootstrap(
+        arch: &MicroArchitecture,
+        records: &[BootstrapRecord],
+        per_category: usize,
+    ) -> Self {
+        let min_epi_global = records
+            .iter()
+            .filter(|r| r.epi > 0.0)
+            .map(|r| r.epi)
+            .fold(f64::INFINITY, f64::min);
+        if !min_epi_global.is_finite() {
+            return Self::default();
+        }
+
+        // Group by category.
+        let mut grouped: Vec<(String, Vec<&BootstrapRecord>)> = Vec::new();
+        for record in records {
+            let Some((_, def)) = arch.isa.get(&record.mnemonic) else { continue };
+            let category = category_of(def);
+            match grouped.iter_mut().find(|(c, _)| *c == category) {
+                Some((_, v)) => v.push(record),
+                None => grouped.push((category, vec![record])),
+            }
+        }
+
+        let mut rows = Vec::new();
+        for (category, mut members) in grouped {
+            members.sort_by(|a, b| b.epi.partial_cmp(&a.epi).expect("EPIs are finite"));
+            let min_epi_cat = members
+                .iter()
+                .filter(|r| r.epi > 0.0)
+                .map(|r| r.epi)
+                .fold(f64::INFINITY, f64::min);
+            if !min_epi_cat.is_finite() {
+                continue;
+            }
+            for record in members.into_iter().take(per_category) {
+                rows.push(Table3Row {
+                    category: category.clone(),
+                    mnemonic: record.mnemonic.clone(),
+                    core_ipc: record.ipc,
+                    global_epi: record.epi / min_epi_global,
+                    category_epi: record.epi / min_epi_cat,
+                });
+            }
+        }
+        Self { rows }
+    }
+
+    /// The taxonomy rows, grouped by category.
+    pub fn rows(&self) -> &[Table3Row] {
+        &self.rows
+    }
+
+    /// The rows of one category.
+    pub fn category(&self, category: &str) -> Vec<&Table3Row> {
+        self.rows.iter().filter(|r| r.category == category).collect()
+    }
+
+    /// The largest intra-category EPI spread (max category EPI − 1.0), the paper's "up to
+    /// 78% variation" headline.
+    pub fn max_category_spread(&self) -> f64 {
+        self.rows.iter().map(|r| r.category_epi - 1.0).fold(0.0, f64::max)
+    }
+
+    /// Renders the taxonomy as an aligned text table.
+    pub fn to_table(&self) -> String {
+        let mut out =
+            String::from("category                 instruction   core IPC  EPI(global)  EPI(category)\n");
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:<24} {:<13} {:>8.2} {:>12.2} {:>14.2}\n",
+                row.category, row.mnemonic, row.core_ipc, row.global_epi, row.category_epi
+            ));
+        }
+        out
+    }
+}
+
+/// The paper's category labels, derived from the units an instruction stresses.
+pub fn category_of(def: &InstructionDef) -> String {
+    let stresses = |u: Unit| def.stresses(u);
+    if def.is_memory() {
+        // Following the paper's grouping: vector/FP *stores* propagate data through the
+        // VSU and form their own categories, while loads (vector ones included) sit in
+        // the LSU category unless they crack into extra FXU operations (update forms).
+        let vsu_side_effect = def.is_store() && stresses(Unit::Vsu);
+        match (vsu_side_effect, stresses(Unit::Fxu)) {
+            (true, true) => "LSU and VSU and FXU".to_owned(),
+            (true, false) => "LSU and VSU".to_owned(),
+            (false, true) => "LSU and FXU".to_owned(),
+            (false, false) => "LSU".to_owned(),
+        }
+    } else if def.issue_class() == mp_isa::IssueClass::FxuOrLsu {
+        "FXU or LSU".to_owned()
+    } else if stresses(Unit::Dfu) {
+        "DFU".to_owned()
+    } else if stresses(Unit::Vsu) {
+        "VSU".to_owned()
+    } else if stresses(Unit::Fxu) {
+        "FXU".to_owned()
+    } else {
+        "Other".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_uarch::power7;
+
+    fn record(mnemonic: &str, ipc: f64, epi: f64) -> BootstrapRecord {
+        BootstrapRecord {
+            mnemonic: mnemonic.to_owned(),
+            ipc,
+            latency: 1.0,
+            epi,
+            avg_power: 0.0,
+            units: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn categories_follow_the_paper_grouping() {
+        let arch = power7();
+        let cat = |m: &str| category_of(arch.isa.get(m).unwrap().1);
+        assert_eq!(cat("mulldo"), "FXU");
+        assert_eq!(cat("add"), "FXU or LSU");
+        assert_eq!(cat("xvmaddadp"), "VSU");
+        assert_eq!(cat("lbz"), "LSU");
+        assert_eq!(cat("ldux"), "LSU and FXU");
+        assert_eq!(cat("stxvw4x"), "LSU and VSU");
+        assert_eq!(cat("stfdux"), "LSU and VSU and FXU");
+    }
+
+    #[test]
+    fn normalisation_is_relative_to_minimums() {
+        let arch = power7();
+        let records = vec![
+            record("addic", 2.0, 1.0),
+            record("subf", 2.0, 1.69),
+            record("mulldo", 1.4, 2.6),
+            record("xstsqrtdp", 2.0, 1.32),
+            record("xvmaddadp", 2.0, 2.31),
+        ];
+        let table = Table3::from_bootstrap(&arch, &records, 3);
+        let fxu = table.category("FXU");
+        assert_eq!(fxu.len(), 3);
+        // Highest EPI first within the category.
+        assert_eq!(fxu[0].mnemonic, "mulldo");
+        assert!((fxu[0].category_epi - 2.6).abs() < 1e-9);
+        assert!((fxu[0].global_epi - 2.6).abs() < 1e-9);
+        let vsu = table.category("VSU");
+        assert!((vsu[0].category_epi - 2.31 / 1.32).abs() < 1e-9);
+        assert!(table.max_category_spread() > 1.0);
+        assert!(table.to_table().contains("mulldo"));
+    }
+
+    #[test]
+    fn empty_records_produce_an_empty_table() {
+        let arch = power7();
+        let table = Table3::from_bootstrap(&arch, &[], 3);
+        assert!(table.rows().is_empty());
+    }
+}

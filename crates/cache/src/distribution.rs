@@ -1,0 +1,236 @@
+//! Target hit distributions across the memory hierarchy.
+
+use std::error::Error;
+use std::fmt;
+
+use mp_uarch::MemLevel;
+
+/// Error returned when a requested hit distribution is not well formed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistributionError {
+    /// A fraction was negative or not finite.
+    InvalidFraction {
+        /// The offending level.
+        level: MemLevel,
+        /// The offending value.
+        value: f64,
+    },
+    /// The fractions do not sum to 1 (within tolerance).
+    DoesNotSumToOne {
+        /// The actual sum.
+        sum: f64,
+    },
+}
+
+impl fmt::Display for DistributionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistributionError::InvalidFraction { level, value } => {
+                write!(f, "invalid fraction {value} for level {level}")
+            }
+            DistributionError::DoesNotSumToOne { sum } => {
+                write!(f, "hit fractions must sum to 1, got {sum}")
+            }
+        }
+    }
+}
+
+impl Error for DistributionError {}
+
+/// A target distribution of memory accesses over the levels of the hierarchy.
+///
+/// Fractions are the share of demand accesses that must be *served* by each level in
+/// steady state, e.g. `HitDistribution::new(0.25, 0.0, 0.75, 0.0)` for the paper's
+/// "L1L3c" training micro-benchmarks (25% L1, 75% L3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HitDistribution {
+    l1: f64,
+    l2: f64,
+    l3: f64,
+    mem: f64,
+}
+
+impl HitDistribution {
+    /// Tolerance accepted on the sum of fractions.
+    const SUM_TOLERANCE: f64 = 1e-6;
+
+    /// Creates a distribution, validating that every fraction is in `[0, 1]` and that
+    /// they sum to 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistributionError`] if a fraction is negative, not finite, or the
+    /// fractions do not sum to 1.
+    pub fn new(l1: f64, l2: f64, l3: f64, mem: f64) -> Result<Self, DistributionError> {
+        for (level, value) in [
+            (MemLevel::L1, l1),
+            (MemLevel::L2, l2),
+            (MemLevel::L3, l3),
+            (MemLevel::Mem, mem),
+        ] {
+            if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+                return Err(DistributionError::InvalidFraction { level, value });
+            }
+        }
+        let sum = l1 + l2 + l3 + mem;
+        if (sum - 1.0).abs() > Self::SUM_TOLERANCE {
+            return Err(DistributionError::DoesNotSumToOne { sum });
+        }
+        Ok(Self { l1, l2, l3, mem })
+    }
+
+    /// All accesses hit the L1.
+    pub fn l1_only() -> Self {
+        Self { l1: 1.0, l2: 0.0, l3: 0.0, mem: 0.0 }
+    }
+
+    /// All accesses are served by the L2.
+    pub fn l2_only() -> Self {
+        Self { l1: 0.0, l2: 1.0, l3: 0.0, mem: 0.0 }
+    }
+
+    /// All accesses are served by the L3.
+    pub fn l3_only() -> Self {
+        Self { l1: 0.0, l2: 0.0, l3: 1.0, mem: 0.0 }
+    }
+
+    /// All accesses miss the whole cache hierarchy.
+    pub fn memory_only() -> Self {
+        Self { l1: 0.0, l2: 0.0, l3: 0.0, mem: 1.0 }
+    }
+
+    /// The "Caches" training benchmark of Table 2: 33% L1, 33% L2, 34% L3.
+    pub fn caches_balanced() -> Self {
+        Self { l1: 0.33, l2: 0.33, l3: 0.34, mem: 0.0 }
+    }
+
+    /// Fraction of accesses served by a level.
+    pub fn fraction(&self, level: MemLevel) -> f64 {
+        match level {
+            MemLevel::L1 => self.l1,
+            MemLevel::L2 => self.l2,
+            MemLevel::L3 => self.l3,
+            MemLevel::Mem => self.mem,
+        }
+    }
+
+    /// Splits `n` accesses into per-level counts using largest-remainder rounding, so the
+    /// counts always sum to exactly `n`.
+    pub fn counts(&self, n: usize) -> [(MemLevel, usize); 4] {
+        let targets = [
+            (MemLevel::L1, self.l1),
+            (MemLevel::L2, self.l2),
+            (MemLevel::L3, self.l3),
+            (MemLevel::Mem, self.mem),
+        ];
+        let mut counts: Vec<(MemLevel, usize, f64)> = targets
+            .iter()
+            .map(|&(level, frac)| {
+                let exact = frac * n as f64;
+                (level, exact.floor() as usize, exact - exact.floor())
+            })
+            .collect();
+        let assigned: usize = counts.iter().map(|&(_, c, _)| c).sum();
+        let mut remaining = n - assigned;
+        // Hand the leftover accesses to the levels with the largest fractional remainder.
+        while remaining > 0 {
+            let (idx, _) = counts
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1 .2.partial_cmp(&b.1 .2).expect("remainders are finite"))
+                .expect("counts is non-empty");
+            counts[idx].1 += 1;
+            counts[idx].2 = -1.0;
+            remaining -= 1;
+        }
+        [
+            (counts[0].0, counts[0].1),
+            (counts[1].0, counts[1].1),
+            (counts[2].0, counts[2].1),
+            (counts[3].0, counts[3].1),
+        ]
+    }
+
+    /// Expected average access latency (cycles) under this distribution, given per-level
+    /// latencies.  Used by analytical IPC estimates and by tests.
+    pub fn expected_latency(&self, latency: impl Fn(MemLevel) -> f64) -> f64 {
+        MemLevel::ALL.iter().map(|&lvl| self.fraction(lvl) * latency(lvl)).sum()
+    }
+}
+
+impl Default for HitDistribution {
+    fn default() -> Self {
+        Self::l1_only()
+    }
+}
+
+impl fmt::Display for HitDistribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "L1={:.0}% L2={:.0}% L3={:.0}% MEM={:.0}%",
+            self.l1 * 100.0,
+            self.l2 * 100.0,
+            self.l3 * 100.0,
+            self.mem * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_fractions() {
+        assert!(HitDistribution::new(0.5, 0.5, 0.0, 0.0).is_ok());
+        assert!(matches!(
+            HitDistribution::new(-0.1, 1.1, 0.0, 0.0),
+            Err(DistributionError::InvalidFraction { .. })
+        ));
+        assert!(matches!(
+            HitDistribution::new(0.5, 0.1, 0.0, 0.0),
+            Err(DistributionError::DoesNotSumToOne { .. })
+        ));
+    }
+
+    #[test]
+    fn counts_sum_to_n_with_largest_remainder() {
+        let d = HitDistribution::caches_balanced();
+        for n in [1usize, 7, 10, 100, 4096] {
+            let counts = d.counts(n);
+            let total: usize = counts.iter().map(|&(_, c)| c).sum();
+            assert_eq!(total, n, "counts for n={n} must sum to n");
+        }
+        let counts = d.counts(100);
+        assert_eq!(counts[0], (MemLevel::L1, 33));
+        assert_eq!(counts[1], (MemLevel::L2, 33));
+        assert_eq!(counts[2], (MemLevel::L3, 34));
+    }
+
+    #[test]
+    fn pure_streams() {
+        assert_eq!(HitDistribution::memory_only().fraction(MemLevel::Mem), 1.0);
+        assert_eq!(HitDistribution::l1_only().fraction(MemLevel::L1), 1.0);
+        assert_eq!(HitDistribution::l3_only().counts(10)[2].1, 10);
+    }
+
+    #[test]
+    fn expected_latency_is_weighted_average() {
+        let d = HitDistribution::new(0.5, 0.5, 0.0, 0.0).unwrap();
+        let lat = |lvl: MemLevel| match lvl {
+            MemLevel::L1 => 2.0,
+            MemLevel::L2 => 8.0,
+            MemLevel::L3 => 27.0,
+            MemLevel::Mem => 220.0,
+        };
+        assert!((d.expected_latency(lat) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_shows_percentages() {
+        let s = HitDistribution::caches_balanced().to_string();
+        assert!(s.contains("L1=33%"));
+        assert!(s.contains("MEM=0%"));
+    }
+}

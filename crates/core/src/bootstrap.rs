@@ -1,0 +1,263 @@
+//! Automatic micro-architecture bootstrap (paper Section 2.1.2).
+//!
+//! Given only the functional units, the IPC formula and the ISA, MicroProbe derives the
+//! per-instruction micro-architecture properties empirically: for every instruction it
+//! generates two micro-benchmarks — an endless loop with a serial dependency chain and an
+//! identical loop without dependencies — runs them on the platform, and reads the
+//! performance counters and power sensors.  The chained run yields the instruction
+//! latency, the independent run yields the throughput (core IPC), the per-unit counters
+//! identify the units stressed, and the power sensor yields the energy per instruction
+//! (EPI) and average power.  Registers, immediates and memory are initialised with
+//! random values so that instructions are compared fairly.
+
+use mp_uarch::{CmpSmtConfig, CounterValues, InstrProps, InstrPropsTable, SmtMode};
+
+use mp_isa::{InstructionDef, OpcodeId, Unit};
+
+use crate::ir::MicroBenchmark;
+use crate::passes::{
+    DependencyDistancePass, InitRegistersPass, InstructionMixPass, MemoryPass, SkeletonPass,
+};
+use crate::platform::Platform;
+use crate::synth::{PassError, Synthesizer};
+use mp_cache::HitDistribution;
+
+/// Options controlling the bootstrap process.
+#[derive(Debug, Clone)]
+pub struct BootstrapOptions {
+    /// Instructions per generated loop (the paper uses 4096; smaller values keep the
+    /// simulated bootstrap fast while remaining in steady state).
+    pub loop_instructions: usize,
+    /// CMP-SMT configuration used for the characterisation runs (the paper reports the
+    /// 8-core SMT1 configuration for the Table 3 taxonomy).
+    pub config: CmpSmtConfig,
+    /// Restrict the bootstrap to these mnemonics (`None` bootstraps every eligible
+    /// instruction of the ISA).
+    pub include: Option<Vec<String>>,
+}
+
+impl Default for BootstrapOptions {
+    fn default() -> Self {
+        Self {
+            loop_instructions: 256,
+            config: CmpSmtConfig::new(8, SmtMode::Smt1),
+            include: None,
+        }
+    }
+}
+
+/// The result of bootstrapping one instruction (also recorded into the table).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BootstrapRecord {
+    /// Instruction mnemonic.
+    pub mnemonic: String,
+    /// Measured core IPC on the dependency-free loop.
+    pub ipc: f64,
+    /// Latency derived from the dependency-chained loop (cycles).
+    pub latency: f64,
+    /// Energy per instruction, normalized units.
+    pub epi: f64,
+    /// Average chip power while running the dependency-free loop.
+    pub avg_power: f64,
+    /// Functional units observed active.
+    pub units: Vec<Unit>,
+}
+
+/// The bootstrap driver.
+pub struct Bootstrap<'a, P: Platform> {
+    platform: &'a P,
+    options: BootstrapOptions,
+}
+
+impl<'a, P: Platform> Bootstrap<'a, P> {
+    /// Creates a bootstrap driver for a platform.
+    pub fn new(platform: &'a P) -> Self {
+        Self { platform, options: BootstrapOptions::default() }
+    }
+
+    /// Replaces the bootstrap options.
+    pub fn with_options(mut self, options: BootstrapOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Returns `true` for instructions the bootstrap characterises.
+    ///
+    /// Branches, privileged operations and synchronisation barriers are skipped: their
+    /// behaviour in a tight single-instruction loop is not representative (the paper's
+    /// taxonomy likewise covers the compute and memory instruction classes).
+    pub fn eligible(def: &InstructionDef) -> bool {
+        !def.is_branch()
+            && !def.is_privileged()
+            && !def.is_prefetch()
+            && !def.flags().contains(mp_isa::InstrFlags::SYNC)
+    }
+
+    /// Runs the bootstrap and returns the per-instruction property table with the
+    /// measured fields (`epi`, `avg_power`, `measured_ipc`, `measured_latency`, units)
+    /// filled in.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first benchmark generation failure.
+    pub fn run(&self) -> Result<(InstrPropsTable, Vec<BootstrapRecord>), PassError> {
+        let uarch = self.platform.uarch();
+        let idle = self.platform.idle_power();
+        let mut table = InstrPropsTable::new();
+        let mut records = Vec::new();
+
+        for (opcode, def) in uarch.isa.entries() {
+            if !Self::eligible(def) {
+                continue;
+            }
+            if let Some(include) = &self.options.include {
+                if !include.iter().any(|m| m == def.mnemonic()) {
+                    continue;
+                }
+            }
+
+            let chained = self.benchmark_for(opcode, true)?;
+            let independent = self.benchmark_for(opcode, false)?;
+
+            let m_chained = self.platform.run(&chained, self.options.config);
+            let m_indep = self.platform.run(&independent, self.options.config);
+
+            let threads = f64::from(self.options.config.threads());
+            let cores = f64::from(self.options.config.cores);
+
+            let thread_ipc_chained = (m_chained.chip_ipc() / threads).max(1e-6);
+            let latency = 1.0 / thread_ipc_chained;
+            let core_ipc = m_indep.chip_ipc() / cores;
+            let chip_ipc = m_indep.chip_ipc().max(1e-6);
+            let epi = (m_indep.average_power() - idle).max(0.0) / chip_ipc;
+            let units = observed_units(&m_indep.chip_counters());
+
+            let mut props = InstrProps::new(
+                def.mnemonic(),
+                uarch.props(def.mnemonic()).latency_cycles,
+                uarch.props(def.mnemonic()).recip_throughput,
+                if units.is_empty() { def.units().to_vec() } else { units.clone() },
+            );
+            props.epi = Some(epi);
+            props.avg_power = Some(m_indep.average_power());
+            props.measured_ipc = Some(core_ipc);
+            props.measured_latency = Some(latency);
+            table.insert(props);
+
+            records.push(BootstrapRecord {
+                mnemonic: def.mnemonic().to_owned(),
+                ipc: core_ipc,
+                latency,
+                epi,
+                avg_power: m_indep.average_power(),
+                units,
+            });
+        }
+        Ok((table, records))
+    }
+
+    /// Generates the per-instruction characterisation loop.
+    fn benchmark_for(&self, opcode: OpcodeId, chained: bool) -> Result<MicroBenchmark, PassError> {
+        let uarch = self.platform.uarch();
+        let def = uarch.isa.def(opcode);
+        let mut synth = Synthesizer::new(uarch.clone())
+            .with_name_prefix(format!("bootstrap-{}-{}", def.mnemonic(), if chained { "lat" } else { "tput" }))
+            .with_seed(0xb007 ^ opcode.index() as u64);
+        synth.add_pass(SkeletonPass::endless_loop(self.options.loop_instructions));
+        synth.add_pass(InstructionMixPass::uniform(vec![opcode]));
+        if def.is_memory() {
+            // Memory instructions are characterised on L1-resident data so the datapath,
+            // not the memory hierarchy, dominates.
+            synth.add_pass(MemoryPass::new(HitDistribution::l1_only()));
+        }
+        synth.add_pass(InitRegistersPass::random());
+        if chained {
+            synth.add_pass(DependencyDistancePass::fixed(1));
+        } else {
+            synth.add_pass(DependencyDistancePass::none());
+        }
+        synth.synthesize()
+    }
+}
+
+/// Identifies the functional units whose activity counters show meaningful activity.
+fn observed_units(counters: &CounterValues) -> Vec<Unit> {
+    let threshold = 0.02;
+    let mut units = Vec::new();
+    if counters.rate(mp_uarch::CounterId::FxuOps) > threshold {
+        units.push(Unit::Fxu);
+    }
+    if counters.rate(mp_uarch::CounterId::LsuOps) > threshold {
+        units.push(Unit::Lsu);
+    }
+    if counters.rate(mp_uarch::CounterId::VsuOps) > threshold {
+        units.push(Unit::Vsu);
+    }
+    if counters.rate(mp_uarch::CounterId::DfuOps) > threshold {
+        units.push(Unit::Dfu);
+    }
+    if counters.rate(mp_uarch::CounterId::BruOps) > threshold {
+        units.push(Unit::Bru);
+    }
+    units
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::SimPlatform;
+
+    fn small_bootstrap(mnemonics: &[&str]) -> (InstrPropsTable, Vec<BootstrapRecord>) {
+        let platform = SimPlatform::power7_fast();
+        let options = BootstrapOptions {
+            loop_instructions: 64,
+            config: CmpSmtConfig::new(1, SmtMode::Smt1),
+            include: Some(mnemonics.iter().map(|s| (*s).to_owned()).collect()),
+        };
+        Bootstrap::new(&platform).with_options(options).run().expect("bootstrap succeeds")
+    }
+
+    #[test]
+    fn bootstrap_measures_ipc_latency_and_epi() {
+        let (table, records) = small_bootstrap(&["add", "mulld"]);
+        assert_eq!(records.len(), 2);
+        let add = table.get("add").unwrap();
+        let mulld = table.get("mulld").unwrap();
+        assert!(add.is_bootstrapped());
+        assert!(mulld.is_bootstrapped());
+        // add is simple (latency 1, high throughput); mulld is a latency-4 multiply.
+        assert!(add.measured_ipc.unwrap() > mulld.measured_ipc.unwrap());
+        assert!(add.measured_latency.unwrap() < mulld.measured_latency.unwrap());
+        assert!(mulld.measured_latency.unwrap() > 3.0);
+        assert!(add.epi.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn bootstrap_identifies_stressed_units() {
+        let (_, records) = small_bootstrap(&["subf", "xvmaddadp"]);
+        let subf = records.iter().find(|r| r.mnemonic == "subf").unwrap();
+        let fma = records.iter().find(|r| r.mnemonic == "xvmaddadp").unwrap();
+        assert!(subf.units.contains(&Unit::Fxu));
+        assert!(!subf.units.contains(&Unit::Vsu));
+        assert!(fma.units.contains(&Unit::Vsu));
+    }
+
+    #[test]
+    fn eligibility_excludes_branches_and_privileged() {
+        let arch = mp_uarch::power7();
+        let branch = arch.isa.get("b").unwrap().1;
+        let priv_op = arch.isa.get("mtspr").unwrap().1;
+        let add = arch.isa.get("add").unwrap().1;
+        assert!(!Bootstrap::<SimPlatform>::eligible(branch));
+        assert!(!Bootstrap::<SimPlatform>::eligible(priv_op));
+        assert!(Bootstrap::<SimPlatform>::eligible(add));
+    }
+
+    #[test]
+    fn memory_instructions_bootstrap_on_l1_resident_data() {
+        let (_, records) = small_bootstrap(&["lbz"]);
+        let lbz = &records[0];
+        assert!(lbz.units.contains(&Unit::Lsu));
+        assert!(lbz.ipc > 1.0, "L1-resident loads should sustain a high rate, got {}", lbz.ipc);
+    }
+}

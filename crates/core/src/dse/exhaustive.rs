@@ -1,0 +1,93 @@
+//! Exhaustive enumeration of a design space.
+
+use super::{Evaluator, SearchResult};
+
+/// Evaluates every point of an explicitly enumerated design space.
+///
+/// The paper's "Expert DSE" stressmark set is produced this way: all combinations of a
+/// small set of expert- or heuristic-selected instructions are enumerated and measured.
+/// An optional evaluation budget truncates the enumeration, which is how a real
+/// measurement campaign bounds its cost.
+#[derive(Debug, Clone, Default)]
+pub struct ExhaustiveSearch {
+    max_evaluations: Option<usize>,
+}
+
+impl ExhaustiveSearch {
+    /// Unbounded exhaustive search.
+    pub fn new() -> Self {
+        Self { max_evaluations: None }
+    }
+
+    /// Stops after at most `max_evaluations` points.
+    pub fn with_budget(max_evaluations: usize) -> Self {
+        Self { max_evaluations: Some(max_evaluations) }
+    }
+
+    /// Runs the search over `points`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` yields no point (there would be no best element).
+    pub fn run<P, I, E>(&self, points: I, evaluator: &mut E) -> SearchResult<P>
+    where
+        P: Clone,
+        I: IntoIterator<Item = P>,
+        E: Evaluator<P> + ?Sized,
+    {
+        let mut best: Option<(P, f64)> = None;
+        let mut history = Vec::new();
+        let mut evaluations = 0usize;
+        for point in points {
+            if let Some(budget) = self.max_evaluations {
+                if evaluations >= budget {
+                    break;
+                }
+            }
+            let score = evaluator.evaluate(&point);
+            evaluations += 1;
+            let better = best.as_ref().map(|(_, s)| score > *s).unwrap_or(true);
+            if better {
+                best = Some((point, score));
+            }
+            history.push(best.as_ref().expect("best is set after first evaluation").1);
+        }
+        let (best, best_score) = best.expect("exhaustive search needs at least one point");
+        SearchResult { best, best_score, evaluations, history }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_the_maximum() {
+        let result = ExhaustiveSearch::new().run(0..100, &mut |x: &i32| -((x - 63) * (x - 63)) as f64);
+        assert_eq!(result.best, 63);
+        assert_eq!(result.evaluations, 100);
+        assert_eq!(result.history.len(), 100);
+    }
+
+    #[test]
+    fn history_is_monotonic() {
+        let result = ExhaustiveSearch::new().run(vec![3, 1, 7, 2, 9, 4], &mut |x: &i32| f64::from(*x));
+        for pair in result.history.windows(2) {
+            assert!(pair[1] >= pair[0]);
+        }
+        assert_eq!(result.best, 9);
+    }
+
+    #[test]
+    fn budget_truncates_the_enumeration() {
+        let result = ExhaustiveSearch::with_budget(10).run(0..1000, &mut |x: &i32| f64::from(*x));
+        assert_eq!(result.evaluations, 10);
+        assert_eq!(result.best, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_space_panics() {
+        let _ = ExhaustiveSearch::new().run(Vec::<i32>::new(), &mut |_: &i32| 0.0);
+    }
+}

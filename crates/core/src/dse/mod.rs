@@ -1,0 +1,70 @@
+//! Integrated design space exploration (DSE) support.
+//!
+//! Dynamic micro-benchmark properties that cannot be ensured statically (e.g. "reach a
+//! core IPC of 1.3 while only stressing the FXU", or "maximise chip power") are found by
+//! searching a design space.  MicroProbe integrates the search with the generation
+//! framework: an [`Evaluator`] typically synthesizes a candidate benchmark and runs it on
+//! a [`Platform`](crate::platform::Platform), and the search driver — [`ExhaustiveSearch`],
+//! [`GeneticSearch`] or a user-defined loop — decides which candidates to evaluate.
+
+mod exhaustive;
+mod genetic;
+
+pub use exhaustive::ExhaustiveSearch;
+pub use genetic::{GeneticSearch, GenomeSpace, VecSpace};
+
+/// Scores candidate design points.  Higher scores are better.
+pub trait Evaluator<P> {
+    /// Evaluates one candidate point.
+    fn evaluate(&mut self, point: &P) -> f64;
+}
+
+impl<P, F> Evaluator<P> for F
+where
+    F: FnMut(&P) -> f64,
+{
+    fn evaluate(&mut self, point: &P) -> f64 {
+        self(point)
+    }
+}
+
+/// The outcome of a design space exploration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult<P> {
+    /// The best point found.
+    pub best: P,
+    /// The score of the best point.
+    pub best_score: f64,
+    /// Total number of evaluations performed.
+    pub evaluations: usize,
+    /// Best score after each evaluation (monotonically non-decreasing).
+    pub history: Vec<f64>,
+}
+
+impl<P> SearchResult<P> {
+    /// Returns `true` if the search improved on its first evaluation.
+    pub fn improved(&self) -> bool {
+        self.history.first().map(|first| self.best_score > *first).unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closures_are_evaluators() {
+        fn takes_evaluator<E: Evaluator<i32>>(mut e: E) -> f64 {
+            e.evaluate(&21)
+        }
+        assert_eq!(takes_evaluator(|x: &i32| f64::from(*x) * 2.0), 42.0);
+    }
+
+    #[test]
+    fn improved_reflects_history() {
+        let r = SearchResult { best: 3, best_score: 9.0, evaluations: 3, history: vec![1.0, 4.0, 9.0] };
+        assert!(r.improved());
+        let flat = SearchResult { best: 0, best_score: 1.0, evaluations: 1, history: vec![1.0] };
+        assert!(!flat.improved());
+    }
+}

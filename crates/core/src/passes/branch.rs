@@ -1,0 +1,113 @@
+//! Branch behaviour modelling pass.
+
+use mp_isa::Operand;
+
+use crate::ir::BenchmarkIr;
+use crate::synth::{Pass, PassContext, PassError};
+
+/// Controls the level of control-flow speculation of the benchmark.
+///
+/// Two effects can be combined: inserting conditional branches every `period` slots (so
+/// the front end exercises the branch unit and the predictor) and configuring the
+/// misprediction rate those branches exhibit.
+#[derive(Debug, Clone, Copy)]
+pub struct BranchBehaviorPass {
+    period: Option<usize>,
+    mispredict_rate: f64,
+}
+
+impl BranchBehaviorPass {
+    /// Only sets the misprediction rate of the branches already present in the body.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is outside `[0, 1]`.
+    pub fn mispredict_rate(rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "misprediction rate must be in [0,1]");
+        Self { period: None, mispredict_rate: rate }
+    }
+
+    /// Replaces every `period`-th slot with a conditional branch and sets the
+    /// misprediction rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero or the rate is outside `[0, 1]`.
+    pub fn conditional_every(period: usize, rate: f64) -> Self {
+        assert!(period > 0, "period must be at least 1");
+        assert!((0.0..=1.0).contains(&rate), "misprediction rate must be in [0,1]");
+        Self { period: Some(period), mispredict_rate: rate }
+    }
+}
+
+impl Pass for BranchBehaviorPass {
+    fn name(&self) -> &str {
+        "branch-behavior"
+    }
+
+    fn apply(&self, ir: &mut BenchmarkIr, ctx: &mut PassContext<'_>) -> Result<(), PassError> {
+        if ir.is_empty() {
+            return Err(PassError::new(self.name(), "no skeleton: run a skeleton pass first"));
+        }
+        ir.set_mispredict_rate(self.mispredict_rate);
+        let Some(period) = self.period else {
+            return Ok(());
+        };
+        let (bc, _) = ctx
+            .arch
+            .isa
+            .get("bc")
+            .ok_or_else(|| PassError::new(self.name(), "the ISA does not define `bc`"))?;
+        let n = ir.len();
+        for idx in (period - 1..n).step_by(period) {
+            let slot = &mut ir.slots_mut()[idx];
+            slot.opcode = bc;
+            slot.operands = vec![Operand::CrField(0), Operand::BranchTarget(1)];
+            slot.mem = None;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::{InstructionMixPass, SkeletonPass};
+    use crate::synth::Synthesizer;
+    use mp_uarch::power7;
+
+    #[test]
+    fn inserts_conditional_branches_at_the_requested_period() {
+        let arch = power7();
+        let computes = arch.isa.compute_instructions();
+        let mut synth = Synthesizer::new(power7());
+        synth.add_pass(SkeletonPass::endless_loop(40));
+        synth.add_pass(InstructionMixPass::uniform(computes));
+        synth.add_pass(BranchBehaviorPass::conditional_every(10, 0.05));
+        let bench = synth.synthesize().unwrap();
+        let isa = &arch.isa;
+        let branches = bench.kernel().body().iter().filter(|i| i.def(isa).is_branch()).count();
+        assert_eq!(branches, 4);
+        assert!((bench.kernel().mispredict_rate() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_only_variant_leaves_the_body_unchanged() {
+        let arch = power7();
+        let computes = arch.isa.compute_instructions();
+        let mut synth = Synthesizer::new(power7());
+        synth.add_pass(SkeletonPass::endless_loop(16));
+        synth.add_pass(InstructionMixPass::uniform(computes));
+        synth.add_pass(BranchBehaviorPass::mispredict_rate(0.2));
+        let bench = synth.synthesize().unwrap();
+        let isa = &arch.isa;
+        assert_eq!(bench.kernel().body().iter().filter(|i| i.def(isa).is_branch()).count(), 0);
+        assert!((bench.kernel().mispredict_rate() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be at least 1")]
+    fn zero_period_is_rejected() {
+        let _ = BranchBehaviorPass::conditional_every(0, 0.1);
+    }
+}

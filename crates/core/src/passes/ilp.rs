@@ -1,0 +1,256 @@
+//! Instruction level parallelism control via register allocation.
+
+use rand::Rng;
+
+use mp_isa::{Operand, RegRef, RegisterFile};
+
+use crate::ir::BenchmarkIr;
+use crate::synth::{Pass, PassContext, PassError};
+
+/// How producer→consumer distances are chosen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DependencySpec {
+    /// No artificial dependencies: destinations and sources use disjoint register pools
+    /// (maximum ILP — the paper's "throughput" bootstrap benchmark).
+    None,
+    /// Every instruction reads the result produced `distance` instructions earlier
+    /// (distance 1 yields a serial chain — the paper's "latency" bootstrap benchmark).
+    Fixed(usize),
+    /// Each instruction's dependency distance is drawn uniformly from `[min, max]`.
+    Random {
+        /// Minimum distance (inclusive), at least 1.
+        min: usize,
+        /// Maximum distance (inclusive).
+        max: usize,
+    },
+}
+
+/// Models ILP by rewriting register operands so that instructions depend on results
+/// produced a configurable number of instructions earlier (paper step 5: "model the
+/// instruction level parallelism via register allocation").
+#[derive(Debug, Clone)]
+pub struct DependencyDistancePass {
+    spec: DependencySpec,
+}
+
+impl DependencyDistancePass {
+    /// Size of the rotating destination register pool per register file.
+    const POOL: u16 = 16;
+
+    /// No artificial dependencies.
+    pub fn none() -> Self {
+        Self { spec: DependencySpec::None }
+    }
+
+    /// Fixed dependency distance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance` is zero.
+    pub fn fixed(distance: usize) -> Self {
+        assert!(distance > 0, "dependency distance must be at least 1");
+        Self { spec: DependencySpec::Fixed(distance) }
+    }
+
+    /// Random dependency distance in `[min, max]` (the Figure 2 "set instruction
+    /// dependency distance randomly" pass).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min` is zero or `min > max`.
+    pub fn random(min: usize, max: usize) -> Self {
+        assert!(min > 0 && min <= max, "need 1 <= min <= max");
+        Self { spec: DependencySpec::Random { min, max } }
+    }
+
+    /// The configured specification.
+    pub fn spec(&self) -> DependencySpec {
+        self.spec
+    }
+
+    fn pool_register(file: RegisterFile, slot: usize) -> RegRef {
+        let pool = Self::POOL.min(file.count());
+        RegRef::new(file, (slot % pool as usize) as u16)
+    }
+}
+
+impl Pass for DependencyDistancePass {
+    fn name(&self) -> &str {
+        "dependency-distance"
+    }
+
+    fn apply(&self, ir: &mut BenchmarkIr, ctx: &mut PassContext<'_>) -> Result<(), PassError> {
+        if ir.is_empty() {
+            return Err(PassError::new(self.name(), "no skeleton: run a skeleton pass first"));
+        }
+        let isa = &ctx.arch.isa;
+        // Remember, per slot and register file, which register the slot writes.
+        let n = ir.len();
+        let mut written: Vec<Vec<(RegisterFile, RegRef)>> = vec![Vec::new(); n];
+
+        // First rewrite destinations to a rotating pool so producers are predictable.
+        for idx in 0..n {
+            let slot = &mut ir.slots_mut()[idx];
+            let def = isa.def(slot.opcode);
+            for (kind, op) in def.operands().iter().zip(slot.operands.iter_mut()) {
+                let (Some(file), Some(access)) = (kind.register_file(), kind.access()) else {
+                    continue;
+                };
+                if file == RegisterFile::Cr {
+                    continue;
+                }
+                if access.writes() {
+                    let reg = Self::pool_register(file, idx);
+                    *op = Operand::Reg(reg);
+                    written[idx].push((file, reg));
+                }
+            }
+        }
+
+        // Then point sources at the producer `distance` slots earlier (when one exists
+        // in the same register file).
+        for idx in 0..n {
+            let distance = match self.spec {
+                DependencySpec::None => {
+                    // Independent instructions: sources come from a register pool
+                    // disjoint from the destination pool.
+                    let slot = &mut ir.slots_mut()[idx];
+                    let def = isa.def(slot.opcode);
+                    for (kind, op) in def.operands().iter().zip(slot.operands.iter_mut()) {
+                        let (Some(file), Some(access)) = (kind.register_file(), kind.access())
+                        else {
+                            continue;
+                        };
+                        if file == RegisterFile::Cr || !access.reads() || access.writes() {
+                            continue;
+                        }
+                        let base = Self::POOL.min(file.count().saturating_sub(8).max(1));
+                        let reg = RegRef::new(file, base + (idx as u16 % 8.min(file.count() - base)));
+                        *op = Operand::Reg(reg);
+                    }
+                    continue;
+                }
+                DependencySpec::Fixed(d) => d,
+                DependencySpec::Random { min, max } => ctx.rng.gen_range(min..=max),
+            };
+            // Move every read-only source to a pool disjoint from the destinations so
+            // that the only dependencies are the ones this pass creates explicitly.
+            {
+                let slot = &mut ir.slots_mut()[idx];
+                let def = isa.def(slot.opcode);
+                for (kind, op) in def.operands().iter().zip(slot.operands.iter_mut()) {
+                    let (Some(file), Some(access)) = (kind.register_file(), kind.access()) else {
+                        continue;
+                    };
+                    if file == RegisterFile::Cr || !access.reads() || access.writes() {
+                        continue;
+                    }
+                    let base = Self::POOL.min(file.count().saturating_sub(8).max(1));
+                    let reg = RegRef::new(file, base + (idx as u16 % 8.min(file.count() - base)));
+                    *op = Operand::Reg(reg);
+                }
+            }
+            if idx < distance {
+                continue;
+            }
+            let producer = idx - distance;
+            let producer_regs = written[producer].clone();
+            if producer_regs.is_empty() {
+                continue;
+            }
+            let slot = &mut ir.slots_mut()[idx];
+            let def = isa.def(slot.opcode);
+            for (kind, op) in def.operands().iter().zip(slot.operands.iter_mut()) {
+                let (Some(file), Some(access)) = (kind.register_file(), kind.access()) else {
+                    continue;
+                };
+                if !access.reads() || access.writes() {
+                    continue;
+                }
+                if let Some((_, reg)) = producer_regs.iter().find(|(f, _)| *f == file) {
+                    *op = Operand::Reg(*reg);
+                    // Only the first matching source is chained; leaving the others free
+                    // keeps the dependency graph a chain rather than a clique.
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::{InstructionMixPass, SkeletonPass};
+    use crate::synth::Synthesizer;
+    use mp_uarch::power7;
+
+    fn build(spec_pass: DependencyDistancePass, mnemonic: &str, n: usize) -> crate::ir::MicroBenchmark {
+        let arch = power7();
+        let op = arch.isa.opcode(mnemonic).unwrap();
+        let mut synth = Synthesizer::new(arch);
+        synth.add_pass(SkeletonPass::endless_loop(n));
+        synth.add_pass(InstructionMixPass::uniform(vec![op]));
+        synth.add_pass(spec_pass);
+        synth.synthesize().unwrap()
+    }
+
+    #[test]
+    fn fixed_distance_creates_chains() {
+        let bench = build(DependencyDistancePass::fixed(1), "mulld", 32);
+        let arch = power7();
+        let isa = &arch.isa;
+        let body = bench.kernel().body();
+        // Each instruction (after the first) must read the register written by its
+        // predecessor.
+        for i in 1..body.len() {
+            let prev_writes = body[i - 1].writes(isa);
+            let reads = body[i].reads(isa);
+            assert!(
+                reads.iter().any(|r| prev_writes.contains(r)),
+                "slot {i} does not depend on slot {}",
+                i - 1
+            );
+        }
+    }
+
+    #[test]
+    fn none_spec_produces_independent_instructions() {
+        let bench = build(DependencyDistancePass::none(), "mulld", 16);
+        let arch = power7();
+        let isa = &arch.isa;
+        let body = bench.kernel().body();
+        for i in 1..body.len() {
+            let prev_writes = body[i - 1].writes(isa);
+            let reads = body[i].reads(isa);
+            assert!(
+                !reads.iter().any(|r| prev_writes.contains(r)),
+                "slot {i} unexpectedly depends on its predecessor"
+            );
+        }
+    }
+
+    #[test]
+    fn random_distance_stays_within_bounds() {
+        let bench = build(DependencyDistancePass::random(2, 4), "add", 64);
+        let arch = power7();
+        let isa = &arch.isa;
+        let body = bench.kernel().body();
+        // Every slot far enough into the body must depend on a producer whose distance is
+        // within the requested [2, 4] window — and on no closer producer.
+        for i in 4..body.len() {
+            let reads = body[i].reads(isa);
+            let chained = (2..=4).any(|d| body[i - d].writes(isa).iter().any(|w| reads.contains(w)));
+            assert!(chained, "slot {i} has no dependency in the requested distance window");
+            let too_close = body[i - 1].writes(isa).iter().any(|w| reads.contains(w));
+            assert!(!too_close, "slot {i} depends on its immediate predecessor");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_distance_is_rejected() {
+        let _ = DependencyDistancePass::fixed(0);
+    }
+}

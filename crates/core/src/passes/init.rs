@@ -1,0 +1,145 @@
+//! Register and immediate initialisation passes.
+
+use mp_isa::{Operand, OperandKind};
+use mp_sim::DataProfile;
+
+use crate::ir::BenchmarkIr;
+use crate::synth::{Pass, PassContext, PassError};
+
+/// Declares how registers and memory are initialised before the loop runs.
+///
+/// The initialisation values are not simulated bit-by-bit; they determine the operand
+/// switching activity of the datapath (the paper reports that zero data reduces EPI by
+/// up to 40% while different random values behave alike).
+#[derive(Debug, Clone, Copy)]
+pub struct InitRegistersPass {
+    profile: DataProfile,
+}
+
+impl InitRegistersPass {
+    /// Random initial values (the bootstrap default — maximises comparability between
+    /// instructions).
+    pub fn random() -> Self {
+        Self { profile: DataProfile::Random }
+    }
+
+    /// A repeated constant pattern such as `0b01010101` (the Figure 2 example).
+    pub fn constant() -> Self {
+        Self { profile: DataProfile::Constant }
+    }
+
+    /// All-zero initial values (minimum switching activity).
+    pub fn zeros() -> Self {
+        Self { profile: DataProfile::Zeros }
+    }
+
+    /// The selected data profile.
+    pub fn profile(&self) -> DataProfile {
+        self.profile
+    }
+}
+
+impl Pass for InitRegistersPass {
+    fn name(&self) -> &str {
+        "init-registers"
+    }
+
+    fn apply(&self, ir: &mut BenchmarkIr, _ctx: &mut PassContext<'_>) -> Result<(), PassError> {
+        ir.set_data_profile(self.profile);
+        Ok(())
+    }
+}
+
+/// Sets every immediate operand of the loop body to a fixed value (clamped to the
+/// operand's representable range).
+#[derive(Debug, Clone, Copy)]
+pub struct InitImmediatesPass {
+    value: i64,
+}
+
+impl InitImmediatesPass {
+    /// Sets all immediates to `value`.
+    pub fn new(value: i64) -> Self {
+        Self { value }
+    }
+
+    /// The Figure 2 example value, `0b01010101`.
+    pub fn pattern01() -> Self {
+        Self { value: 0b0101_0101 }
+    }
+}
+
+impl Pass for InitImmediatesPass {
+    fn name(&self) -> &str {
+        "init-immediates"
+    }
+
+    fn apply(&self, ir: &mut BenchmarkIr, ctx: &mut PassContext<'_>) -> Result<(), PassError> {
+        if ir.is_empty() {
+            return Err(PassError::new(self.name(), "no skeleton: run a skeleton pass first"));
+        }
+        let isa = &ctx.arch.isa;
+        for slot in ir.slots_mut() {
+            let def = isa.def(slot.opcode);
+            for (kind, op) in def.operands().iter().zip(slot.operands.iter_mut()) {
+                if let OperandKind::Imm { .. } = kind {
+                    let (lo, hi) = kind.immediate_range().expect("immediates have a range");
+                    *op = Operand::Imm(self.value.clamp(lo, hi));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::{InstructionMixPass, SkeletonPass};
+    use crate::synth::Synthesizer;
+    use mp_uarch::power7;
+
+    #[test]
+    fn register_init_sets_data_profile() {
+        let arch = power7();
+        let computes = arch.isa.compute_instructions();
+        let mut synth = Synthesizer::new(arch);
+        synth.add_pass(SkeletonPass::endless_loop(8));
+        synth.add_pass(InstructionMixPass::uniform(computes));
+        synth.add_pass(InitRegistersPass::zeros());
+        let bench = synth.synthesize().unwrap();
+        assert_eq!(bench.kernel().data_profile(), DataProfile::Zeros);
+    }
+
+    #[test]
+    fn immediate_init_clamps_and_applies() {
+        let arch = power7();
+        let addi = arch.isa.opcode("addi").unwrap();
+        let mut synth = Synthesizer::new(power7());
+        synth.add_pass(SkeletonPass::endless_loop(8));
+        synth.add_pass(InstructionMixPass::uniform(vec![addi]));
+        synth.add_pass(InitImmediatesPass::new(1 << 40));
+        let bench = synth.synthesize().unwrap();
+        for inst in bench.kernel().body() {
+            let imm = inst.operands().iter().find_map(|o| match o {
+                Operand::Imm(v) => Some(*v),
+                _ => None,
+            });
+            assert_eq!(imm, Some(32767), "immediates must be clamped to the 16-bit range");
+        }
+    }
+
+    #[test]
+    fn pattern01_uses_figure2_value() {
+        let arch = power7();
+        let addi = arch.isa.opcode("addi").unwrap();
+        let mut synth = Synthesizer::new(power7());
+        synth.add_pass(SkeletonPass::endless_loop(4));
+        synth.add_pass(InstructionMixPass::uniform(vec![addi]));
+        synth.add_pass(InitImmediatesPass::pattern01());
+        let bench = synth.synthesize().unwrap();
+        for inst in bench.kernel().body() {
+            assert!(inst.operands().contains(&Operand::Imm(85)));
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! The memory behaviour pass: applies the analytical cache model.
+
+use mp_cache::{AccessPlanner, HitDistribution};
+use mp_isa::MemAccess;
+
+use crate::ir::BenchmarkIr;
+use crate::synth::{Pass, PassContext, PassError};
+
+/// Assigns effective addresses to every memory instruction of the loop so that the
+/// requested [`HitDistribution`] is achieved in steady state.
+///
+/// This is the pass the paper's Figure 2 script calls "Generate addresses according to
+/// `model`"; it relies on the analytical set-associative cache model (`mp-cache`)
+/// instead of a design space exploration over stride patterns.
+#[derive(Debug, Clone)]
+pub struct MemoryPass {
+    distribution: HitDistribution,
+}
+
+impl MemoryPass {
+    /// Targets the given hit distribution.
+    pub fn new(distribution: HitDistribution) -> Self {
+        Self { distribution }
+    }
+
+    /// The target distribution.
+    pub fn distribution(&self) -> HitDistribution {
+        self.distribution
+    }
+}
+
+impl Pass for MemoryPass {
+    fn name(&self) -> &str {
+        "memory-model"
+    }
+
+    fn apply(&self, ir: &mut BenchmarkIr, ctx: &mut PassContext<'_>) -> Result<(), PassError> {
+        if ir.is_empty() {
+            return Err(PassError::new(self.name(), "no skeleton: run a skeleton pass first"));
+        }
+        let isa = &ctx.arch.isa;
+        let memory_slots: Vec<usize> = ir
+            .slots()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| {
+                let def = isa.def(s.opcode);
+                def.is_memory()
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if memory_slots.is_empty() {
+            // Nothing to do: a benchmark without memory operations is valid (the paper's
+            // "Unit Mix" family, for example).
+            return Ok(());
+        }
+
+        let planner = AccessPlanner::new(&ctx.arch.hierarchy);
+        let plan = planner.plan(&self.distribution, memory_slots.len(), 0, ctx.invocation);
+        for (slot_idx, access) in memory_slots.into_iter().zip(plan.accesses()) {
+            let slot = &mut ir.slots_mut()[slot_idx];
+            let def = isa.def(slot.opcode);
+            slot.mem = Some(MemAccess {
+                address: access.address,
+                bytes: def.mem_bytes().max(1),
+                is_store: def.is_store(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::{InstructionMixPass, SkeletonPass};
+    use crate::synth::Synthesizer;
+    use mp_uarch::power7;
+
+    #[test]
+    fn assigns_addresses_to_all_memory_instructions() {
+        let arch = power7();
+        let loads = arch.isa.loads();
+        let mut synth = Synthesizer::new(power7());
+        synth.add_pass(SkeletonPass::endless_loop(64));
+        synth.add_pass(InstructionMixPass::uniform(loads));
+        synth.add_pass(MemoryPass::new(HitDistribution::caches_balanced()));
+        let bench = synth.synthesize().unwrap();
+        let isa = &arch.isa;
+        for inst in bench.kernel().body() {
+            if inst.def(isa).is_load() {
+                assert!(inst.mem().is_some(), "{} lacks an address", inst.def(isa).mnemonic());
+            }
+        }
+    }
+
+    #[test]
+    fn benchmark_without_memory_ops_is_untouched() {
+        let arch = power7();
+        let computes = arch.isa.compute_instructions();
+        let mut synth = Synthesizer::new(power7());
+        synth.add_pass(SkeletonPass::endless_loop(16));
+        synth.add_pass(InstructionMixPass::uniform(computes));
+        synth.add_pass(MemoryPass::new(HitDistribution::memory_only()));
+        assert!(synth.synthesize().is_ok());
+    }
+
+    #[test]
+    fn store_accesses_are_marked_as_stores() {
+        let arch = power7();
+        let stores = arch.isa.stores();
+        let mut synth = Synthesizer::new(power7());
+        synth.add_pass(SkeletonPass::endless_loop(32));
+        synth.add_pass(InstructionMixPass::uniform(stores));
+        synth.add_pass(MemoryPass::new(HitDistribution::l1_only()));
+        let bench = synth.synthesize().unwrap();
+        for inst in bench.kernel().body() {
+            assert!(inst.mem().unwrap().is_store);
+        }
+    }
+}

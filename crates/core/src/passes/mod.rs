@@ -1,0 +1,23 @@
+//! The repository of built-in code generation passes.
+//!
+//! These correspond to the minimum set of steps previous work identified for defining a
+//! micro-benchmark's behaviour (paper Section 2.2) — skeleton, instruction distribution,
+//! memory behaviour, branch behaviour and ILP/register allocation — plus the
+//! configurable extras (exact instruction sequences, register/immediate initialisation)
+//! that MicroProbe's pass-based design makes possible.  Users can add their own passes by
+//! implementing [`Pass`](crate::synth::Pass) or wrapping a closure in
+//! [`FnPass`](crate::synth::FnPass).
+
+mod branch;
+mod ilp;
+mod init;
+mod memory;
+mod mix;
+mod skeleton;
+
+pub use branch::BranchBehaviorPass;
+pub use ilp::{DependencyDistancePass, DependencySpec};
+pub use init::{InitImmediatesPass, InitRegistersPass};
+pub use memory::MemoryPass;
+pub use mix::{InstructionMixPass, SequencePass};
+pub use skeleton::SkeletonPass;

@@ -1,0 +1,121 @@
+//! Assembly text emission.
+//!
+//! MicroProbe's final code generation step saves benchmarks as compilable sources.  The
+//! formatter here produces the textual PowerPC assembly for a generated instruction
+//! stream; the workload crates wrap it in a C-with-inline-asm skeleton when a benchmark
+//! is exported.
+
+use crate::def::Format;
+use crate::instruction::Instruction;
+use crate::isa::Isa;
+use crate::operand::Operand;
+
+/// Formats a single instruction instance as assembly text (e.g. `lwz r3, 16(r4)`).
+pub fn format_instruction(isa: &Isa, inst: &Instruction) -> String {
+    let def = inst.def(isa);
+    let ops = inst.operands();
+    // Memory D/DS-form operands print as `disp(base)`.
+    let is_dform_mem = def.is_memory() && matches!(def.format(), Format::D | Format::Ds);
+    if is_dform_mem && ops.len() == 3 {
+        if let (Some(target), Operand::Displacement(d), Some(base)) =
+            (ops[0].as_reg(), ops[1], ops[2].as_reg())
+        {
+            return format!("{} {}, {}({})", def.mnemonic(), target, d, base);
+        }
+    }
+    let mut text = String::from(def.mnemonic());
+    for (i, op) in ops.iter().enumerate() {
+        text.push(if i == 0 { ' ' } else { ',' });
+        if i > 0 {
+            text.push(' ');
+        }
+        text.push_str(&op.to_string());
+    }
+    text
+}
+
+/// Formats a whole instruction sequence as one assembly listing, one instruction per
+/// line, with an optional label prefix for the loop head.
+pub fn format_listing(isa: &Isa, insts: &[Instruction], loop_label: Option<&str>) -> String {
+    let mut out = String::new();
+    if let Some(label) = loop_label {
+        out.push_str(label);
+        out.push_str(":\n");
+    }
+    for inst in insts {
+        out.push_str("    ");
+        out.push_str(&format_instruction(isa, inst));
+        out.push('\n');
+    }
+    if let Some(label) = loop_label {
+        out.push_str("    b ");
+        out.push_str(label);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instruction::MemAccess;
+    use crate::power_isa::power_isa_v206b;
+    use crate::register::RegRef;
+
+    #[test]
+    fn dform_load_formats_with_displacement_syntax() {
+        let isa = power_isa_v206b();
+        let (id, _) = isa.get("lwz").unwrap();
+        let inst = Instruction::new(
+            &isa,
+            id,
+            vec![
+                Operand::Reg(RegRef::gpr(3)),
+                Operand::Displacement(32),
+                Operand::Reg(RegRef::gpr(5)),
+            ],
+            Some(MemAccess { address: 0x1000, bytes: 4, is_store: false }),
+        )
+        .unwrap();
+        assert_eq!(format_instruction(&isa, &inst), "lwz r3, 32(r5)");
+    }
+
+    #[test]
+    fn xform_instruction_formats_with_commas() {
+        let isa = power_isa_v206b();
+        let (id, _) = isa.get("add").unwrap();
+        let inst = Instruction::new(
+            &isa,
+            id,
+            vec![
+                Operand::Reg(RegRef::gpr(1)),
+                Operand::Reg(RegRef::gpr(2)),
+                Operand::Reg(RegRef::gpr(3)),
+            ],
+            None,
+        )
+        .unwrap();
+        assert_eq!(format_instruction(&isa, &inst), "add r1, r2, r3");
+    }
+
+    #[test]
+    fn listing_wraps_loop_with_label_and_branch() {
+        let isa = power_isa_v206b();
+        let (id, _) = isa.get("add").unwrap();
+        let inst = Instruction::new(
+            &isa,
+            id,
+            vec![
+                Operand::Reg(RegRef::gpr(1)),
+                Operand::Reg(RegRef::gpr(2)),
+                Operand::Reg(RegRef::gpr(3)),
+            ],
+            None,
+        )
+        .unwrap();
+        let listing = format_listing(&isa, &[inst], Some("loop"));
+        assert!(listing.starts_with("loop:\n"));
+        assert!(listing.trim_end().ends_with("b loop"));
+        assert!(listing.contains("add r1, r2, r3"));
+    }
+}

@@ -1,0 +1,211 @@
+//! Semantic attribute flags attached to every instruction definition.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitOrAssign};
+
+/// Semantic attributes of an instruction.
+///
+/// The paper's ISA definition module records "the instruction type (e.g. load, store,
+/// vector, int, float or branch), [...] if the instruction is executed conditionally,
+/// the privilege level required, if the instruction is a data pre-fetch instruction"
+/// (Section 2.1.1).  `InstrFlags` captures that attribute set as a compact bit set.
+///
+/// The type intentionally behaves like a `bitflags`-style set (bitwise `|`, `&`,
+/// [`contains`](Self::contains)) without pulling in an external crate.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct InstrFlags(u32);
+
+macro_rules! flags {
+    ($($(#[$doc:meta])* $name:ident = $bit:expr;)*) => {
+        impl InstrFlags {
+            $( $(#[$doc])* pub const $name: InstrFlags = InstrFlags(1 << $bit); )*
+
+            /// Names of the individual flags, used by [`fmt::Debug`] and the assembly
+            /// comment emitter.
+            pub(crate) const NAMES: &'static [(InstrFlags, &'static str)] = &[
+                $( (InstrFlags::$name, stringify!($name)), )*
+            ];
+        }
+    };
+}
+
+flags! {
+    /// Reads from memory.
+    LOAD = 0;
+    /// Writes to memory.
+    STORE = 1;
+    /// Operates on fixed point (integer) data.
+    INTEGER = 2;
+    /// Operates on scalar floating point data.
+    FLOAT = 3;
+    /// Operates on vector (VMX/VSX) data.
+    VECTOR = 4;
+    /// Operates on decimal floating point data.
+    DECIMAL = 5;
+    /// Changes control flow.
+    BRANCH = 6;
+    /// Executes conditionally (conditional branches, conditional traps, isel).
+    CONDITIONAL = 7;
+    /// Requires a privileged (supervisor/hypervisor) state.
+    PRIVILEGED = 8;
+    /// Data prefetch hint (does not architecturally modify state).
+    PREFETCH = 9;
+    /// Update-form memory access (also writes the base address register).
+    UPDATE_FORM = 10;
+    /// Indexed-form memory access (address = RA + RB).
+    INDEXED_FORM = 11;
+    /// Records a result into CR0/CR1 (dot-form instructions and compares).
+    CR_WRITING = 12;
+    /// Multiply operation.
+    MULTIPLY = 13;
+    /// Divide operation.
+    DIVIDE = 14;
+    /// Square-root or reciprocal-estimate operation.
+    SQRT = 15;
+    /// Fused multiply-add family.
+    FMA = 16;
+    /// Compare operation.
+    COMPARE = 17;
+    /// Logical (and/or/xor/...) operation.
+    LOGICAL = 18;
+    /// Rotate or shift operation.
+    SHIFT = 19;
+    /// Sign- or zero-extending algebraic load.
+    ALGEBRAIC = 20;
+    /// Synchronisation / memory barrier instruction.
+    SYNC = 21;
+    /// Moves data between register files without computing.
+    MOVE = 22;
+    /// Immediate-operand form.
+    IMMEDIATE_FORM = 23;
+    /// Carries/extends using XER[CA].
+    CARRYING = 24;
+}
+
+impl InstrFlags {
+    /// The empty flag set.
+    pub const fn empty() -> Self {
+        InstrFlags(0)
+    }
+
+    /// Returns `true` if no flag is set.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns `true` if every flag in `other` is also set in `self`.
+    pub const fn contains(self, other: InstrFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Returns `true` if at least one flag of `other` is set in `self`.
+    pub const fn intersects(self, other: InstrFlags) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Union of two flag sets.
+    pub const fn union(self, other: InstrFlags) -> Self {
+        InstrFlags(self.0 | other.0)
+    }
+
+    /// Raw bit representation (stable across the crate version only).
+    pub const fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Number of flags set.
+    pub const fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+}
+
+impl BitOr for InstrFlags {
+    type Output = InstrFlags;
+
+    fn bitor(self, rhs: InstrFlags) -> InstrFlags {
+        self.union(rhs)
+    }
+}
+
+impl BitOrAssign for InstrFlags {
+    fn bitor_assign(&mut self, rhs: InstrFlags) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for InstrFlags {
+    type Output = InstrFlags;
+
+    fn bitand(self, rhs: InstrFlags) -> InstrFlags {
+        InstrFlags(self.0 & rhs.0)
+    }
+}
+
+impl fmt::Debug for InstrFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("InstrFlags(<none>)");
+        }
+        let names: Vec<&str> = Self::NAMES
+            .iter()
+            .filter(|(flag, _)| self.contains(*flag))
+            .map(|(_, name)| *name)
+            .collect();
+        write!(f, "InstrFlags({})", names.join("|"))
+    }
+}
+
+impl fmt::Display for InstrFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_and_contains() {
+        let f = InstrFlags::LOAD | InstrFlags::VECTOR;
+        assert!(f.contains(InstrFlags::LOAD));
+        assert!(f.contains(InstrFlags::VECTOR));
+        assert!(!f.contains(InstrFlags::STORE));
+        assert!(f.contains(InstrFlags::LOAD | InstrFlags::VECTOR));
+        assert!(!f.contains(InstrFlags::LOAD | InstrFlags::STORE));
+    }
+
+    #[test]
+    fn intersects_differs_from_contains() {
+        let f = InstrFlags::LOAD | InstrFlags::VECTOR;
+        assert!(f.intersects(InstrFlags::LOAD | InstrFlags::STORE));
+        assert!(!f.contains(InstrFlags::LOAD | InstrFlags::STORE));
+        assert!(!f.intersects(InstrFlags::STORE));
+    }
+
+    #[test]
+    fn empty_set_behaviour() {
+        let e = InstrFlags::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.count(), 0);
+        assert!(InstrFlags::LOAD.contains(e));
+    }
+
+    #[test]
+    fn debug_is_never_empty_and_lists_flags() {
+        let dbg = format!("{:?}", InstrFlags::LOAD | InstrFlags::UPDATE_FORM);
+        assert!(dbg.contains("LOAD"));
+        assert!(dbg.contains("UPDATE_FORM"));
+        assert!(!format!("{:?}", InstrFlags::empty()).is_empty());
+    }
+
+    #[test]
+    fn all_declared_flags_are_distinct_bits() {
+        let mut seen = 0u32;
+        for (flag, name) in InstrFlags::NAMES {
+            assert_eq!(flag.count(), 1, "flag {name} must be a single bit");
+            assert_eq!(seen & flag.bits(), 0, "flag {name} overlaps another flag");
+            seen |= flag.bits();
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Activity vectors and workload samples: the model inputs extracted from measurements.
+
+use mp_sim::Measurement;
+use mp_uarch::{CmpSmtConfig, CounterValues};
+
+/// Per-cycle activity rates of the seven power components the bottom-up model uses
+/// (FXU, VSU, LSU ops and per-level memory accesses), aggregated chip-wide.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ActivityVector {
+    /// FXU operations per cycle.
+    pub fxu: f64,
+    /// VSU operations per cycle.
+    pub vsu: f64,
+    /// LSU operations per cycle.
+    pub lsu: f64,
+    /// L1 data cache hits per cycle.
+    pub l1: f64,
+    /// L2 hits per cycle.
+    pub l2: f64,
+    /// L3 hits per cycle.
+    pub l3: f64,
+    /// Main memory accesses per cycle.
+    pub mem: f64,
+}
+
+impl ActivityVector {
+    /// Number of features.
+    pub const WIDTH: usize = 7;
+
+    /// Feature names, in the order produced by [`to_vec`](Self::to_vec).
+    pub const NAMES: [&'static str; Self::WIDTH] = ["FXU", "VSU", "LSU", "L1", "L2", "L3", "MEM"];
+
+    /// Extracts chip-aggregate per-cycle rates from counter readings.
+    pub fn from_counters(counters: &CounterValues) -> Self {
+        let cycles = counters.cycles.max(1) as f64;
+        Self {
+            fxu: counters.fxu_ops as f64 / cycles,
+            vsu: (counters.vsu_ops + counters.dfu_ops) as f64 / cycles,
+            lsu: counters.lsu_ops as f64 / cycles,
+            l1: counters.l1_hits as f64 / cycles,
+            l2: counters.l2_hits as f64 / cycles,
+            l3: counters.l3_hits as f64 / cycles,
+            mem: counters.mem_accesses as f64 / cycles,
+        }
+    }
+
+    /// The feature vector in [`NAMES`](Self::NAMES) order.
+    pub fn to_vec(&self) -> Vec<f64> {
+        vec![self.fxu, self.vsu, self.lsu, self.l1, self.l2, self.l3, self.mem]
+    }
+}
+
+/// How a training sample was produced — determines which models may train on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SampleKind {
+    /// Micro-architecture aware micro-benchmark (the Table 2 families).
+    MicroArch,
+    /// Random micro-benchmark.
+    Random,
+    /// SPEC CPU2006 (proxy) workload.
+    Spec,
+    /// Extreme-activity case (Figure 7).
+    Extreme,
+}
+
+/// One observed workload: its configuration, chip-aggregate activity, measured average
+/// power and chip IPC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSample {
+    /// Workload name (benchmark name).
+    pub name: String,
+    /// CMP-SMT configuration of the run.
+    pub config: CmpSmtConfig,
+    /// Chip-aggregate per-cycle activity rates.
+    pub activity: ActivityVector,
+    /// Measured average chip power (sensor reading).
+    pub power: f64,
+    /// Chip-wide IPC.
+    pub ipc: f64,
+}
+
+impl WorkloadSample {
+    /// Builds a sample from a simulator/hardware measurement.
+    pub fn from_measurement(name: impl Into<String>, measurement: &Measurement) -> Self {
+        let chip = measurement.chip_counters();
+        Self {
+            name: name.into(),
+            config: measurement.config(),
+            activity: ActivityVector::from_counters(&chip),
+            power: measurement.average_power(),
+            ipc: measurement.chip_ipc(),
+        }
+    }
+
+    /// The regression feature vector used by the top-down models: activity rates plus the
+    /// number of enabled cores and the SMT-enabled flag.
+    pub fn topdown_features(&self) -> Vec<f64> {
+        let mut v = self.activity.to_vec();
+        v.push(f64::from(self.config.cores));
+        v.push(if self.config.smt.smt_enabled() { 1.0 } else { 0.0 });
+        v
+    }
+}
+
+/// A labelled collection of workload samples used to train and validate models.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrainingSet {
+    samples: Vec<(WorkloadSample, SampleKind)>,
+}
+
+impl TrainingSet {
+    /// Creates an empty training set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, sample: WorkloadSample, kind: SampleKind) {
+        self.samples.push((sample, kind));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if the set has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// All samples.
+    pub fn samples(&self) -> impl Iterator<Item = &WorkloadSample> {
+        self.samples.iter().map(|(s, _)| s)
+    }
+
+    /// Samples of a given kind.
+    pub fn of_kind(&self, kind: SampleKind) -> Vec<&WorkloadSample> {
+        self.samples.iter().filter(|(_, k)| *k == kind).map(|(s, _)| s).collect()
+    }
+
+    /// Samples of a given kind restricted to a configuration predicate.
+    pub fn filtered<F>(&self, kind: SampleKind, mut predicate: F) -> Vec<&WorkloadSample>
+    where
+        F: FnMut(&CmpSmtConfig) -> bool,
+    {
+        self.samples
+            .iter()
+            .filter(|(s, k)| *k == kind && predicate(&s.config))
+            .map(|(s, _)| s)
+            .collect()
+    }
+}
+
+impl Extend<(WorkloadSample, SampleKind)> for TrainingSet {
+    fn extend<T: IntoIterator<Item = (WorkloadSample, SampleKind)>>(&mut self, iter: T) {
+        self.samples.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_uarch::SmtMode;
+
+    fn sample(cores: u32, smt: SmtMode, fxu: f64, power: f64) -> WorkloadSample {
+        WorkloadSample {
+            name: "s".into(),
+            config: CmpSmtConfig::new(cores, smt),
+            activity: ActivityVector { fxu, ..Default::default() },
+            power,
+            ipc: fxu,
+        }
+    }
+
+    #[test]
+    fn activity_rates_from_counters() {
+        let c = CounterValues {
+            cycles: 1000,
+            fxu_ops: 1500,
+            vsu_ops: 400,
+            dfu_ops: 100,
+            lsu_ops: 700,
+            l1_hits: 600,
+            l2_hits: 60,
+            l3_hits: 30,
+            mem_accesses: 10,
+            ..Default::default()
+        };
+        let a = ActivityVector::from_counters(&c);
+        assert!((a.fxu - 1.5).abs() < 1e-12);
+        assert!((a.vsu - 0.5).abs() < 1e-12, "DFU ops fold into the VSU component");
+        assert!((a.l1 - 0.6).abs() < 1e-12);
+        assert_eq!(a.to_vec().len(), ActivityVector::WIDTH);
+    }
+
+    #[test]
+    fn topdown_features_append_config() {
+        let s = sample(4, SmtMode::Smt4, 1.0, 100.0);
+        let f = s.topdown_features();
+        assert_eq!(f.len(), ActivityVector::WIDTH + 2);
+        assert_eq!(f[7], 4.0);
+        assert_eq!(f[8], 1.0);
+        let s1 = sample(2, SmtMode::Smt1, 1.0, 100.0);
+        assert_eq!(s1.topdown_features()[8], 0.0);
+    }
+
+    #[test]
+    fn training_set_filters_by_kind_and_config() {
+        let mut set = TrainingSet::new();
+        set.push(sample(1, SmtMode::Smt1, 1.0, 10.0), SampleKind::MicroArch);
+        set.push(sample(1, SmtMode::Smt2, 1.0, 11.0), SampleKind::MicroArch);
+        set.push(sample(4, SmtMode::Smt4, 2.0, 30.0), SampleKind::Random);
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.of_kind(SampleKind::MicroArch).len(), 2);
+        assert_eq!(set.of_kind(SampleKind::Spec).len(), 0);
+        let smt1_micro = set.filtered(SampleKind::MicroArch, |c| !c.smt.smt_enabled());
+        assert_eq!(smt1_micro.len(), 1);
+    }
+}

@@ -1,0 +1,309 @@
+//! The SMT/CMP-aware bottom-up modeling methodology (paper Section 4.1, Figure 4).
+
+use mp_uarch::SmtMode;
+
+use crate::activity::{SampleKind, TrainingSet, WorkloadSample};
+use crate::breakdown::PowerBreakdownEstimate;
+use crate::model::{ModelError, PowerModel};
+use crate::regression::LinearRegression;
+
+/// The decomposable bottom-up power model:
+///
+/// ```text
+/// P_cpu = Σ_threads P_dyn(k)
+///       + Σ_cores  SMT_effect · SMT_enabled(k)
+///       + CMP_effect · #cores
+///       + P_uncore + P_workload_independent
+/// ```
+///
+/// trained with the paper's four-step methodology:
+///
+/// 1. fit the per-component dynamic weights on the single-hardware-context (1 core,
+///    SMT1) micro-architecture-aware micro-benchmarks and calibrate the intercept on the
+///    1-1 random micro-benchmarks;
+/// 2. estimate the SMT effect as the intercept difference between SMT2/SMT4 and SMT1
+///    single-core runs;
+/// 3. apply the dynamic + SMT model to the random micro-benchmarks on every CMP/SMT
+///    configuration and regress the residuals on the number of enabled cores: the slope
+///    is the CMP effect, the intercept is the uncore (plus workload-independent) power;
+/// 4. combine the components into the final model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BottomUpModel {
+    dynamic: LinearRegression,
+    smt_effect: f64,
+    cmp_effect: f64,
+    uncore: f64,
+    workload_independent: f64,
+}
+
+impl BottomUpModel {
+    /// Trains the model on a labelled training set.
+    ///
+    /// `idle_power` is the separately measured workload-independent power (the paper
+    /// measures it with the machine idle); it is only used to split the fitted constant
+    /// term into "workload independent" and "uncore" for the breakdowns — predictions do
+    /// not depend on the split.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::MissingTrainingData`] when a methodology step has no
+    /// applicable samples, or a regression error if a fit fails.
+    pub fn train(training: &TrainingSet, idle_power: f64) -> Result<Self, ModelError> {
+        // ---- Step 1: single hardware context (1 core, SMT1) dynamic model ----
+        let single_ctx = training.filtered(SampleKind::MicroArch, |c| {
+            c.cores == 1 && c.smt == SmtMode::Smt1
+        });
+        if single_ctx.is_empty() {
+            return Err(ModelError::MissingTrainingData {
+                step: "step 1: 1-core SMT1 micro-architecture benchmarks".into(),
+            });
+        }
+        let xs: Vec<Vec<f64>> = single_ctx.iter().map(|s| s.activity.to_vec()).collect();
+        let ys: Vec<f64> = single_ctx.iter().map(|s| s.power).collect();
+        let mut dynamic = LinearRegression::fit_non_negative(&xs, &ys)?;
+
+        // Intercept calibration on the 1-1 random micro-benchmarks, which avoids
+        // under-estimating power when only particular units are stressed.
+        let random_11 =
+            training.filtered(SampleKind::Random, |c| c.cores == 1 && c.smt == SmtMode::Smt1);
+        let intercept_smt1 = if random_11.is_empty() {
+            dynamic.intercept()
+        } else {
+            mean(random_11.iter().map(|s| s.power - dynamic.predict_dynamic(&s.activity.to_vec())))
+        };
+        dynamic.set_intercept(intercept_smt1);
+
+        // ---- Step 2: the SMT effect ----
+        let smt_on_single_core: Vec<&WorkloadSample> = training
+            .filtered(SampleKind::MicroArch, |c| c.cores == 1 && c.smt.smt_enabled())
+            .into_iter()
+            .chain(training.filtered(SampleKind::Random, |c| c.cores == 1 && c.smt.smt_enabled()))
+            .collect();
+        if smt_on_single_core.is_empty() {
+            return Err(ModelError::MissingTrainingData {
+                step: "step 2: 1-core SMT2/SMT4 benchmarks".into(),
+            });
+        }
+        let intercept_smt24 = mean(
+            smt_on_single_core
+                .iter()
+                .map(|s| s.power - dynamic.predict_dynamic(&s.activity.to_vec())),
+        );
+        let smt_effect = (intercept_smt24 - intercept_smt1).max(0.0);
+
+        // ---- Step 3: the CMP effect and the uncore power ----
+        let random_all = training.of_kind(SampleKind::Random);
+        if random_all.is_empty() {
+            return Err(ModelError::MissingTrainingData {
+                step: "step 3: random benchmarks on all configurations".into(),
+            });
+        }
+        let residual_points: Vec<(f64, f64)> = random_all
+            .iter()
+            .map(|s| {
+                let dynamic_power = dynamic.predict_dynamic(&s.activity.to_vec());
+                let smt_power = if s.config.smt.smt_enabled() {
+                    smt_effect * f64::from(s.config.cores)
+                } else {
+                    0.0
+                };
+                (f64::from(s.config.cores), s.power - dynamic_power - smt_power)
+            })
+            .collect();
+        let xs: Vec<Vec<f64>> = residual_points.iter().map(|(c, _)| vec![*c]).collect();
+        let ys: Vec<f64> = residual_points.iter().map(|(_, r)| *r).collect();
+        let residual_fit = LinearRegression::fit(&xs, &ys)?;
+        let cmp_effect = residual_fit.coefficients()[0].max(0.0);
+        let constant = residual_fit.intercept();
+        let workload_independent = idle_power.min(constant).max(0.0);
+        let uncore = (constant - workload_independent).max(0.0);
+
+        Ok(Self { dynamic, smt_effect, cmp_effect, uncore, workload_independent })
+    }
+
+    /// The fitted per-component dynamic weights, in
+    /// [`ActivityVector::NAMES`](crate::activity::ActivityVector::NAMES) order.
+    pub fn dynamic_weights(&self) -> &[f64] {
+        self.dynamic.coefficients()
+    }
+
+    /// The fitted SMT effect (power per core with SMT enabled).
+    pub fn smt_effect(&self) -> f64 {
+        self.smt_effect
+    }
+
+    /// The fitted CMP effect (power per enabled core).
+    pub fn cmp_effect(&self) -> f64 {
+        self.cmp_effect
+    }
+
+    /// The fitted uncore power.
+    pub fn uncore(&self) -> f64 {
+        self.uncore
+    }
+
+    /// The workload-independent power used in breakdowns.
+    pub fn workload_independent(&self) -> f64 {
+        self.workload_independent
+    }
+
+    /// The full decomposed prediction for a sample.
+    pub fn decompose(&self, sample: &WorkloadSample) -> PowerBreakdownEstimate {
+        let dynamic = self.dynamic.predict_dynamic(&sample.activity.to_vec()).max(0.0);
+        let smt_effect = if sample.config.smt.smt_enabled() {
+            self.smt_effect * f64::from(sample.config.cores)
+        } else {
+            0.0
+        };
+        PowerBreakdownEstimate {
+            workload_independent: self.workload_independent,
+            uncore: self.uncore,
+            cmp_effect: self.cmp_effect * f64::from(sample.config.cores),
+            smt_effect,
+            dynamic,
+        }
+    }
+}
+
+impl PowerModel for BottomUpModel {
+    fn name(&self) -> &str {
+        "BU"
+    }
+
+    fn predict(&self, sample: &WorkloadSample) -> f64 {
+        self.decompose(sample).total()
+    }
+
+    fn breakdown(&self, sample: &WorkloadSample) -> Option<PowerBreakdownEstimate> {
+        Some(self.decompose(sample))
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let collected: Vec<f64> = values.collect();
+    if collected.is_empty() {
+        0.0
+    } else {
+        collected.iter().sum::<f64>() / collected.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::ActivityVector;
+    use mp_uarch::CmpSmtConfig;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Builds a synthetic training set from a known ground-truth power law so the test
+    /// can verify the methodology recovers the constants.
+    fn synthetic_training() -> (TrainingSet, f64) {
+        let idle = 100.0;
+        let uncore = 40.0;
+        let per_core = 10.0;
+        let smt = 2.0;
+        let weights = [3.0, 5.0, 2.0, 0.8, 2.5, 6.0, 14.0];
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut set = TrainingSet::new();
+        let push = |set: &mut TrainingSet, cores: u32, smt_mode: SmtMode, kind: SampleKind, rng: &mut SmallRng| {
+            let a = ActivityVector {
+                fxu: rng.gen_range(0.0..2.0),
+                vsu: rng.gen_range(0.0..2.0),
+                lsu: rng.gen_range(0.0..1.5),
+                l1: rng.gen_range(0.0..1.0),
+                l2: rng.gen_range(0.0..0.3),
+                l3: rng.gen_range(0.0..0.2),
+                mem: rng.gen_range(0.0..0.05),
+            };
+            let scale = f64::from(cores * smt_mode.threads_per_core()) / 2.0;
+            let a = ActivityVector {
+                fxu: a.fxu * scale,
+                vsu: a.vsu * scale,
+                lsu: a.lsu * scale,
+                l1: a.l1 * scale,
+                l2: a.l2 * scale,
+                l3: a.l3 * scale,
+                mem: a.mem * scale,
+            };
+            let dynamic: f64 = weights.iter().zip(a.to_vec()).map(|(w, x)| w * x).sum();
+            let power = idle
+                + uncore
+                + per_core * f64::from(cores)
+                + if smt_mode.smt_enabled() { smt * f64::from(cores) } else { 0.0 }
+                + dynamic;
+            set.push(
+                WorkloadSample {
+                    name: "syn".into(),
+                    config: CmpSmtConfig::new(cores, smt_mode),
+                    activity: a,
+                    power,
+                    ipc: 1.0,
+                },
+                kind,
+            );
+        };
+        for _ in 0..60 {
+            push(&mut set, 1, SmtMode::Smt1, SampleKind::MicroArch, &mut rng);
+        }
+        for _ in 0..20 {
+            push(&mut set, 1, SmtMode::Smt2, SampleKind::MicroArch, &mut rng);
+            push(&mut set, 1, SmtMode::Smt4, SampleKind::MicroArch, &mut rng);
+        }
+        for cores in 1..=8 {
+            for smt_mode in SmtMode::ALL {
+                for _ in 0..4 {
+                    push(&mut set, cores, smt_mode, SampleKind::Random, &mut rng);
+                }
+            }
+        }
+        (set, idle)
+    }
+
+    #[test]
+    fn methodology_recovers_ground_truth_constants() {
+        let (set, idle) = synthetic_training();
+        let model = BottomUpModel::train(&set, idle).expect("training succeeds");
+        assert!((model.cmp_effect() - 10.0).abs() < 1.5, "CMP effect {}", model.cmp_effect());
+        assert!((model.smt_effect() - 2.0).abs() < 1.5, "SMT effect {}", model.smt_effect());
+        assert!(
+            (model.workload_independent() + model.uncore() - 140.0).abs() < 5.0,
+            "constant term {}",
+            model.workload_independent() + model.uncore()
+        );
+        // Dynamic weights should be close to the synthetic ground truth.
+        let weights = model.dynamic_weights();
+        assert!((weights[0] - 3.0).abs() < 0.5);
+        assert!((weights[6] - 14.0).abs() < 3.0);
+    }
+
+    #[test]
+    fn predictions_are_accurate_on_held_out_configurations() {
+        let (set, idle) = synthetic_training();
+        let model = BottomUpModel::train(&set, idle).unwrap();
+        let mut worst: f64 = 0.0;
+        for sample in set.samples() {
+            let err = (model.predict(sample) - sample.power).abs() / sample.power;
+            worst = worst.max(err);
+        }
+        assert!(worst < 0.05, "worst relative error {worst}");
+    }
+
+    #[test]
+    fn breakdown_components_are_consistent_with_prediction() {
+        let (set, idle) = synthetic_training();
+        let model = BottomUpModel::train(&set, idle).unwrap();
+        let sample = set.samples().last().unwrap();
+        let breakdown = model.breakdown(sample).expect("bottom-up models decompose");
+        assert!((breakdown.total() - model.predict(sample)).abs() < 1e-9);
+        assert!(breakdown.dynamic > 0.0);
+        assert!(breakdown.workload_independent > 0.0);
+    }
+
+    #[test]
+    fn missing_training_data_is_reported() {
+        let set = TrainingSet::new();
+        let err = BottomUpModel::train(&set, 100.0).unwrap_err();
+        assert!(matches!(err, ModelError::MissingTrainingData { .. }));
+    }
+}

@@ -1,0 +1,85 @@
+//! Estimated per-component power breakdowns (the decomposability pay-off of the
+//! bottom-up methodology).
+
+/// The power components of the paper's Figures 5a and 8: workload-independent power,
+//  uncore power, the CMP effect, the SMT effect and the dynamic (activity-driven) power.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PowerBreakdownEstimate {
+    /// Power consumed even with no activity.
+    pub workload_independent: f64,
+    /// Constant uncore power while the chip is active.
+    pub uncore: f64,
+    /// CMP effect: per-enabled-core constant power.
+    pub cmp_effect: f64,
+    /// SMT effect: per-core power overhead of enabling SMT.
+    pub smt_effect: f64,
+    /// Counter-driven dynamic power of all hardware threads.
+    pub dynamic: f64,
+}
+
+impl PowerBreakdownEstimate {
+    /// Total predicted power.
+    pub fn total(&self) -> f64 {
+        self.workload_independent + self.uncore + self.cmp_effect + self.smt_effect + self.dynamic
+    }
+
+    /// Each component as a percentage of the total, in the order
+    /// (workload-independent, uncore, CMP, SMT, dynamic).
+    pub fn percentages(&self) -> [f64; 5] {
+        let total = self.total();
+        if total <= 0.0 {
+            return [0.0; 5];
+        }
+        [
+            100.0 * self.workload_independent / total,
+            100.0 * self.uncore / total,
+            100.0 * self.cmp_effect / total,
+            100.0 * self.smt_effect / total,
+            100.0 * self.dynamic / total,
+        ]
+    }
+
+    /// Share of the total that does not depend on activity counters (the components the
+    /// paper tracks across configurations in Figure 8: workload independent + uncore).
+    pub fn static_share(&self) -> f64 {
+        let total = self.total();
+        if total <= 0.0 {
+            0.0
+        } else {
+            (self.workload_independent + self.uncore) / total
+        }
+    }
+
+    /// Component names matching [`percentages`](Self::percentages).
+    pub const COMPONENT_NAMES: [&'static str; 5] =
+        ["Workload_Independent", "Uncore", "CMP_effect", "SMT_effect", "Dynamic"];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_percentages() {
+        let b = PowerBreakdownEstimate {
+            workload_independent: 60.0,
+            uncore: 20.0,
+            cmp_effect: 10.0,
+            smt_effect: 2.0,
+            dynamic: 8.0,
+        };
+        assert!((b.total() - 100.0).abs() < 1e-12);
+        let pct = b.percentages();
+        assert!((pct[0] - 60.0).abs() < 1e-12);
+        assert!((pct.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+        assert!((b.static_share() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_breakdown_is_safe() {
+        let b = PowerBreakdownEstimate::default();
+        assert_eq!(b.total(), 0.0);
+        assert_eq!(b.percentages(), [0.0; 5]);
+        assert_eq!(b.static_share(), 0.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Counter-based processor power models (paper Section 4).
+//!
+//! Two families of models are implemented, both consuming only what real hardware
+//! exposes — performance counter rates and the chip power sensor:
+//!
+//! * [`BottomUpModel`] — the paper's contribution: a decomposable, CMP/SMT-aware
+//!   bottom-up model.  Per-component dynamic weights (FXU, VSU, LSU, L1, L2, L3, MEM)
+//!   are fitted on micro-architecture-aware training micro-benchmarks, the SMT effect and
+//!   the CMP effect are fitted as constants per enabled core, and the uncore/workload
+//!   independent terms complete the decomposition (Figure 4 of the paper).
+//! * [`TopDownModel`] — the baseline: a single multiple linear regression over the same
+//!   inputs, trained on whichever workload population is available (`TD_Micro`,
+//!   `TD_Random`, `TD_SPEC` in the paper's comparison).
+//!
+//! Model quality is reported as the percentage average absolute prediction error
+//! ([`validate::paae`]), the metric used throughout the paper's evaluation.
+
+pub mod activity;
+pub mod bottomup;
+pub mod breakdown;
+pub mod model;
+pub mod regression;
+pub mod topdown;
+pub mod validate;
+
+pub use activity::{ActivityVector, SampleKind, TrainingSet, WorkloadSample};
+pub use bottomup::BottomUpModel;
+pub use breakdown::PowerBreakdownEstimate;
+pub use model::{ModelError, PowerModel};
+pub use regression::{LinearRegression, RegressionError};
+pub use topdown::TopDownModel;
+pub use validate::{paae, per_config_paae, ConfigError};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn public_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<super::BottomUpModel>();
+        assert_send_sync::<super::TopDownModel>();
+        assert_send_sync::<super::WorkloadSample>();
+    }
+}

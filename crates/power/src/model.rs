@@ -1,0 +1,94 @@
+//! The common interface of counter-based power models.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::activity::WorkloadSample;
+use crate::breakdown::PowerBreakdownEstimate;
+
+/// Errors raised while training a power model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// The training set lacks the samples a methodology step needs.
+    MissingTrainingData {
+        /// Which step could not be performed.
+        step: String,
+    },
+    /// The underlying regression failed.
+    Regression(crate::regression::RegressionError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::MissingTrainingData { step } => {
+                write!(f, "missing training data for step: {step}")
+            }
+            ModelError::Regression(e) => write!(f, "regression failed: {e}"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+impl From<crate::regression::RegressionError> for ModelError {
+    fn from(e: crate::regression::RegressionError) -> Self {
+        ModelError::Regression(e)
+    }
+}
+
+/// A trained counter-based power model.
+pub trait PowerModel: Send + Sync {
+    /// Short model name used in result tables (`"BU"`, `"TD_Micro"`, ...).
+    fn name(&self) -> &str;
+
+    /// Predicts the average chip power of a workload sample.
+    fn predict(&self, sample: &WorkloadSample) -> f64;
+
+    /// Predicts the per-component power breakdown, if the model is decomposable.
+    ///
+    /// Top-down models return `None` — the paper's point is precisely that they cannot
+    /// provide this insight.
+    fn breakdown(&self, sample: &WorkloadSample) -> Option<PowerBreakdownEstimate> {
+        let _ = sample;
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Flat;
+
+    impl PowerModel for Flat {
+        fn name(&self) -> &str {
+            "flat"
+        }
+        fn predict(&self, _sample: &WorkloadSample) -> f64 {
+            42.0
+        }
+    }
+
+    #[test]
+    fn default_breakdown_is_none() {
+        use crate::activity::ActivityVector;
+        use mp_uarch::{CmpSmtConfig, SmtMode};
+        let sample = WorkloadSample {
+            name: "x".into(),
+            config: CmpSmtConfig::new(1, SmtMode::Smt1),
+            activity: ActivityVector::default(),
+            power: 1.0,
+            ipc: 0.0,
+        };
+        let model = Flat;
+        assert_eq!(model.predict(&sample), 42.0);
+        assert!(model.breakdown(&sample).is_none());
+    }
+
+    #[test]
+    fn model_error_display() {
+        let e = ModelError::MissingTrainingData { step: "SMT effect".into() };
+        assert!(e.to_string().contains("SMT effect"));
+    }
+}

@@ -1,0 +1,261 @@
+//! Ordinary least squares multiple linear regression (implemented in-repo; no external
+//! linear algebra dependency).
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the regression fitting routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegressionError {
+    /// No observations were provided.
+    Empty,
+    /// Observations disagree on the number of features.
+    InconsistentWidth,
+    /// The normal equations are singular and could not be solved.
+    Singular,
+}
+
+impl fmt::Display for RegressionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegressionError::Empty => write!(f, "no observations provided"),
+            RegressionError::InconsistentWidth => write!(f, "observations have differing feature counts"),
+            RegressionError::Singular => write!(f, "normal equations are singular"),
+        }
+    }
+}
+
+impl Error for RegressionError {}
+
+/// A fitted linear model `y = intercept + coefficients · x`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearRegression {
+    coefficients: Vec<f64>,
+    intercept: f64,
+}
+
+impl LinearRegression {
+    /// Fits an ordinary least squares model with an intercept.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegressionError`] if the input is empty, ragged, or the system cannot be
+    /// solved even after the tiny ridge regularisation applied for numerical stability.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64]) -> Result<Self, RegressionError> {
+        if xs.is_empty() || ys.is_empty() || xs.len() != ys.len() {
+            return Err(RegressionError::Empty);
+        }
+        let width = xs[0].len();
+        if xs.iter().any(|x| x.len() != width) {
+            return Err(RegressionError::InconsistentWidth);
+        }
+        // Augment with the intercept column and solve the normal equations.
+        let dim = width + 1;
+        let mut xtx = vec![vec![0.0f64; dim]; dim];
+        let mut xty = vec![0.0f64; dim];
+        for (x, &y) in xs.iter().zip(ys) {
+            let row: Vec<f64> = std::iter::once(1.0).chain(x.iter().copied()).collect();
+            for i in 0..dim {
+                xty[i] += row[i] * y;
+                for j in 0..dim {
+                    xtx[i][j] += row[i] * row[j];
+                }
+            }
+        }
+        // A tiny ridge term keeps collinear training sets (e.g. all-zero memory activity)
+        // solvable without materially changing the fit.
+        for (i, row) in xtx.iter_mut().enumerate() {
+            row[i] += 1e-9;
+        }
+        let solution = solve(xtx, xty).ok_or(RegressionError::Singular)?;
+        Ok(Self { intercept: solution[0], coefficients: solution[1..].to_vec() })
+    }
+
+    /// Fits a model whose feature coefficients are constrained to be non-negative.
+    ///
+    /// Power component weights are physically non-negative; the constraint is enforced by
+    /// iteratively dropping features whose unconstrained estimate turns negative and
+    /// refitting (a simple active-set scheme).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`LinearRegression::fit`].
+    pub fn fit_non_negative(xs: &[Vec<f64>], ys: &[f64]) -> Result<Self, RegressionError> {
+        if xs.is_empty() {
+            return Err(RegressionError::Empty);
+        }
+        let width = xs[0].len();
+        let mut active: Vec<usize> = (0..width).collect();
+        loop {
+            let reduced: Vec<Vec<f64>> =
+                xs.iter().map(|x| active.iter().map(|&i| x[i]).collect()).collect();
+            let model = Self::fit(&reduced, ys)?;
+            let negative: Vec<usize> = model
+                .coefficients
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| **c < 0.0)
+                .map(|(i, _)| i)
+                .collect();
+            if negative.is_empty() || active.is_empty() {
+                let mut coefficients = vec![0.0; width];
+                for (slot, &feature) in active.iter().enumerate() {
+                    coefficients[feature] = model.coefficients[slot];
+                }
+                return Ok(Self { coefficients, intercept: model.intercept });
+            }
+            // Drop the offending features (most negative first) and refit.
+            for idx in negative.into_iter().rev() {
+                active.remove(idx);
+            }
+            if active.is_empty() {
+                let intercept = ys.iter().sum::<f64>() / ys.len() as f64;
+                return Ok(Self { coefficients: vec![0.0; width], intercept });
+            }
+        }
+    }
+
+    /// The fitted feature coefficients.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// The fitted intercept.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// Replaces the intercept (used by the bottom-up methodology's calibration step).
+    pub fn set_intercept(&mut self, intercept: f64) {
+        self.intercept = intercept;
+    }
+
+    /// Predicts `y` for a feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature count differs from the fitted width.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.coefficients.len(), "feature width mismatch");
+        self.intercept + self.coefficients.iter().zip(x).map(|(c, v)| c * v).sum::<f64>()
+    }
+
+    /// The dynamic (feature-driven) part of the prediction, excluding the intercept.
+    pub fn predict_dynamic(&self, x: &[f64]) -> f64 {
+        self.predict(x) - self.intercept
+    }
+
+    /// Coefficient of determination on a data set.
+    pub fn r_squared(&self, xs: &[Vec<f64>], ys: &[f64]) -> f64 {
+        let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        let ss_tot: f64 = ys.iter().map(|y| (y - mean).powi(2)).sum();
+        let ss_res: f64 =
+            xs.iter().zip(ys).map(|(x, y)| (y - self.predict(x)).powi(2)).sum();
+        if ss_tot == 0.0 {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        }
+    }
+}
+
+/// Solves a dense symmetric linear system with Gaussian elimination and partial pivoting.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite")
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..n {
+            let factor = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut sum = b[row];
+        for col in row + 1..n {
+            sum -= a[row][col] * x[col];
+        }
+        x[row] = sum / a[row][row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn recovers_known_coefficients() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let xs: Vec<Vec<f64>> =
+            (0..200).map(|_| vec![rng.gen_range(0.0..4.0), rng.gen_range(0.0..2.0)]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 5.0 + 2.5 * x[0] + 0.75 * x[1]).collect();
+        let model = LinearRegression::fit(&xs, &ys).unwrap();
+        assert!((model.intercept() - 5.0).abs() < 1e-6);
+        assert!((model.coefficients()[0] - 2.5).abs() < 1e-6);
+        assert!((model.coefficients()[1] - 0.75).abs() < 1e-6);
+        assert!(model.r_squared(&xs, &ys) > 0.999);
+    }
+
+    #[test]
+    fn handles_noise_gracefully() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let xs: Vec<Vec<f64>> = (0..500).map(|_| vec![rng.gen_range(0.0..1.0)]).collect();
+        let ys: Vec<f64> =
+            xs.iter().map(|x| 1.0 + 3.0 * x[0] + rng.gen_range(-0.05..0.05)).collect();
+        let model = LinearRegression::fit(&xs, &ys).unwrap();
+        assert!((model.coefficients()[0] - 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn non_negative_fit_clamps_spurious_features() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        // y depends only on x0; x1 is pure noise that an unconstrained fit may weight
+        // negatively.
+        let xs: Vec<Vec<f64>> =
+            (0..100).map(|_| vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0] + 0.001 * rng.gen_range(-1.0..1.0)).collect();
+        let model = LinearRegression::fit_non_negative(&xs, &ys).unwrap();
+        assert!(model.coefficients().iter().all(|c| *c >= 0.0));
+        assert!((model.coefficients()[0] - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn empty_and_ragged_inputs_are_errors() {
+        assert_eq!(LinearRegression::fit(&[], &[]), Err(RegressionError::Empty));
+        let ragged = vec![vec![1.0], vec![1.0, 2.0]];
+        assert_eq!(
+            LinearRegression::fit(&ragged, &[1.0, 2.0]),
+            Err(RegressionError::InconsistentWidth)
+        );
+    }
+
+    #[test]
+    fn intercept_can_be_recalibrated() {
+        let xs = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let ys = vec![3.0, 5.0, 7.0];
+        let mut model = LinearRegression::fit(&xs, &ys).unwrap();
+        model.set_intercept(10.0);
+        assert!((model.predict(&[1.0]) - 12.0).abs() < 1e-9);
+        assert!((model.predict_dynamic(&[1.0]) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature width mismatch")]
+    fn predict_rejects_wrong_width() {
+        let model = LinearRegression::fit(&[vec![1.0], vec![2.0]], &[1.0, 2.0]).unwrap();
+        let _ = model.predict(&[1.0, 2.0]);
+    }
+}

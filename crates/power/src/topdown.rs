@@ -1,0 +1,121 @@
+//! Top-down (single multiple linear regression) baseline models.
+
+use crate::activity::WorkloadSample;
+use crate::model::{ModelError, PowerModel};
+use crate::regression::LinearRegression;
+
+/// A top-down counter-based power model: one multiple linear regression over the unit
+/// activity rates plus the number of enabled cores and the SMT-enabled flag.
+///
+/// These models are cheap to build (no special training workloads required) and serve as
+/// the comparison baselines of the paper's Figure 6/7: `TD_Micro` (trained on the
+/// micro-architecture-aware benchmarks), `TD_Random` (random benchmarks) and `TD_SPEC`
+/// (trained on the validation suite itself — the optimistic bound).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopDownModel {
+    name: String,
+    regression: LinearRegression,
+}
+
+impl TopDownModel {
+    /// Trains a top-down model on any collection of samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if the sample set is empty or the regression fails.
+    pub fn train<'a>(
+        name: impl Into<String>,
+        samples: impl IntoIterator<Item = &'a WorkloadSample>,
+    ) -> Result<Self, ModelError> {
+        let samples: Vec<&WorkloadSample> = samples.into_iter().collect();
+        if samples.is_empty() {
+            return Err(ModelError::MissingTrainingData { step: "top-down training set".into() });
+        }
+        let xs: Vec<Vec<f64>> = samples.iter().map(|s| s.topdown_features()).collect();
+        let ys: Vec<f64> = samples.iter().map(|s| s.power).collect();
+        let regression = LinearRegression::fit(&xs, &ys)?;
+        Ok(Self { name: name.into(), regression })
+    }
+
+    /// The underlying regression (coefficients over activity rates, #cores, SMT flag).
+    pub fn regression(&self) -> &LinearRegression {
+        &self.regression
+    }
+}
+
+impl PowerModel for TopDownModel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn predict(&self, sample: &WorkloadSample) -> f64 {
+        self.regression.predict(&sample.topdown_features())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::ActivityVector;
+    use mp_uarch::{CmpSmtConfig, SmtMode};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn samples(n: usize, seed: u64) -> Vec<WorkloadSample> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let cores = 1 + (i as u32 % 8);
+                let smt = SmtMode::ALL[i % 3];
+                let a = ActivityVector {
+                    fxu: rng.gen_range(0.0..4.0),
+                    vsu: rng.gen_range(0.0..3.0),
+                    lsu: rng.gen_range(0.0..3.0),
+                    l1: rng.gen_range(0.0..2.0),
+                    l2: rng.gen_range(0.0..0.5),
+                    l3: rng.gen_range(0.0..0.2),
+                    mem: rng.gen_range(0.0..0.1),
+                };
+                let power = 140.0
+                    + 10.0 * f64::from(cores)
+                    + if smt.smt_enabled() { 2.0 * f64::from(cores) } else { 0.0 }
+                    + 3.0 * a.fxu
+                    + 5.0 * a.vsu
+                    + 2.0 * a.lsu
+                    + 12.0 * a.mem;
+                WorkloadSample {
+                    name: format!("s{i}"),
+                    config: CmpSmtConfig::new(cores, smt),
+                    activity: a,
+                    power,
+                    ipc: a.fxu + a.vsu + a.lsu,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fits_and_predicts_a_linear_power_law() {
+        let train = samples(300, 5);
+        let model = TopDownModel::train("TD_Test", train.iter()).unwrap();
+        let test = samples(50, 6);
+        for s in &test {
+            let rel = (model.predict(s) - s.power).abs() / s.power;
+            assert!(rel < 0.03, "relative error {rel}");
+        }
+        assert_eq!(model.name(), "TD_Test");
+    }
+
+    #[test]
+    fn topdown_models_do_not_decompose() {
+        let train = samples(50, 7);
+        let model = TopDownModel::train("TD", train.iter()).unwrap();
+        assert!(model.breakdown(&train[0]).is_none());
+    }
+
+    #[test]
+    fn empty_training_set_is_an_error() {
+        let err = TopDownModel::train("TD", std::iter::empty()).unwrap_err();
+        assert!(matches!(err, ModelError::MissingTrainingData { .. }));
+    }
+}

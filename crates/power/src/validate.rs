@@ -1,0 +1,136 @@
+//! Model validation metrics: the percentage average absolute prediction error (PAAE).
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use mp_uarch::CmpSmtConfig;
+
+use crate::activity::WorkloadSample;
+use crate::model::PowerModel;
+
+/// Error raised when a validation set is empty.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError;
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "validation requires at least one sample")
+    }
+}
+
+impl Error for ConfigError {}
+
+/// Percentage average absolute prediction error over a sample set:
+/// `mean(|predicted - measured| / measured) × 100`.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if `samples` is empty.
+pub fn paae<'a, M: PowerModel + ?Sized>(
+    model: &M,
+    samples: impl IntoIterator<Item = &'a WorkloadSample>,
+) -> Result<f64, ConfigError> {
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for sample in samples {
+        let error = (model.predict(sample) - sample.power).abs() / sample.power;
+        total += error;
+        count += 1;
+    }
+    if count == 0 {
+        return Err(ConfigError);
+    }
+    Ok(100.0 * total / count as f64)
+}
+
+/// PAAE per CMP-SMT configuration (the per-column series of the paper's Figures 5b and
+/// 6), plus the mean over configurations.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if `samples` is empty.
+pub fn per_config_paae<'a, M: PowerModel + ?Sized>(
+    model: &M,
+    samples: impl IntoIterator<Item = &'a WorkloadSample>,
+) -> Result<(BTreeMap<CmpSmtConfig, f64>, f64), ConfigError> {
+    let mut grouped: BTreeMap<CmpSmtConfig, Vec<&WorkloadSample>> = BTreeMap::new();
+    for sample in samples {
+        grouped.entry(sample.config).or_default().push(sample);
+    }
+    if grouped.is_empty() {
+        return Err(ConfigError);
+    }
+    let mut per_config = BTreeMap::new();
+    for (config, group) in grouped {
+        let value = paae(model, group.into_iter())?;
+        per_config.insert(config, value);
+    }
+    let mean = per_config.values().sum::<f64>() / per_config.len() as f64;
+    Ok((per_config, mean))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::ActivityVector;
+    use mp_uarch::SmtMode;
+
+    struct Constant(f64);
+
+    impl PowerModel for Constant {
+        fn name(&self) -> &str {
+            "const"
+        }
+        fn predict(&self, _sample: &WorkloadSample) -> f64 {
+            self.0
+        }
+    }
+
+    fn sample(cores: u32, power: f64) -> WorkloadSample {
+        WorkloadSample {
+            name: "s".into(),
+            config: CmpSmtConfig::new(cores, SmtMode::Smt1),
+            activity: ActivityVector::default(),
+            power,
+            ipc: 0.0,
+        }
+    }
+
+    #[test]
+    fn paae_is_mean_relative_error_in_percent() {
+        let samples = vec![sample(1, 100.0), sample(1, 200.0)];
+        // Predictions of 110 and 180 give errors of 10% and 10%.
+        struct TwoPoint;
+        impl PowerModel for TwoPoint {
+            fn name(&self) -> &str {
+                "two"
+            }
+            fn predict(&self, s: &WorkloadSample) -> f64 {
+                if s.power < 150.0 {
+                    110.0
+                } else {
+                    180.0
+                }
+            }
+        }
+        let value = paae(&TwoPoint, samples.iter()).unwrap();
+        assert!((value - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_config_groups_and_averages() {
+        let samples = vec![sample(1, 100.0), sample(2, 100.0), sample(2, 50.0)];
+        let (per_config, mean) = per_config_paae(&Constant(100.0), samples.iter()).unwrap();
+        assert_eq!(per_config.len(), 2);
+        assert!((per_config[&CmpSmtConfig::new(1, SmtMode::Smt1)] - 0.0).abs() < 1e-9);
+        assert!((per_config[&CmpSmtConfig::new(2, SmtMode::Smt1)] - 50.0).abs() < 1e-9);
+        assert!((mean - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_sets_are_errors() {
+        assert_eq!(paae(&Constant(1.0), std::iter::empty()), Err(ConfigError));
+        assert!(per_config_paae(&Constant(1.0), std::iter::empty()).is_err());
+    }
+}

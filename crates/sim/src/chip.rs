@@ -1,0 +1,400 @@
+//! The chip-level simulator: cores + uncore + power sensor sampling.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use mp_uarch::{CmpSmtConfig, MicroArchitecture};
+
+use crate::core::CoreSim;
+use crate::energy::{EnergyBreakdown, EnergyParams};
+use crate::kernel::Kernel;
+use crate::measurement::{Measurement, PowerTrace};
+
+/// Options controlling a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOptions {
+    /// Cycles simulated before the measurement window (caches and pipes warm up).
+    pub warmup_cycles: u64,
+    /// Cycles in the measurement window.
+    pub measure_cycles: u64,
+    /// Cycles aggregated into one power sensor sample (the "1 ms" of the paper's TPMD,
+    /// scaled down to simulation time).
+    pub sample_cycles: u64,
+    /// Relative 1-sigma noise added to each power sample by the sensor.
+    pub noise_fraction: f64,
+    /// Whether the hardware next-line prefetcher is enabled.
+    pub prefetch_enabled: bool,
+    /// Seed for all pseudo-random behaviour (sensor noise, branch outcomes).
+    pub seed: u64,
+}
+
+impl SimOptions {
+    /// Fast options for the large experiment sweeps (shorter measurement window).
+    pub fn fast() -> Self {
+        Self { warmup_cycles: 2_000, measure_cycles: 6_000, ..Self::default() }
+    }
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        Self {
+            warmup_cycles: 4_000,
+            measure_cycles: 12_000,
+            sample_cycles: 1_000,
+            noise_fraction: 0.0025,
+            prefetch_enabled: true,
+            seed: 0x0b5e_55ed,
+        }
+    }
+}
+
+/// The simulated CMP/SMT chip: the measurement platform of the reproduction.
+///
+/// # Examples
+///
+/// ```
+/// use mp_sim::{ChipSim, Kernel};
+/// use mp_uarch::{power7, CmpSmtConfig, SmtMode};
+/// use mp_isa::{Instruction, Operand, RegRef};
+///
+/// let uarch = power7();
+/// let (add, _) = uarch.isa.get("add").expect("add is defined");
+/// let inst = Instruction::new(
+///     &uarch.isa,
+///     add,
+///     vec![
+///         Operand::Reg(RegRef::gpr(1)),
+///         Operand::Reg(RegRef::gpr(2)),
+///         Operand::Reg(RegRef::gpr(3)),
+///     ],
+///     None,
+/// ).expect("valid operands");
+/// let kernel = Kernel::new("adds", vec![inst; 64]);
+///
+/// let sim = ChipSim::new(uarch);
+/// let m = sim.run(&kernel, CmpSmtConfig::new(1, SmtMode::Smt1));
+/// assert!(m.average_power() > 0.0);
+/// assert!(m.chip_ipc() > 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChipSim {
+    uarch: MicroArchitecture,
+    params: EnergyParams,
+    options: SimOptions,
+}
+
+impl ChipSim {
+    /// Creates a simulator for a machine description with default energy parameters and
+    /// run options.
+    pub fn new(uarch: MicroArchitecture) -> Self {
+        Self { uarch, params: EnergyParams::power7(), options: SimOptions::default() }
+    }
+
+    /// Replaces the run options.
+    pub fn with_options(mut self, options: SimOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Replaces the ground-truth energy parameters (used by ablation experiments).
+    pub fn with_energy_params(mut self, params: EnergyParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// The machine description being simulated.
+    pub fn uarch(&self) -> &MicroArchitecture {
+        &self.uarch
+    }
+
+    /// The run options.
+    pub fn options(&self) -> &SimOptions {
+        &self.options
+    }
+
+    /// Runs `kernel` with one copy pinned to every hardware thread context of `config`,
+    /// the deployment methodology of the paper (Section 3).
+    pub fn run(&self, kernel: &Kernel, config: CmpSmtConfig) -> Measurement {
+        let kernels: Vec<Kernel> = vec![kernel.clone(); config.threads() as usize];
+        self.run_heterogeneous(&kernels, config)
+    }
+
+    /// Runs one (possibly different) kernel per hardware thread context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of kernels does not match `config.threads()`, or if the
+    /// configuration exceeds the chip's core count.
+    pub fn run_heterogeneous(&self, kernels: &[Kernel], config: CmpSmtConfig) -> Measurement {
+        assert!(
+            config.cores <= self.uarch.max_cores,
+            "configuration {config} exceeds the chip's {} cores",
+            self.uarch.max_cores
+        );
+        assert_eq!(
+            kernels.len(),
+            config.threads() as usize,
+            "one kernel per hardware thread context is required"
+        );
+
+        let tpc = config.smt.threads_per_core() as usize;
+        let mut cores: Vec<CoreSim> = kernels
+            .chunks(tpc)
+            .enumerate()
+            .map(|(core_idx, chunk)| {
+                CoreSim::new(
+                    &self.uarch,
+                    chunk.to_vec(),
+                    self.options.prefetch_enabled,
+                    self.options.seed ^ (core_idx as u64) << 32,
+                )
+            })
+            .collect();
+
+        let mut breakdown = EnergyBreakdown::default();
+        // Warm-up: caches fill, pipes reach steady state; energy is discarded.
+        for now in 0..self.options.warmup_cycles {
+            for core in &mut cores {
+                core.step(now, &self.uarch, &self.params, &mut breakdown);
+            }
+        }
+        for core in &mut cores {
+            core.reset_counters();
+        }
+        breakdown = EnergyBreakdown::default();
+
+        // Measurement window with power sensor sampling.
+        let mut rng = SmallRng::seed_from_u64(self.options.seed ^ 0x7e1e_5c0e);
+        let mut samples = Vec::new();
+        let mut window_start_energy = 0.0;
+        let start = self.options.warmup_cycles;
+        let end = start + self.options.measure_cycles;
+        for now in start..end {
+            for core in &mut cores {
+                core.step(now, &self.uarch, &self.params, &mut breakdown);
+            }
+            self.accrue_static(&mut breakdown, config);
+
+            let elapsed = now - start + 1;
+            if elapsed % self.options.sample_cycles == 0 || now + 1 == end {
+                let window_cycles = if elapsed % self.options.sample_cycles == 0 {
+                    self.options.sample_cycles
+                } else {
+                    elapsed % self.options.sample_cycles
+                };
+                let energy_now = breakdown.total();
+                let window_energy = energy_now - window_start_energy;
+                window_start_energy = energy_now;
+                let clean = window_energy / window_cycles as f64;
+                samples.push(self.add_noise(clean, &mut rng));
+            }
+        }
+
+        let cycles = self.options.measure_cycles;
+        let per_thread: Vec<_> =
+            cores.iter().flat_map(|c| c.counters(cycles)).collect();
+        let trace = PowerTrace::new(samples, self.options.sample_cycles);
+        let avg_power = self.add_noise(breakdown.total() / cycles as f64, &mut rng);
+        Measurement::new(config, cycles, per_thread, avg_power, trace, breakdown.to_power(cycles))
+    }
+
+    /// Measures the workload-independent power: the sensor reading with no activity on
+    /// the chip (all cores clock-gated).
+    pub fn measure_idle(&self) -> f64 {
+        let mut rng = SmallRng::seed_from_u64(self.options.seed ^ 0x1d1e);
+        self.add_noise(self.params.idle_power, &mut rng)
+    }
+
+    /// Adds the static (non-instruction-driven) energy of one cycle.
+    fn accrue_static(&self, breakdown: &mut EnergyBreakdown, config: CmpSmtConfig) {
+        breakdown.idle += self.params.idle_power;
+        breakdown.uncore += self.params.uncore_power;
+        breakdown.cmp += self.params.per_core_power * f64::from(config.cores);
+        if config.smt.smt_enabled() {
+            breakdown.smt += self.params.smt_power * f64::from(config.cores);
+        }
+    }
+
+    /// Applies the sensor's relative measurement noise.
+    fn add_noise(&self, value: f64, rng: &mut SmallRng) -> f64 {
+        if self.options.noise_fraction <= 0.0 {
+            return value;
+        }
+        // Sum of three uniforms approximates a Gaussian well enough for sensor noise.
+        let u: f64 = (0..3).map(|_| rng.gen_range(-1.0..1.0)).sum::<f64>() / 3.0;
+        value * (1.0 + u * self.options.noise_fraction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_isa::{Instruction, Operand, RegRef};
+    use mp_uarch::{power7, SmtMode};
+
+    fn kernel_of(uarch: &MicroArchitecture, mnemonic: &str, n: usize) -> Kernel {
+        let isa = &uarch.isa;
+        let (id, _) = isa.get(mnemonic).unwrap();
+        let insts: Vec<Instruction> = (0..n)
+            .map(|i| {
+                Instruction::new(
+                    isa,
+                    id,
+                    vec![
+                        Operand::Reg(RegRef::gpr((i % 8) as u16)),
+                        Operand::Reg(RegRef::gpr(10)),
+                        Operand::Reg(RegRef::gpr(11)),
+                    ],
+                    None,
+                )
+                .unwrap()
+            })
+            .collect();
+        Kernel::new(mnemonic, insts)
+    }
+
+    fn fast_sim() -> ChipSim {
+        ChipSim::new(power7()).with_options(SimOptions {
+            warmup_cycles: 1000,
+            measure_cycles: 3000,
+            sample_cycles: 500,
+            noise_fraction: 0.0,
+            prefetch_enabled: true,
+            seed: 1,
+        })
+    }
+
+    #[test]
+    fn power_increases_with_core_count() {
+        let sim = fast_sim();
+        let uarch = power7();
+        let k = kernel_of(&uarch, "add", 64);
+        let p1 = sim.run(&k, CmpSmtConfig::new(1, SmtMode::Smt1)).average_power();
+        let p4 = sim.run(&k, CmpSmtConfig::new(4, SmtMode::Smt1)).average_power();
+        let p8 = sim.run(&k, CmpSmtConfig::new(8, SmtMode::Smt1)).average_power();
+        assert!(p1 < p4 && p4 < p8, "power must grow with cores: {p1} {p4} {p8}");
+    }
+
+    #[test]
+    fn smt_enable_adds_power_for_same_activity() {
+        let sim = fast_sim();
+        let uarch = power7();
+        // A dependency-free FXU-bound kernel saturates 2 pipes regardless of SMT mode, so
+        // core activity is the same; the SMT overhead must still show up.
+        let k = kernel_of(&uarch, "subf", 64);
+        let smt1 = sim.run(&k, CmpSmtConfig::new(2, SmtMode::Smt1));
+        let smt2 = sim.run(&k, CmpSmtConfig::new(2, SmtMode::Smt2));
+        assert!(smt2.ground_truth().smt > 0.0);
+        assert!((smt1.ground_truth().smt - 0.0).abs() < 1e-12);
+        assert!(smt2.average_power() > smt1.average_power());
+    }
+
+    #[test]
+    fn idle_power_is_the_workload_independent_component() {
+        let sim = fast_sim();
+        let idle = sim.measure_idle();
+        assert!((idle - EnergyParams::power7().idle_power).abs() < 1.0);
+    }
+
+    #[test]
+    fn ground_truth_components_sum_to_average_power() {
+        let sim = fast_sim();
+        let uarch = power7();
+        let k = kernel_of(&uarch, "add", 64);
+        let m = sim.run(&k, CmpSmtConfig::new(2, SmtMode::Smt4));
+        let gt = m.ground_truth();
+        assert!((gt.total() - m.average_power()).abs() / m.average_power() < 0.01);
+    }
+
+    #[test]
+    fn trace_samples_cover_the_window() {
+        let sim = fast_sim();
+        let uarch = power7();
+        let k = kernel_of(&uarch, "add", 32);
+        let m = sim.run(&k, CmpSmtConfig::new(1, SmtMode::Smt1));
+        assert_eq!(m.trace().samples().len(), 6);
+        assert!(m.trace().average() > 0.0);
+        assert!(m.trace().max() >= m.trace().min());
+    }
+
+    #[test]
+    fn per_thread_counters_match_configuration() {
+        let sim = fast_sim();
+        let uarch = power7();
+        let k = kernel_of(&uarch, "add", 32);
+        let m = sim.run(&k, CmpSmtConfig::new(3, SmtMode::Smt2));
+        assert_eq!(m.per_thread().len(), 6);
+        assert_eq!(m.per_core().len(), 3);
+        for t in m.per_thread() {
+            assert!(t.instr_completed > 0, "every thread must make progress");
+        }
+    }
+
+    /// Builds a kernel of `n` copies of `mnemonic` with operands materialised from the
+    /// definition's operand slots (registers rotated to avoid dependence chains).
+    fn generic_kernel(uarch: &MicroArchitecture, mnemonic: &str, n: usize) -> Kernel {
+        use mp_isa::OperandKind;
+        let isa = &uarch.isa;
+        let (id, def) = isa.get(mnemonic).unwrap();
+        let insts: Vec<Instruction> = (0..n)
+            .map(|i| {
+                let ops: Vec<Operand> = def
+                    .operands()
+                    .iter()
+                    .enumerate()
+                    .map(|(slot, kind)| match *kind {
+                        OperandKind::Reg { file, access } => {
+                            let idx = if access.writes() {
+                                (i % 8) as u16
+                            } else {
+                                (10 + slot as u16) % file.count()
+                            };
+                            Operand::Reg(mp_isa::RegRef::new(file, idx))
+                        }
+                        OperandKind::Imm { .. } => Operand::Imm(1),
+                        OperandKind::Displacement { .. } => Operand::Displacement(0),
+                        OperandKind::BranchTarget { .. } => Operand::BranchTarget(0),
+                        OperandKind::CrField { .. } => Operand::CrField(0),
+                    })
+                    .collect();
+                Instruction::new(isa, id, ops, None).unwrap()
+            })
+            .collect();
+        Kernel::new(mnemonic, insts)
+    }
+
+    #[test]
+    fn higher_epi_instructions_draw_more_power_at_same_ipc() {
+        let sim = fast_sim();
+        let uarch = power7();
+        // Both are VSU FMA-class ops with identical throughput; xvnmsubmdp has a more
+        // complex datapath and must draw more power (the Table 3 observation).
+        let cheap = generic_kernel(&uarch, "xstsqrtdp", 64);
+        let costly = generic_kernel(&uarch, "xvnmsubmdp", 64);
+        let config = CmpSmtConfig::new(8, SmtMode::Smt1);
+        let m_cheap = sim.run(&cheap, config);
+        let m_costly = sim.run(&costly, config);
+        assert!((m_cheap.chip_ipc() - m_costly.chip_ipc()).abs() < 0.3);
+        assert!(m_costly.average_power() > m_cheap.average_power());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the chip")]
+    fn too_many_cores_is_rejected() {
+        let sim = fast_sim();
+        let uarch = power7();
+        let k = kernel_of(&uarch, "add", 8);
+        let _ = sim.run(&k, CmpSmtConfig::new(9, SmtMode::Smt1));
+    }
+
+    #[test]
+    fn deterministic_given_a_seed() {
+        let uarch = power7();
+        let k = kernel_of(&uarch, "add", 64);
+        let config = CmpSmtConfig::new(2, SmtMode::Smt2);
+        let a = fast_sim().run(&k, config);
+        let b = fast_sim().run(&k, config);
+        assert_eq!(a.chip_counters(), b.chip_counters());
+        assert!((a.average_power() - b.average_power()).abs() < 1e-12);
+    }
+}

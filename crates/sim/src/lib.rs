@@ -1,0 +1,47 @@
+//! Cycle-level CMP/SMT chip simulator — the hardware substitute for the paper's POWER7
+//! measurement platform.
+//!
+//! The paper measures a physical IBM POWER7 blade through its EnergyScale infrastructure
+//! (power sensors sampled at 1 ms) and its hardware performance counters.  This crate
+//! provides the equivalent *measurable machine*:
+//!
+//! * [`ChipSim`] executes one micro-benchmark kernel per hardware thread on a
+//!   configurable number of cores and SMT mode, modelling dispatch width, per-unit
+//!   execution pipes, instruction latencies and throughputs, register dependencies and a
+//!   functional set-associative cache hierarchy;
+//! * per-thread/per-core [`CounterValues`](mp_uarch::CounterValues) play the role of the
+//!   PMU;
+//! * a hidden ground-truth energy model ([`energy`]) accrues per-component energy
+//!   (per-instruction datapath energy with data- and order-dependent switching terms,
+//!   per-cache-level access energy, per-core clock power, SMT overhead, uncore and
+//!   workload-independent power) and a sampled [`PowerTrace`](measurement::PowerTrace)
+//!   plays the role of the TPMD power sensor.
+//!
+//! The modelling code in `mp-power` must only consume the counters and the sensor
+//! reading, exactly as on real hardware.  The per-component ground truth is exposed as
+//! [`Measurement::ground_truth`](measurement::Measurement::ground_truth) strictly for
+//! validation oracles in tests and experiment reports.
+
+pub mod cache_sim;
+pub mod chip;
+pub mod core;
+pub mod energy;
+pub mod kernel;
+pub mod measurement;
+
+pub use cache_sim::{AccessOutcome, CoreCaches, SetAssocCache};
+pub use chip::{ChipSim, SimOptions};
+pub use energy::{EnergyBreakdown, EnergyParams};
+pub use kernel::{DataProfile, Kernel};
+pub use measurement::{Measurement, PowerTrace};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn public_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<super::Kernel>();
+        assert_send_sync::<super::Measurement>();
+        assert_send_sync::<super::SimOptions>();
+    }
+}

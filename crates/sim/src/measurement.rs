@@ -1,0 +1,202 @@
+//! Measurement results: performance counter readings plus the power sensor trace.
+
+use mp_uarch::{CmpSmtConfig, CounterValues};
+
+use crate::energy::EnergyBreakdown;
+
+/// The power sensor trace of one run: one averaged power sample per sampling window,
+/// mirroring the 1 ms EnergyScale/TPMD sampling of the paper's platform.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PowerTrace {
+    samples: Vec<f64>,
+    cycles_per_sample: u64,
+}
+
+impl PowerTrace {
+    /// Creates a trace from raw samples.
+    pub fn new(samples: Vec<f64>, cycles_per_sample: u64) -> Self {
+        Self { samples, cycles_per_sample }
+    }
+
+    /// The individual power samples (normalized energy units per cycle).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Number of cycles aggregated into each sample.
+    pub fn cycles_per_sample(&self) -> u64 {
+        self.cycles_per_sample
+    }
+
+    /// Average power across the trace (0 if the trace is empty).
+    pub fn average(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Maximum sample (0 if the trace is empty).
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Minimum sample (0 if the trace is empty).
+    pub fn min(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+}
+
+/// The result of running a micro-benchmark (or a set of kernels) on the simulated chip.
+///
+/// This is what the paper's experimental infrastructure observes: per-thread performance
+/// counters and the chip power sensor.  The per-component [`ground_truth`] breakdown is
+/// additionally exposed as a validation oracle — modeling code must not use it.
+///
+/// [`ground_truth`]: Measurement::ground_truth
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    config: CmpSmtConfig,
+    cycles: u64,
+    per_thread: Vec<CounterValues>,
+    avg_power: f64,
+    trace: PowerTrace,
+    ground_truth: EnergyBreakdown,
+}
+
+impl Measurement {
+    /// Assembles a measurement (used by the simulator's runner).
+    pub fn new(
+        config: CmpSmtConfig,
+        cycles: u64,
+        per_thread: Vec<CounterValues>,
+        avg_power: f64,
+        trace: PowerTrace,
+        ground_truth: EnergyBreakdown,
+    ) -> Self {
+        assert_eq!(
+            per_thread.len(),
+            config.threads() as usize,
+            "one counter set per hardware thread context"
+        );
+        Self { config, cycles, per_thread, avg_power, trace, ground_truth }
+    }
+
+    /// The CMP-SMT configuration the run used.
+    pub fn config(&self) -> CmpSmtConfig {
+        self.config
+    }
+
+    /// Cycles in the measurement window.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Per-hardware-thread counter readings (core-major order).
+    pub fn per_thread(&self) -> &[CounterValues] {
+        &self.per_thread
+    }
+
+    /// Per-core aggregated counter readings.
+    pub fn per_core(&self) -> Vec<CounterValues> {
+        let tpc = self.config.smt.threads_per_core() as usize;
+        self.per_thread
+            .chunks(tpc)
+            .map(|chunk| chunk.iter().fold(CounterValues::default(), |acc, c| acc + *c))
+            .collect()
+    }
+
+    /// Chip-wide aggregated counters.  `cycles` stays per-run (not multiplied by the
+    /// thread count), so [`CounterValues::ipc`] on the result is the chip-wide IPC.
+    pub fn chip_counters(&self) -> CounterValues {
+        let mut total =
+            self.per_thread.iter().fold(CounterValues::default(), |acc, c| acc + *c);
+        total.cycles = self.cycles;
+        total
+    }
+
+    /// Chip-wide IPC (instructions completed per cycle summed over all threads).
+    pub fn chip_ipc(&self) -> f64 {
+        self.chip_counters().ipc()
+    }
+
+    /// Average core IPC (chip IPC divided by the number of enabled cores).
+    pub fn core_ipc(&self) -> f64 {
+        self.chip_ipc() / f64::from(self.config.cores)
+    }
+
+    /// Average power reported by the (noisy) sensor over the measurement window.
+    pub fn average_power(&self) -> f64 {
+        self.avg_power
+    }
+
+    /// The sampled power trace.
+    pub fn trace(&self) -> &PowerTrace {
+        &self.trace
+    }
+
+    /// The hidden per-component ground-truth power breakdown (energy units per cycle).
+    ///
+    /// This is strictly a validation oracle: the paper's methodology has no access to an
+    /// equivalent on real hardware, and the `mp-power` models must not consume it.
+    pub fn ground_truth(&self) -> &EnergyBreakdown {
+        &self.ground_truth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_uarch::SmtMode;
+
+    fn counters(instr: u64, cycles: u64) -> CounterValues {
+        CounterValues { instr_completed: instr, cycles, ..Default::default() }
+    }
+
+    #[test]
+    fn trace_statistics() {
+        let t = PowerTrace::new(vec![1.0, 3.0, 2.0], 100);
+        assert!((t.average() - 2.0).abs() < 1e-12);
+        assert!((t.max() - 3.0).abs() < 1e-12);
+        assert!((t.min() - 1.0).abs() < 1e-12);
+        assert_eq!(PowerTrace::default().average(), 0.0);
+    }
+
+    #[test]
+    fn aggregation_per_core_and_chip() {
+        let config = CmpSmtConfig::new(2, SmtMode::Smt2);
+        let m = Measurement::new(
+            config,
+            1000,
+            vec![counters(500, 1000), counters(700, 1000), counters(300, 1000), counters(500, 1000)],
+            150.0,
+            PowerTrace::default(),
+            EnergyBreakdown::default(),
+        );
+        let per_core = m.per_core();
+        assert_eq!(per_core.len(), 2);
+        assert_eq!(per_core[0].instr_completed, 1200);
+        assert_eq!(per_core[1].instr_completed, 800);
+        assert!((m.chip_ipc() - 2.0).abs() < 1e-12);
+        assert!((m.core_ipc() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one counter set per hardware thread")]
+    fn thread_count_mismatch_is_rejected() {
+        let config = CmpSmtConfig::new(2, SmtMode::Smt2);
+        let _ = Measurement::new(
+            config,
+            1000,
+            vec![counters(1, 1)],
+            1.0,
+            PowerTrace::default(),
+            EnergyBreakdown::default(),
+        );
+    }
+}

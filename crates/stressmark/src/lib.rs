@@ -1,0 +1,35 @@
+//! Max-power stressmark generation (paper Section 6).
+//!
+//! The case study searches for the sequence of 6 instructions that, replicated through a
+//! 4 K-instruction endless loop and executed on every hardware thread, maximises chip
+//! power.  Three candidate sets are compared, plus the conventional DAXPY kernels:
+//!
+//! * [`sets::expert_manual_set`] — a handful of hand-crafted orderings of the
+//!   instructions an expert would pick (`mullw`, `xvmaddadp`, `lxvd2x`);
+//! * [`sets::expert_dse_sequences`] — all 540 sequences of those three instructions that
+//!   use each at least once, enumerated by the integrated DSE support;
+//! * [`sets::microprobe_sequences`] — the same enumeration, but over instructions chosen
+//!   automatically by the IPC×EPI heuristic from the bootstrapped instruction taxonomy
+//!   (the paper's "MicroProbe" set — no expert knowledge required);
+//!
+//! [`search::StressmarkSearch`] evaluates candidate sequences on a
+//! [`Platform`](microprobe::platform::Platform) and [`report`] assembles the Figure 9
+//! normalised min/mean/max summary.
+
+pub mod report;
+pub mod search;
+pub mod sets;
+
+pub use report::{Figure9Report, Figure9Row};
+pub use search::{SequenceCandidate, StressmarkResult, StressmarkSearch};
+pub use sets::{expert_dse_sequences, expert_manual_set, microprobe_sequences, select_ipc_epi_instructions};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn public_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<super::StressmarkResult>();
+        assert_send_sync::<super::Figure9Report>();
+    }
+}

@@ -1,0 +1,121 @@
+//! The Figure 9 summary: per-set min/mean/max power, normalised to the SPEC maximum.
+
+use crate::search::StressmarkResult;
+
+/// One row (one candidate set) of Figure 9.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure9Row {
+    /// Set name ("DAXPY", "Expert manual", "Expert DSE", "MicroProbe").
+    pub set: String,
+    /// Minimum normalised power of the set.
+    pub min: f64,
+    /// Mean normalised power of the set.
+    pub mean: f64,
+    /// Maximum normalised power of the set.
+    pub max: f64,
+}
+
+/// The complete Figure 9 report.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Figure9Report {
+    rows: Vec<Figure9Row>,
+    spec_max_power: f64,
+}
+
+impl Figure9Report {
+    /// Creates a report normalised to the maximum power observed while running the SPEC
+    /// (proxy) suite — the paper's baseline of 1.0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec_max_power` is not positive.
+    pub fn new(spec_max_power: f64) -> Self {
+        assert!(spec_max_power > 0.0, "the normalisation baseline must be positive");
+        Self { rows: Vec::new(), spec_max_power }
+    }
+
+    /// The normalisation baseline (absolute units).
+    pub fn spec_max_power(&self) -> f64 {
+        self.spec_max_power
+    }
+
+    /// Adds a candidate set's results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `results` is empty.
+    pub fn add_set(&mut self, name: impl Into<String>, results: &[StressmarkResult]) {
+        assert!(!results.is_empty(), "a candidate set must contain at least one result");
+        let powers: Vec<f64> = results.iter().map(|r| r.power / self.spec_max_power).collect();
+        let min = powers.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = powers.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mean = powers.iter().sum::<f64>() / powers.len() as f64;
+        self.rows.push(Figure9Row { set: name.into(), min, mean, max });
+    }
+
+    /// The report rows in insertion order.
+    pub fn rows(&self) -> &[Figure9Row] {
+        &self.rows
+    }
+
+    /// The highest normalised power across all sets (the headline number of the paper:
+    /// 1.107 = 10.7% above the SPEC maximum).
+    pub fn best(&self) -> Option<&Figure9Row> {
+        self.rows.iter().max_by(|a, b| a.max.partial_cmp(&b.max).expect("powers are finite"))
+    }
+
+    /// Renders the report as an aligned text table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::from("set                 min     mean    max\n");
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:<18} {:>7.3} {:>7.3} {:>7.3}\n",
+                row.set, row.min, row.mean, row.max
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_uarch::SmtMode;
+
+    fn result(power: f64) -> StressmarkResult {
+        StressmarkResult {
+            sequence: vec!["mullw".into()],
+            power,
+            ipc: 1.0,
+            best_mode: SmtMode::Smt4,
+        }
+    }
+
+    #[test]
+    fn normalisation_and_statistics() {
+        let mut report = Figure9Report::new(200.0);
+        report.add_set("Expert manual", &[result(180.0), result(200.0), result(190.0)]);
+        report.add_set("MicroProbe", &[result(210.0), result(221.4)]);
+        let rows = report.rows();
+        assert!((rows[0].min - 0.9).abs() < 1e-9);
+        assert!((rows[0].max - 1.0).abs() < 1e-9);
+        assert!((rows[1].max - 1.107).abs() < 1e-9);
+        assert_eq!(report.best().unwrap().set, "MicroProbe");
+        let table = report.to_table();
+        assert!(table.contains("MicroProbe"));
+        assert!(table.contains("1.107"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one result")]
+    fn empty_sets_are_rejected() {
+        let mut report = Figure9Report::new(1.0);
+        report.add_set("empty", &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_baseline_is_rejected() {
+        let _ = Figure9Report::new(0.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Evaluation of candidate stressmark sequences on a measurement platform.
+
+use microprobe::dse::{ExhaustiveSearch, SearchResult};
+use microprobe::prelude::*;
+use mp_isa::OpcodeId;
+use mp_uarch::{CmpSmtConfig, SmtMode};
+
+/// A candidate: the 6-instruction sequence to replicate through the loop.
+pub type SequenceCandidate = Vec<OpcodeId>;
+
+/// The measured outcome of one candidate stressmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StressmarkResult {
+    /// Mnemonics of the candidate sequence, in order.
+    pub sequence: Vec<String>,
+    /// Maximum average chip power observed across the evaluated SMT modes.
+    pub power: f64,
+    /// Chip IPC at the most power-hungry SMT mode.
+    pub ipc: f64,
+    /// The SMT mode at which the maximum power was observed.
+    pub best_mode: SmtMode,
+}
+
+/// Builds candidate benchmarks from sequences and measures them on a platform.
+pub struct StressmarkSearch<'a, P: Platform> {
+    platform: &'a P,
+    loop_instructions: usize,
+    cores: u32,
+    smt_modes: Vec<SmtMode>,
+}
+
+impl<'a, P: Platform> StressmarkSearch<'a, P> {
+    /// Creates a search harness that evaluates candidates on all enabled cores of the
+    /// platform in the given SMT modes (the paper executes each set in the three
+    /// available SMT modes and reports the maximum).
+    pub fn new(platform: &'a P) -> Self {
+        let cores = platform.uarch().max_cores;
+        Self {
+            platform,
+            loop_instructions: 384,
+            cores,
+            smt_modes: vec![SmtMode::Smt1, SmtMode::Smt2, SmtMode::Smt4],
+        }
+    }
+
+    /// Sets the number of enabled cores the candidates are evaluated on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero or exceeds the platform's core count.
+    pub fn with_cores(mut self, cores: u32) -> Self {
+        assert!(cores >= 1 && cores <= self.platform.uarch().max_cores);
+        self.cores = cores;
+        self
+    }
+
+    /// Sets the loop body length of the generated candidates (the paper uses 4096; the
+    /// default here is smaller to keep simulated searches fast — the steady-state power
+    /// of a replicated 6-instruction pattern does not depend on the loop length).
+    pub fn with_loop_instructions(mut self, loop_instructions: usize) -> Self {
+        assert!(loop_instructions >= super::sets::SEQUENCE_LENGTH);
+        self.loop_instructions = loop_instructions;
+        self
+    }
+
+    /// Restricts the evaluated SMT modes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modes` is empty.
+    pub fn with_smt_modes(mut self, modes: Vec<SmtMode>) -> Self {
+        assert!(!modes.is_empty(), "at least one SMT mode is required");
+        self.smt_modes = modes;
+        self
+    }
+
+    /// Builds the micro-benchmark realising one candidate sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first pass failure.
+    pub fn build(&self, sequence: &[OpcodeId]) -> Result<MicroBenchmark, PassError> {
+        let arch = self.platform.uarch();
+        let mut synth = Synthesizer::new(arch.clone())
+            .with_seed(0x57e5)
+            .with_name_prefix("stressmark");
+        synth.add_pass(SkeletonPass::endless_loop(self.loop_instructions));
+        synth.add_pass(SequencePass::repeat(sequence.to_vec()));
+        // Max-power rationale: maximise IPC and unit usage, avoid stalls — L1-resident
+        // memory accesses and no artificial dependencies.
+        synth.add_pass(MemoryPass::new(HitDistribution::l1_only()));
+        synth.add_pass(InitRegistersPass::random());
+        synth.add_pass(DependencyDistancePass::none());
+        synth.synthesize()
+    }
+
+    /// Measures one candidate and returns its result.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first pass failure.
+    pub fn evaluate(&self, sequence: &[OpcodeId]) -> Result<StressmarkResult, PassError> {
+        let arch = self.platform.uarch();
+        let bench = self.build(sequence)?;
+        let mut best: Option<(f64, f64, SmtMode)> = None;
+        for &mode in &self.smt_modes {
+            let m = self.platform.run(&bench, CmpSmtConfig::new(self.cores, mode));
+            let power = m.average_power();
+            if best.map(|(p, _, _)| power > p).unwrap_or(true) {
+                best = Some((power, m.chip_ipc(), mode));
+            }
+        }
+        let (power, ipc, best_mode) = best.expect("at least one SMT mode is evaluated");
+        Ok(StressmarkResult {
+            sequence: sequence.iter().map(|op| arch.isa.def(*op).mnemonic().to_owned()).collect(),
+            power,
+            ipc,
+            best_mode,
+        })
+    }
+
+    /// Measures every candidate of a set and returns the results in input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first pass failure.
+    pub fn evaluate_set(
+        &self,
+        sequences: &[SequenceCandidate],
+    ) -> Result<Vec<StressmarkResult>, PassError> {
+        sequences.iter().map(|s| self.evaluate(s)).collect()
+    }
+
+    /// Runs an exhaustive DSE over a candidate set (optionally truncated to a budget)
+    /// and returns the best sequence found together with the search trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sequences` is empty.
+    pub fn exhaustive(
+        &self,
+        sequences: Vec<SequenceCandidate>,
+        budget: Option<usize>,
+    ) -> SearchResult<SequenceCandidate> {
+        let search = match budget {
+            Some(b) => ExhaustiveSearch::with_budget(b),
+            None => ExhaustiveSearch::new(),
+        };
+        let mut evaluator = |candidate: &SequenceCandidate| {
+            self.evaluate(candidate).map(|r| r.power).unwrap_or(0.0)
+        };
+        search.run(sequences, &mut evaluator)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sets;
+    use microprobe::platform::SimPlatform;
+
+    fn search(platform: &SimPlatform) -> StressmarkSearch<'_, SimPlatform> {
+        StressmarkSearch::new(platform)
+            .with_loop_instructions(48)
+            .with_smt_modes(vec![SmtMode::Smt1])
+    }
+
+    #[test]
+    fn candidate_benchmarks_replicate_the_sequence() {
+        let platform = SimPlatform::power7_fast();
+        let s = search(&platform);
+        let arch = platform.uarch();
+        let seq = sets::expert_manual_set(arch)[0].clone();
+        let bench = s.build(&seq).unwrap();
+        assert_eq!(bench.kernel().len(), 48);
+        for (i, inst) in bench.kernel().body().iter().enumerate() {
+            assert_eq!(inst.opcode(), seq[i % seq.len()]);
+        }
+    }
+
+    #[test]
+    fn evaluation_reports_power_and_mode() {
+        let platform = SimPlatform::power7_fast();
+        let s = search(&platform);
+        let arch = platform.uarch();
+        let seq = sets::expert_manual_set(arch)[0].clone();
+        let result = s.evaluate(&seq).unwrap();
+        assert!(result.power > platform.idle_power());
+        assert!(result.ipc > 0.0);
+        assert_eq!(result.sequence.len(), sets::SEQUENCE_LENGTH);
+        assert_eq!(result.best_mode, SmtMode::Smt1);
+    }
+
+    #[test]
+    fn exhaustive_search_finds_at_least_as_good_a_candidate_as_the_first() {
+        let platform = SimPlatform::power7_fast();
+        let s = search(&platform);
+        let arch = platform.uarch();
+        let candidates: Vec<_> = sets::expert_manual_set(arch);
+        let first_power = s.evaluate(&candidates[0]).unwrap().power;
+        let result = s.exhaustive(candidates, Some(5));
+        assert!(result.best_score >= first_power - 1e-9);
+        assert_eq!(result.evaluations, 5);
+    }
+}

@@ -1,0 +1,200 @@
+//! The candidate stressmark sets of Figure 9.
+
+use mp_isa::{OpcodeId, Unit};
+use mp_uarch::{InstrPropsTable, MicroArchitecture};
+
+/// The instruction mnemonics the paper's expert picks by hand: the widest-datapath,
+/// highest-throughput instruction of each of the FXU, VSU and LSU units.
+pub const EXPERT_INSTRUCTIONS: [&str; 3] = ["mullw", "xvmaddadp", "lxvd2x"];
+
+/// Length of the replicated sequence the search explores.
+pub const SEQUENCE_LENGTH: usize = 6;
+
+/// Resolves the expert instruction choices on an architecture.
+///
+/// # Panics
+///
+/// Panics if the ISA does not define the expert instructions (the built-in POWER7
+/// description always does).
+pub fn expert_instructions(arch: &MicroArchitecture) -> Vec<OpcodeId> {
+    EXPERT_INSTRUCTIONS
+        .iter()
+        .map(|m| arch.isa.opcode(m).expect("expert instructions are defined"))
+        .collect()
+}
+
+/// The hand-crafted "Expert manual" sequences: the orderings a stressmark developer with
+/// some knowledge of the micro-architecture would plausibly write down first.
+pub fn expert_manual_set(arch: &MicroArchitecture) -> Vec<Vec<OpcodeId>> {
+    let [mullw, fma, load] = {
+        let v = expert_instructions(arch);
+        [v[0], v[1], v[2]]
+    };
+    vec![
+        // Round-robin over the three units.
+        vec![mullw, fma, load, mullw, fma, load],
+        // Pairs per unit.
+        vec![mullw, mullw, fma, fma, load, load],
+        // FMA-heavy (the VSU has the widest datapath).
+        vec![fma, fma, fma, mullw, load, fma],
+        // Load-heavy to keep the LSU busy.
+        vec![load, fma, load, mullw, load, fma],
+        // Alternating compute/memory.
+        vec![fma, load, mullw, load, fma, load],
+    ]
+}
+
+/// All sequences of `SEQUENCE_LENGTH` drawn from `instructions` that use every
+/// instruction at least once.
+///
+/// With the paper's three expert instructions this yields exactly the 540 combinations
+/// mentioned in Section 6 (3^6 − 3·2^6 + 3 by inclusion–exclusion).
+pub fn sequences_using_all(instructions: &[OpcodeId]) -> Vec<Vec<OpcodeId>> {
+    let n = instructions.len();
+    assert!(n >= 1, "need at least one instruction");
+    let total = n.pow(SEQUENCE_LENGTH as u32);
+    let mut out = Vec::new();
+    for code in 0..total {
+        let mut remaining = code;
+        let mut seq = Vec::with_capacity(SEQUENCE_LENGTH);
+        let mut used = vec![false; n];
+        for _ in 0..SEQUENCE_LENGTH {
+            let pick = remaining % n;
+            remaining /= n;
+            used[pick] = true;
+            seq.push(instructions[pick]);
+        }
+        if used.iter().all(|u| *u) {
+            out.push(seq);
+        }
+    }
+    out
+}
+
+/// The "Expert DSE" candidate set: every combination of the expert-selected instructions.
+pub fn expert_dse_sequences(arch: &MicroArchitecture) -> Vec<Vec<OpcodeId>> {
+    sequences_using_all(&expert_instructions(arch))
+}
+
+/// Selects, for each of the FXU, LSU and VSU categories, the instruction with the
+/// highest IPC×EPI product from a bootstrapped instruction property table — the paper's
+/// heuristic for focusing the search on instructions that are both busy and expensive.
+///
+/// Returns `(unit, opcode, ipc*epi)` triples; instructions without bootstrap data are
+/// skipped.
+pub fn select_ipc_epi_instructions(
+    arch: &MicroArchitecture,
+    props: &InstrPropsTable,
+) -> Vec<(Unit, OpcodeId, f64)> {
+    let mut selected = Vec::new();
+    for unit in [Unit::Fxu, Unit::Lsu, Unit::Vsu] {
+        let mut best: Option<(OpcodeId, f64)> = None;
+        for (id, def) in arch.isa.entries() {
+            // Category membership follows the paper's Table 3 grouping: the instruction's
+            // issue class determines its primary functional unit.
+            let primary = match def.issue_class() {
+                mp_isa::IssueClass::Fxu | mp_isa::IssueClass::FxuOrLsu => Unit::Fxu,
+                mp_isa::IssueClass::Lsu => Unit::Lsu,
+                mp_isa::IssueClass::Vsu | mp_isa::IssueClass::Dfu => Unit::Vsu,
+                mp_isa::IssueClass::Bru => continue,
+            };
+            if primary != unit {
+                continue;
+            }
+            let Some(p) = props.get(def.mnemonic()) else { continue };
+            let Some(score) = p.ipc_epi_product() else { continue };
+            if best.map(|(_, s)| score > s).unwrap_or(true) {
+                best = Some((id, score));
+            }
+        }
+        if let Some((id, score)) = best {
+            selected.push((unit, id, score));
+        }
+    }
+    selected
+}
+
+/// The "MicroProbe" candidate set: sequences over the instructions selected automatically
+/// by [`select_ipc_epi_instructions`].
+pub fn microprobe_sequences(
+    arch: &MicroArchitecture,
+    props: &InstrPropsTable,
+) -> Vec<Vec<OpcodeId>> {
+    let selected: Vec<OpcodeId> =
+        select_ipc_epi_instructions(arch, props).into_iter().map(|(_, id, _)| id).collect();
+    if selected.is_empty() {
+        return Vec::new();
+    }
+    sequences_using_all(&selected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_uarch::{power7, InstrProps};
+
+    #[test]
+    fn expert_dse_has_exactly_540_sequences() {
+        let arch = power7();
+        let seqs = expert_dse_sequences(&arch);
+        assert_eq!(seqs.len(), 540);
+        // Every sequence uses each of the three instructions at least once.
+        let expert = expert_instructions(&arch);
+        for seq in &seqs {
+            assert_eq!(seq.len(), SEQUENCE_LENGTH);
+            for op in &expert {
+                assert!(seq.contains(op));
+            }
+        }
+    }
+
+    #[test]
+    fn expert_manual_set_uses_only_expert_instructions() {
+        let arch = power7();
+        let expert = expert_instructions(&arch);
+        for seq in expert_manual_set(&arch) {
+            assert_eq!(seq.len(), SEQUENCE_LENGTH);
+            assert!(seq.iter().all(|op| expert.contains(op)));
+        }
+    }
+
+    #[test]
+    fn ipc_epi_selection_picks_one_instruction_per_unit() {
+        let arch = power7();
+        // Build a synthetic bootstrapped table where the known Table 3 "top" instructions
+        // have the best IPC×EPI product in their categories.
+        let mut props = InstrPropsTable::new();
+        for (mnemonic, ipc, epi) in [
+            ("mulldo", 1.40, 2.60),
+            ("addic", 2.0, 1.0),
+            ("lxvw4x", 1.68, 2.88),
+            ("lbz", 1.68, 2.14),
+            ("xvnmsubmdp", 2.0, 2.35),
+            ("xstsqrtdp", 2.0, 1.32),
+        ] {
+            let def = arch.isa.get(mnemonic).unwrap().1;
+            let mut p = InstrProps::new(mnemonic, 1, 1.0, def.units().to_vec());
+            p.measured_ipc = Some(ipc);
+            p.epi = Some(epi);
+            props.insert(p);
+        }
+        let selected = select_ipc_epi_instructions(&arch, &props);
+        assert_eq!(selected.len(), 3);
+        let by_unit = |u: Unit| {
+            selected
+                .iter()
+                .find(|(unit, _, _)| *unit == u)
+                .map(|(_, id, _)| arch.isa.def(*id).mnemonic())
+                .unwrap()
+        };
+        assert_eq!(by_unit(Unit::Fxu), "mulldo");
+        assert_eq!(by_unit(Unit::Lsu), "lxvw4x");
+        assert_eq!(by_unit(Unit::Vsu), "xvnmsubmdp");
+    }
+
+    #[test]
+    fn microprobe_sequences_need_bootstrap_data() {
+        let arch = power7();
+        assert!(microprobe_sequences(&arch, &InstrPropsTable::new()).is_empty());
+    }
+}

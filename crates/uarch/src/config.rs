@@ -1,0 +1,153 @@
+//! CMP/SMT operating configurations of the chip.
+
+use std::fmt;
+
+/// Simultaneous multi-threading mode of a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SmtMode {
+    /// Single-threaded mode.
+    Smt1,
+    /// 2-way SMT.
+    Smt2,
+    /// 4-way SMT.
+    Smt4,
+}
+
+impl SmtMode {
+    /// All SMT modes supported by POWER7.
+    pub const ALL: [SmtMode; 3] = [SmtMode::Smt1, SmtMode::Smt2, SmtMode::Smt4];
+
+    /// Number of hardware threads per core in this mode.
+    pub const fn threads_per_core(self) -> u32 {
+        match self {
+            SmtMode::Smt1 => 1,
+            SmtMode::Smt2 => 2,
+            SmtMode::Smt4 => 4,
+        }
+    }
+
+    /// Returns `true` when the SMT logic is enabled (SMT2 or SMT4).
+    ///
+    /// The paper's SMT-effect power component only depends on this boolean, not on the
+    /// SMT width ("This effect is independent of whether 2-way SMT or 4-way SMT is
+    /// enabled").
+    pub const fn smt_enabled(self) -> bool {
+        !matches!(self, SmtMode::Smt1)
+    }
+
+    /// Parses the numeric thread-per-core count (1, 2 or 4).
+    pub fn from_threads(threads: u32) -> Option<Self> {
+        match threads {
+            1 => Some(SmtMode::Smt1),
+            2 => Some(SmtMode::Smt2),
+            4 => Some(SmtMode::Smt4),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SmtMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SMT{}", self.threads_per_core())
+    }
+}
+
+/// A CMP-SMT operating configuration: how many cores are enabled and in which SMT mode
+/// they run.  The paper denotes these `<cores>-<smt>` (e.g. `4-4`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CmpSmtConfig {
+    /// Number of enabled cores (1..=8 on POWER7).
+    pub cores: u32,
+    /// SMT mode of the enabled cores.
+    pub smt: SmtMode,
+}
+
+impl CmpSmtConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn new(cores: u32, smt: SmtMode) -> Self {
+        assert!(cores > 0, "a configuration needs at least one core");
+        Self { cores, smt }
+    }
+
+    /// Total number of hardware thread contexts.
+    pub fn threads(&self) -> u32 {
+        self.cores * self.smt.threads_per_core()
+    }
+
+    /// The paper's `cores-smt` label, e.g. `"4-4"`.
+    pub fn label(&self) -> String {
+        format!("{}-{}", self.cores, self.smt.threads_per_core())
+    }
+
+    /// All 24 CMP-SMT configurations evaluated in the paper ({1..=max_cores} × {1,2,4}).
+    pub fn all(max_cores: u32) -> Vec<CmpSmtConfig> {
+        let mut configs = Vec::with_capacity(max_cores as usize * SmtMode::ALL.len());
+        for cores in 1..=max_cores {
+            for smt in SmtMode::ALL {
+                configs.push(CmpSmtConfig::new(cores, smt));
+            }
+        }
+        configs
+    }
+}
+
+impl fmt::Display for CmpSmtConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CMP-SMT {}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_counts() {
+        assert_eq!(CmpSmtConfig::new(4, SmtMode::Smt4).threads(), 16);
+        assert_eq!(CmpSmtConfig::new(8, SmtMode::Smt4).threads(), 32);
+        assert_eq!(CmpSmtConfig::new(1, SmtMode::Smt1).threads(), 1);
+    }
+
+    #[test]
+    fn labels_match_paper_notation() {
+        assert_eq!(CmpSmtConfig::new(4, SmtMode::Smt4).label(), "4-4");
+        assert_eq!(CmpSmtConfig::new(7, SmtMode::Smt2).label(), "7-2");
+    }
+
+    #[test]
+    fn all_configurations_for_power7() {
+        let all = CmpSmtConfig::all(8);
+        assert_eq!(all.len(), 24);
+        assert!(all.contains(&CmpSmtConfig::new(1, SmtMode::Smt1)));
+        assert!(all.contains(&CmpSmtConfig::new(8, SmtMode::Smt4)));
+        // no duplicates
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len());
+    }
+
+    #[test]
+    fn smt_enabled_flag() {
+        assert!(!SmtMode::Smt1.smt_enabled());
+        assert!(SmtMode::Smt2.smt_enabled());
+        assert!(SmtMode::Smt4.smt_enabled());
+    }
+
+    #[test]
+    fn smt_mode_from_threads() {
+        assert_eq!(SmtMode::from_threads(1), Some(SmtMode::Smt1));
+        assert_eq!(SmtMode::from_threads(4), Some(SmtMode::Smt4));
+        assert_eq!(SmtMode::from_threads(3), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_is_rejected() {
+        let _ = CmpSmtConfig::new(0, SmtMode::Smt1);
+    }
+}

@@ -1,0 +1,251 @@
+//! Performance monitoring counters (PMCs) and counter-derived metrics.
+//!
+//! The micro-architecture definition associates a performance counter with every power
+//! component of the bottom-up model: per-unit operation counts (FXU, LSU, VSU, ...) and
+//! per-memory-level access counts (L1, L2, L3, MEM).  The counter-based IPC formula —
+//! instructions completed over cycles — is the "IPC property" the paper requires for its
+//! automatic bootstrap process.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Identifier of one performance counter event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CounterId {
+    /// Core cycles elapsed.
+    Cycles,
+    /// Instructions completed.
+    InstrCompleted,
+    /// Operations executed by the fixed point pipes.
+    FxuOps,
+    /// Operations executed by the load/store pipes.
+    LsuOps,
+    /// Operations executed by the vector-scalar pipes.
+    VsuOps,
+    /// Operations executed by the decimal pipe.
+    DfuOps,
+    /// Operations executed by the branch pipe.
+    BruOps,
+    /// Loads retired.
+    Loads,
+    /// Stores retired.
+    Stores,
+    /// Data prefetches issued.
+    Prefetches,
+    /// Demand accesses that hit in the L1 data cache.
+    L1Hits,
+    /// Demand accesses that hit in the L2 cache.
+    L2Hits,
+    /// Demand accesses that hit in the local L3 slice.
+    L3Hits,
+    /// Demand accesses served by main memory.
+    MemAccesses,
+}
+
+impl CounterId {
+    /// All counters, in a stable order (the feature order used by the regression models).
+    pub const ALL: [CounterId; 14] = [
+        CounterId::Cycles,
+        CounterId::InstrCompleted,
+        CounterId::FxuOps,
+        CounterId::LsuOps,
+        CounterId::VsuOps,
+        CounterId::DfuOps,
+        CounterId::BruOps,
+        CounterId::Loads,
+        CounterId::Stores,
+        CounterId::Prefetches,
+        CounterId::L1Hits,
+        CounterId::L2Hits,
+        CounterId::L3Hits,
+        CounterId::MemAccesses,
+    ];
+
+    /// Mnemonic used when printing counter traces.
+    pub const fn name(self) -> &'static str {
+        match self {
+            CounterId::Cycles => "PM_RUN_CYC",
+            CounterId::InstrCompleted => "PM_INST_CMPL",
+            CounterId::FxuOps => "PM_FXU_FIN",
+            CounterId::LsuOps => "PM_LSU_FIN",
+            CounterId::VsuOps => "PM_VSU_FIN",
+            CounterId::DfuOps => "PM_DFU_FIN",
+            CounterId::BruOps => "PM_BRU_FIN",
+            CounterId::Loads => "PM_LD_CMPL",
+            CounterId::Stores => "PM_ST_CMPL",
+            CounterId::Prefetches => "PM_LSU_PREF",
+            CounterId::L1Hits => "PM_LD_HIT_L1",
+            CounterId::L2Hits => "PM_DATA_FROM_L2",
+            CounterId::L3Hits => "PM_DATA_FROM_L3",
+            CounterId::MemAccesses => "PM_DATA_FROM_MEM",
+        }
+    }
+}
+
+impl fmt::Display for CounterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A complete set of counter readings for one hardware thread (or an aggregate over
+/// several threads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterValues {
+    /// Core cycles elapsed.
+    pub cycles: u64,
+    /// Instructions completed.
+    pub instr_completed: u64,
+    /// FXU operations.
+    pub fxu_ops: u64,
+    /// LSU operations.
+    pub lsu_ops: u64,
+    /// VSU operations.
+    pub vsu_ops: u64,
+    /// DFU operations.
+    pub dfu_ops: u64,
+    /// BRU operations.
+    pub bru_ops: u64,
+    /// Loads retired.
+    pub loads: u64,
+    /// Stores retired.
+    pub stores: u64,
+    /// Prefetches issued.
+    pub prefetches: u64,
+    /// L1 data cache hits.
+    pub l1_hits: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// L3 hits.
+    pub l3_hits: u64,
+    /// Main memory accesses.
+    pub mem_accesses: u64,
+}
+
+impl CounterValues {
+    /// Reads one counter by id.
+    pub fn get(&self, id: CounterId) -> u64 {
+        match id {
+            CounterId::Cycles => self.cycles,
+            CounterId::InstrCompleted => self.instr_completed,
+            CounterId::FxuOps => self.fxu_ops,
+            CounterId::LsuOps => self.lsu_ops,
+            CounterId::VsuOps => self.vsu_ops,
+            CounterId::DfuOps => self.dfu_ops,
+            CounterId::BruOps => self.bru_ops,
+            CounterId::Loads => self.loads,
+            CounterId::Stores => self.stores,
+            CounterId::Prefetches => self.prefetches,
+            CounterId::L1Hits => self.l1_hits,
+            CounterId::L2Hits => self.l2_hits,
+            CounterId::L3Hits => self.l3_hits,
+            CounterId::MemAccesses => self.mem_accesses,
+        }
+    }
+
+    /// The counter-based IPC formula: instructions completed per cycle.
+    ///
+    /// Returns 0.0 when no cycles elapsed.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instr_completed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Per-cycle utilisation (events per cycle) of one counter.
+    pub fn rate(&self, id: CounterId) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.get(id) as f64 / self.cycles as f64
+        }
+    }
+
+    /// Total memory-hierarchy demand accesses (sum of the per-level counters).
+    pub fn memory_accesses(&self) -> u64 {
+        self.l1_hits + self.l2_hits + self.l3_hits + self.mem_accesses
+    }
+}
+
+impl Add for CounterValues {
+    type Output = CounterValues;
+
+    fn add(self, rhs: CounterValues) -> CounterValues {
+        let mut out = self;
+        out += rhs;
+        out
+    }
+}
+
+impl AddAssign for CounterValues {
+    fn add_assign(&mut self, rhs: CounterValues) {
+        self.cycles += rhs.cycles;
+        self.instr_completed += rhs.instr_completed;
+        self.fxu_ops += rhs.fxu_ops;
+        self.lsu_ops += rhs.lsu_ops;
+        self.vsu_ops += rhs.vsu_ops;
+        self.dfu_ops += rhs.dfu_ops;
+        self.bru_ops += rhs.bru_ops;
+        self.loads += rhs.loads;
+        self.stores += rhs.stores;
+        self.prefetches += rhs.prefetches;
+        self.l1_hits += rhs.l1_hits;
+        self.l2_hits += rhs.l2_hits;
+        self.l3_hits += rhs.l3_hits;
+        self.mem_accesses += rhs.mem_accesses;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_formula() {
+        let c = CounterValues { cycles: 1000, instr_completed: 2500, ..Default::default() };
+        assert!((c.ipc() - 2.5).abs() < 1e-12);
+        assert_eq!(CounterValues::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn get_matches_fields() {
+        let c = CounterValues { fxu_ops: 7, l3_hits: 9, ..Default::default() };
+        assert_eq!(c.get(CounterId::FxuOps), 7);
+        assert_eq!(c.get(CounterId::L3Hits), 9);
+        assert_eq!(c.get(CounterId::MemAccesses), 0);
+    }
+
+    #[test]
+    fn addition_is_fieldwise() {
+        let a = CounterValues { cycles: 10, lsu_ops: 3, ..Default::default() };
+        let b = CounterValues { cycles: 5, lsu_ops: 4, l1_hits: 2, ..Default::default() };
+        let s = a + b;
+        assert_eq!(s.cycles, 15);
+        assert_eq!(s.lsu_ops, 7);
+        assert_eq!(s.l1_hits, 2);
+    }
+
+    #[test]
+    fn rates_and_memory_accesses() {
+        let c = CounterValues {
+            cycles: 100,
+            l1_hits: 30,
+            l2_hits: 10,
+            l3_hits: 5,
+            mem_accesses: 5,
+            ..Default::default()
+        };
+        assert!((c.rate(CounterId::L1Hits) - 0.3).abs() < 1e-12);
+        assert_eq!(c.memory_accesses(), 50);
+    }
+
+    #[test]
+    fn all_counter_ids_have_distinct_names() {
+        let mut names: Vec<&str> = CounterId::ALL.iter().map(|c| c.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), CounterId::ALL.len());
+    }
+}

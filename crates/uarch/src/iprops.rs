@@ -1,0 +1,182 @@
+//! Per-instruction implementation properties (latency, throughput, stressed units, EPI).
+
+use std::collections::HashMap;
+
+use mp_isa::Unit;
+
+/// Implementation properties of one instruction on the target micro-architecture.
+///
+/// The static fields (latency, reciprocal throughput, stressed units) come from the
+/// machine description; the measured fields (`epi`, `avg_power`, `measured_ipc`) start
+/// out as `None` and are filled in by MicroProbe's automatic bootstrap process
+/// (Section 2.1.2 of the paper), which runs per-instruction micro-benchmarks and reads
+/// the performance counters and power sensors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstrProps {
+    /// Instruction mnemonic these properties belong to.
+    pub mnemonic: String,
+    /// Execution latency in cycles (for memory operations: the non-memory part; the
+    /// cache-level latency is added by the memory hierarchy).
+    pub latency_cycles: u32,
+    /// Reciprocal throughput per execution pipe (cycles per instruction per pipe).
+    pub recip_throughput: f64,
+    /// Functional units stressed by the instruction.
+    pub units: Vec<Unit>,
+    /// Energy per instruction in normalized energy units, measured by the bootstrap.
+    pub epi: Option<f64>,
+    /// Average sustained chip power when running only this instruction, normalized,
+    /// measured by the bootstrap.
+    pub avg_power: Option<f64>,
+    /// Core IPC measured by the bootstrap on the throughput (no-dependency) benchmark.
+    pub measured_ipc: Option<f64>,
+    /// Latency in cycles derived by the bootstrap from the dependency-chain benchmark.
+    pub measured_latency: Option<f64>,
+}
+
+impl InstrProps {
+    /// Creates the static part of the properties (measured fields unset).
+    pub fn new(
+        mnemonic: impl Into<String>,
+        latency_cycles: u32,
+        recip_throughput: f64,
+        units: Vec<Unit>,
+    ) -> Self {
+        assert!(recip_throughput > 0.0, "reciprocal throughput must be positive");
+        Self {
+            mnemonic: mnemonic.into(),
+            latency_cycles,
+            recip_throughput,
+            units,
+            epi: None,
+            avg_power: None,
+            measured_ipc: None,
+            measured_latency: None,
+        }
+    }
+
+    /// Returns `true` once the bootstrap has filled in the measured energy fields.
+    pub fn is_bootstrapped(&self) -> bool {
+        self.epi.is_some() && self.measured_ipc.is_some()
+    }
+
+    /// The IPC×EPI product used by the max-power stressmark selection heuristic
+    /// (Section 6), or `None` before bootstrap.
+    pub fn ipc_epi_product(&self) -> Option<f64> {
+        Some(self.measured_ipc? * self.epi?)
+    }
+}
+
+/// Table of per-instruction properties, keyed by mnemonic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct InstrPropsTable {
+    props: HashMap<String, InstrProps>,
+}
+
+impl InstrPropsTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of instructions described.
+    pub fn len(&self) -> usize {
+        self.props.len()
+    }
+
+    /// Returns `true` if the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.props.is_empty()
+    }
+
+    /// Inserts (or replaces) the properties of one instruction.
+    pub fn insert(&mut self, props: InstrProps) {
+        self.props.insert(props.mnemonic.clone(), props);
+    }
+
+    /// Properties of an instruction, if described.
+    pub fn get(&self, mnemonic: &str) -> Option<&InstrProps> {
+        self.props.get(mnemonic)
+    }
+
+    /// Mutable properties of an instruction, if described (used by the bootstrap to fill
+    /// in measured values).
+    pub fn get_mut(&mut self, mnemonic: &str) -> Option<&mut InstrProps> {
+        self.props.get_mut(mnemonic)
+    }
+
+    /// Iterates over all entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &InstrProps> {
+        self.props.values()
+    }
+
+    /// Fraction of entries whose measured fields have been bootstrapped.
+    pub fn bootstrap_coverage(&self) -> f64 {
+        if self.props.is_empty() {
+            return 0.0;
+        }
+        let done = self.props.values().filter(|p| p.is_bootstrapped()).count();
+        done as f64 / self.props.len() as f64
+    }
+}
+
+impl FromIterator<InstrProps> for InstrPropsTable {
+    fn from_iter<T: IntoIterator<Item = InstrProps>>(iter: T) -> Self {
+        let mut table = Self::new();
+        for p in iter {
+            table.insert(p);
+        }
+        table
+    }
+}
+
+impl Extend<InstrProps> for InstrPropsTable {
+    fn extend<T: IntoIterator<Item = InstrProps>>(&mut self, iter: T) {
+        for p in iter {
+            self.insert(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut table = InstrPropsTable::new();
+        table.insert(InstrProps::new("add", 1, 1.0, vec![Unit::Fxu, Unit::Lsu]));
+        assert_eq!(table.len(), 1);
+        assert!(table.get("add").is_some());
+        assert!(table.get("sub").is_none());
+        assert!(!table.get("add").unwrap().is_bootstrapped());
+    }
+
+    #[test]
+    fn bootstrap_fills_measured_fields() {
+        let mut table = InstrPropsTable::new();
+        table.insert(InstrProps::new("mulld", 4, 1.4, vec![Unit::Fxu]));
+        {
+            let p = table.get_mut("mulld").unwrap();
+            p.epi = Some(2.6);
+            p.measured_ipc = Some(1.4);
+        }
+        let p = table.get("mulld").unwrap();
+        assert!(p.is_bootstrapped());
+        assert!((p.ipc_epi_product().unwrap() - 3.64).abs() < 1e-9);
+        assert!((table.bootstrap_coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut table: InstrPropsTable =
+            vec![InstrProps::new("a", 1, 1.0, vec![Unit::Fxu])].into_iter().collect();
+        table.extend(vec![InstrProps::new("b", 2, 2.0, vec![Unit::Vsu])]);
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_throughput_is_rejected() {
+        let _ = InstrProps::new("bad", 1, 0.0, vec![Unit::Fxu]);
+    }
+}

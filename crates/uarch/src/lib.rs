@@ -1,0 +1,45 @@
+//! Micro-architecture definition module for the MicroProbe reproduction.
+//!
+//! This crate mirrors the *Micro-architecture definition module* of the paper
+//! (Section 2.1.2).  It describes the implementation-specific information that the ISA
+//! alone does not provide:
+//!
+//! * the functional units of a core and their pipe counts ([`CorePipes`]),
+//! * the cache hierarchy geometry and the address fields that select the set at every
+//!   level ([`CacheGeometry`], [`MemoryHierarchy`]),
+//! * the CMP/SMT topology and the set of CMP-SMT operating configurations
+//!   ([`CmpSmtConfig`]),
+//! * the performance counters associated with each component and the counter-based IPC
+//!   formula ([`CounterValues`]),
+//! * per-instruction implementation properties — latency, reciprocal throughput, stressed
+//!   units and (once bootstrapped) energy per instruction ([`InstrProps`],
+//!   [`InstrPropsTable`]),
+//! * and the complete POWER7-like machine description ([`power7::power7`]).
+//!
+//! The `power7` description corresponds to the 3.0 GHz, 8-core, 4-way-SMT IBM POWER7 of
+//! the paper's experimental platform (Section 3).
+
+pub mod cache;
+pub mod config;
+pub mod counters;
+pub mod iprops;
+pub mod power7;
+pub mod units;
+
+pub use cache::{CacheGeometry, MemLevel, MemoryHierarchy};
+pub use config::{CmpSmtConfig, SmtMode};
+pub use counters::{CounterId, CounterValues};
+pub use iprops::{InstrProps, InstrPropsTable};
+pub use power7::{power7, MicroArchitecture};
+pub use units::{CorePipes, FloorplanEntry};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn public_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<super::MicroArchitecture>();
+        assert_send_sync::<super::CounterValues>();
+        assert_send_sync::<super::CmpSmtConfig>();
+    }
+}

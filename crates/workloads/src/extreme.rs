@@ -1,0 +1,115 @@
+//! Extreme-activity cases (Figure 7): short, single-behaviour workloads that expose the
+//! bias of workload-trained (top-down) power models.
+
+use microprobe::prelude::*;
+use mp_isa::IssueClass;
+use mp_uarch::MicroArchitecture;
+
+/// One extreme-activity case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtremeCase {
+    /// Case name as plotted in Figure 7.
+    pub name: &'static str,
+    /// The generated micro-benchmark.
+    pub benchmark: MicroBenchmark,
+}
+
+/// Generates the six extreme cases of the paper: high and low FXU activity, high and low
+/// VSU activity, L1 loads only and main-memory traffic only.
+///
+/// # Errors
+///
+/// Returns the first pass failure.
+pub fn extreme_cases(
+    arch: &MicroArchitecture,
+    loop_instructions: usize,
+) -> Result<Vec<ExtremeCase>, PassError> {
+    let isa = &arch.isa;
+    let fxu = isa.select(|d| {
+        d.is_integer() && !d.is_memory() && !d.is_branch() && !d.is_privileged() && !d.is_vector()
+    });
+    let vsu = isa.select(|d| d.issue_class() == IssueClass::Vsu && !d.is_memory());
+    let loads = isa.select(|d| d.is_load() && !d.is_vector());
+    let mut cases = Vec::new();
+
+    let mut build = |name: &'static str,
+                     population: Vec<mp_isa::OpcodeId>,
+                     memory: Option<HitDistribution>,
+                     dependency: (usize, usize)|
+     -> Result<(), PassError> {
+        let mut synth = Synthesizer::new(arch.clone())
+            .with_seed(0xee ^ name.len() as u64)
+            .with_name_prefix(name);
+        synth.add_pass(SkeletonPass::endless_loop(loop_instructions));
+        synth.add_pass(InstructionMixPass::uniform(population));
+        if let Some(dist) = memory {
+            synth.add_pass(MemoryPass::new(dist));
+        }
+        synth.add_pass(InitRegistersPass::random());
+        synth.add_pass(DependencyDistancePass::random(dependency.0, dependency.1));
+        cases.push(ExtremeCase { name, benchmark: synth.synthesize()? });
+        Ok(())
+    };
+
+    // High activity = independent instructions; low activity = tight dependency chains.
+    build("FXU High", fxu.clone(), None, (8, 16))?;
+    build("FXU Low", fxu, None, (1, 1))?;
+    build("L1 Loads", loads.clone(), Some(HitDistribution::l1_only()), (8, 16))?;
+    build("Main memory", loads, Some(HitDistribution::memory_only()), (8, 16))?;
+    build("VSU High", vsu.clone(), None, (8, 16))?;
+    build("VSU Low", vsu, None, (1, 1))?;
+    Ok(cases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_uarch::power7;
+
+    #[test]
+    fn six_cases_with_the_paper_names() {
+        let arch = power7();
+        let cases = extreme_cases(&arch, 64).expect("cases generate");
+        let names: Vec<&str> = cases.iter().map(|c| c.name).collect();
+        assert_eq!(
+            names,
+            vec!["FXU High", "FXU Low", "L1 Loads", "Main memory", "VSU High", "VSU Low"]
+        );
+    }
+
+    #[test]
+    fn high_and_low_variants_differ_in_dependencies() {
+        let arch = power7();
+        let isa = &arch.isa;
+        let cases = extreme_cases(&arch, 64).unwrap();
+        let chained_fraction = |case: &ExtremeCase| {
+            let body = case.benchmark.kernel().body();
+            let mut chained = 0usize;
+            for i in 1..body.len() {
+                let prev = body[i - 1].writes(isa);
+                if body[i].reads(isa).iter().any(|r| prev.contains(r)) {
+                    chained += 1;
+                }
+            }
+            chained as f64 / body.len() as f64
+        };
+        let high = cases.iter().find(|c| c.name == "FXU High").unwrap();
+        let low = cases.iter().find(|c| c.name == "FXU Low").unwrap();
+        assert!(chained_fraction(low) > chained_fraction(high));
+    }
+
+    #[test]
+    fn memory_cases_target_the_right_levels() {
+        let arch = power7();
+        let cases = extreme_cases(&arch, 64).unwrap();
+        let isa = &arch.isa;
+        for case in &cases {
+            if case.name == "L1 Loads" || case.name == "Main memory" {
+                for inst in case.benchmark.kernel().body() {
+                    assert!(inst.def(isa).is_load());
+                    assert!(inst.mem().is_some());
+                }
+            }
+        }
+    }
+}

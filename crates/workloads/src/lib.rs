@@ -1,0 +1,32 @@
+//! Workload populations used by the paper's three case studies.
+//!
+//! * [`training`] regenerates the Table 2 micro-benchmark suite (the training set of the
+//!   bottom-up power model): per-unit IPC sweeps, memory-hierarchy mixes and random
+//!   micro-benchmarks.
+//! * [`spec`] provides 28 synthetic proxies for the SPEC CPU2006 benchmarks — the
+//!   validation population and the normalisation baseline of the stressmark study (the
+//!   real suite cannot be redistributed or run on the simulated platform, see DESIGN.md).
+//! * [`daxpy`] provides the DAXPY kernels used as a conventional stressmark baseline.
+//! * [`extreme`] provides the extreme-activity cases of Figure 7 (FXU/VSU high and low,
+//!   L1 loads only, main-memory only).
+
+pub mod daxpy;
+pub mod extreme;
+pub mod spec;
+pub mod training;
+
+pub use daxpy::daxpy_kernels;
+pub use extreme::{extreme_cases, ExtremeCase};
+pub use spec::{spec_proxies, SpecProxy};
+pub use training::{Family, TrainingBenchmark, TrainingOptions, TrainingSuite};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn public_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<super::TrainingSuite>();
+        assert_send_sync::<super::SpecProxy>();
+        assert_send_sync::<super::ExtremeCase>();
+    }
+}

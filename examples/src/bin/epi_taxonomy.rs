@@ -1,0 +1,36 @@
+//! Bootstraps a handful of instructions and prints their measured latency, throughput
+//! (core IPC) and energy per instruction — a small slice of the paper's Table 3.
+
+use microprobe::bootstrap::{Bootstrap, BootstrapOptions};
+use microprobe::prelude::*;
+use mp_examples::example_platform;
+
+fn main() {
+    let platform = example_platform();
+    let instructions = [
+        "addic", "subf", "mulldo", "add", "nor", "and", "lbz", "lxvw4x", "xstsqrtdp",
+        "xvmaddadp", "xvnmsubmdp", "stfd", "stxvw4x",
+    ];
+    let options = BootstrapOptions {
+        loop_instructions: 128,
+        config: CmpSmtConfig::new(8, SmtMode::Smt1),
+        include: Some(instructions.iter().map(|s| (*s).to_owned()).collect()),
+    };
+    let (_, mut records) =
+        Bootstrap::new(&platform).with_options(options).run().expect("bootstrap succeeds");
+    records.sort_by(|a, b| b.epi.partial_cmp(&a.epi).expect("EPIs are finite"));
+
+    let min_epi = records.iter().map(|r| r.epi).fold(f64::INFINITY, f64::min);
+    println!("{:<12} {:>8} {:>9} {:>10}  units", "instruction", "core IPC", "latency", "EPI (norm)");
+    for r in &records {
+        let units: Vec<&str> = r.units.iter().map(|u| u.name()).collect();
+        println!(
+            "{:<12} {:>8.2} {:>9.2} {:>10.2}  {}",
+            r.mnemonic,
+            r.ipc,
+            r.latency,
+            r.epi / min_epi,
+            units.join("+")
+        );
+    }
+}

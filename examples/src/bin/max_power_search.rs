@@ -1,0 +1,52 @@
+//! Searches for a max-power stressmark with the expert instruction set and compares it
+//! against a DAXPY baseline and a SPEC proxy.
+
+use microprobe::platform::Platform;
+use mp_examples::example_platform;
+use mp_stressmark::{expert_dse_sequences, expert_manual_set, StressmarkSearch};
+use mp_uarch::{CmpSmtConfig, SmtMode};
+use mp_workloads::{daxpy_kernels, spec_proxies};
+
+fn main() {
+    let platform = example_platform();
+    let arch = platform.uarch().clone();
+    let cores = 4;
+
+    let search = StressmarkSearch::new(&platform)
+        .with_cores(cores)
+        .with_loop_instructions(96)
+        .with_smt_modes(vec![SmtMode::Smt4]);
+
+    // Baselines: one DAXPY kernel and one compute-heavy SPEC proxy.
+    let daxpy = &daxpy_kernels(&arch, 96).expect("daxpy generates")[0];
+    let daxpy_power =
+        platform.run(daxpy, CmpSmtConfig::new(cores, SmtMode::Smt4)).average_power();
+    let proxy = spec_proxies().into_iter().find(|p| p.name == "povray").expect("povray exists");
+    let proxy_bench = proxy.generate(&arch, 96).expect("proxy generates");
+    let proxy_power =
+        platform.run(&proxy_bench, CmpSmtConfig::new(cores, SmtMode::Smt4)).average_power();
+
+    // Hand-crafted expert sequences, then a budget-limited exhaustive DSE.
+    let manual_best = search
+        .evaluate_set(&expert_manual_set(&arch))
+        .expect("expert sequences run")
+        .into_iter()
+        .map(|r| r.power)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let mut candidates = expert_dse_sequences(&arch);
+    candidates.truncate(40);
+    let result = search.exhaustive(candidates, None);
+    let best_seq: Vec<String> =
+        result.best.iter().map(|op| arch.isa.def(*op).mnemonic().to_owned()).collect();
+
+    println!("powers on {cores} cores, SMT4 (normalized units):");
+    println!("  SPEC proxy (povray) : {proxy_power:.1}");
+    println!("  DAXPY               : {daxpy_power:.1}");
+    println!("  expert manual best  : {manual_best:.1}");
+    println!("  DSE best            : {:.1}  ({} evaluations)", result.best_score, result.evaluations);
+    println!("  DSE best sequence   : {}", best_seq.join(" "));
+    println!(
+        "  DSE best vs SPEC    : {:+.1}%",
+        100.0 * (result.best_score - proxy_power) / proxy_power
+    );
+}

@@ -1,0 +1,51 @@
+//! Quickstart: the Rust equivalent of the paper's Figure 2 script.
+//!
+//! Generates ten micro-benchmarks, each an endless loop of vector-load instructions that
+//! hit the three cache levels equally, then runs the first one on the simulated POWER7
+//! and prints its counters and power.
+
+use microprobe::platform::Platform;
+use microprobe::prelude::*;
+use mp_examples::example_platform;
+
+fn main() -> Result<(), PassError> {
+    // Get the architecture object (Figure 2, lines 2-3).
+    let arch = mp_uarch::power7();
+
+    // Pass 2: select the loads that stress the VSU (lines 11-17).
+    let loads_vsu: Vec<_> = arch.isa.select(|d| d.is_load() && d.stresses(mp_isa::Unit::Vsu));
+    println!("selected {} VSU loads from the ISA", loads_vsu.len());
+
+    // Create the synthesizer and add the passes (lines 4-29).
+    let mut synth = Synthesizer::new(arch.clone()).with_name_prefix("example");
+    synth.add_pass(SkeletonPass::endless_loop(4096));
+    synth.add_pass(InstructionMixPass::uniform(loads_vsu));
+    synth.add_pass(MemoryPass::new(HitDistribution::caches_balanced()));
+    synth.add_pass(InitRegistersPass::constant());
+    synth.add_pass(InitImmediatesPass::pattern01());
+    synth.add_pass(DependencyDistancePass::random(1, 8));
+
+    // Generate the 10 micro-benchmarks (lines 31-33).
+    let benchmarks = synth.synthesize_many(10)?;
+    println!("generated {} micro-benchmarks of {} instructions each", benchmarks.len(), benchmarks[0].kernel().len());
+
+    // Show the first few lines of the generated assembly.
+    let listing = benchmarks[0].to_asm(&arch.isa);
+    println!("\nfirst instructions of {}:", benchmarks[0].name());
+    for line in listing.lines().take(8) {
+        println!("  {line}");
+    }
+
+    // Run one copy per hardware thread on a 4-core SMT2 configuration and report.
+    let platform = example_platform();
+    let config = CmpSmtConfig::new(4, SmtMode::Smt2);
+    let m = platform.run(&benchmarks[0], config);
+    let counters = m.chip_counters();
+    println!("\nmeasured on {config}:");
+    println!("  chip IPC        : {:.2}", m.chip_ipc());
+    println!("  L1 hits/cycle   : {:.3}", counters.rate(mp_uarch::CounterId::L1Hits));
+    println!("  L2 hits/cycle   : {:.3}", counters.rate(mp_uarch::CounterId::L2Hits));
+    println!("  L3 hits/cycle   : {:.3}", counters.rate(mp_uarch::CounterId::L3Hits));
+    println!("  average power   : {:.1} (normalized units)", m.average_power());
+    Ok(())
+}

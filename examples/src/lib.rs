@@ -1,0 +1,33 @@
+//! Shared helpers for the example binaries.
+//!
+//! The examples are the "user scripts" of the reproduction: each binary corresponds to a
+//! task a user of the paper's framework would script through its Python interface
+//! (Figure 2), here expressed through the Rust API.
+//!
+//! Run them with, e.g., `cargo run --release -p mp-examples --bin quickstart`.
+
+use microprobe::platform::SimPlatform;
+use mp_sim::{ChipSim, SimOptions};
+
+/// A simulated POWER7 platform configured for snappy example runs.
+pub fn example_platform() -> SimPlatform {
+    SimPlatform::new(ChipSim::new(mp_uarch::power7()).with_options(SimOptions {
+        warmup_cycles: 1_500,
+        measure_cycles: 5_000,
+        sample_cycles: 500,
+        ..SimOptions::default()
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microprobe::platform::Platform;
+
+    #[test]
+    fn example_platform_is_usable() {
+        let platform = example_platform();
+        assert_eq!(platform.uarch().name, "POWER7");
+        assert!(platform.idle_power() > 0.0);
+    }
+}

@@ -1,0 +1,16 @@
+//! Shared fixtures for the cross-crate integration tests.
+
+use microprobe::platform::SimPlatform;
+use mp_sim::{ChipSim, SimOptions};
+
+/// A platform with short runs, sized so the integration tests stay fast in debug builds.
+pub fn test_platform() -> SimPlatform {
+    SimPlatform::new(ChipSim::new(mp_uarch::power7()).with_options(SimOptions {
+        warmup_cycles: 1_200,
+        measure_cycles: 3_000,
+        sample_cycles: 500,
+        noise_fraction: 0.002,
+        prefetch_enabled: true,
+        seed: 0x17e5,
+    }))
+}

@@ -1,0 +1,62 @@
+//! The analytical cache model's static guarantees must hold on the simulated hierarchy:
+//! the hit distribution observed through the performance counters must match the
+//! distribution the planner promised.
+
+use microprobe::platform::Platform;
+use microprobe::prelude::*;
+use mp_integration::test_platform;
+
+fn measured_distribution(dist: HitDistribution) -> (f64, f64, f64, f64) {
+    let platform = test_platform();
+    let arch = platform.uarch().clone();
+    let loads = arch.isa.select(|d| d.is_load() && !d.is_vector());
+    let mut synth = Synthesizer::new(arch).with_name_prefix("cachecheck");
+    synth.add_pass(SkeletonPass::endless_loop(256));
+    synth.add_pass(InstructionMixPass::uniform(loads));
+    synth.add_pass(MemoryPass::new(dist));
+    synth.add_pass(DependencyDistancePass::random(4, 12));
+    let bench = synth.synthesize().expect("benchmark generates");
+    let m = platform.run(&bench, CmpSmtConfig::new(1, SmtMode::Smt1));
+    let c = m.chip_counters();
+    let total = c.memory_accesses() as f64;
+    assert!(total > 0.0, "the benchmark must perform memory accesses");
+    (
+        c.l1_hits as f64 / total,
+        c.l2_hits as f64 / total,
+        c.l3_hits as f64 / total,
+        c.mem_accesses as f64 / total,
+    )
+}
+
+#[test]
+fn pure_streams_hit_exactly_the_requested_level() {
+    let (l1, _, _, _) = measured_distribution(HitDistribution::l1_only());
+    assert!(l1 > 0.98, "L1-only stream: {l1}");
+
+    let (_, l2, _, _) = measured_distribution(HitDistribution::l2_only());
+    assert!(l2 > 0.95, "L2-only stream: {l2}");
+
+    let (_, _, l3, _) = measured_distribution(HitDistribution::l3_only());
+    assert!(l3 > 0.95, "L3-only stream: {l3}");
+
+    let (_, _, _, mem) = measured_distribution(HitDistribution::memory_only());
+    assert!(mem > 0.95, "memory-only stream: {mem}");
+}
+
+#[test]
+fn mixed_distribution_matches_within_tolerance() {
+    let target = HitDistribution::caches_balanced();
+    let (l1, l2, l3, mem) = measured_distribution(target);
+    assert!((l1 - 0.33).abs() < 0.06, "L1 fraction {l1}");
+    assert!((l2 - 0.33).abs() < 0.06, "L2 fraction {l2}");
+    assert!((l3 - 0.34).abs() < 0.06, "L3 fraction {l3}");
+    assert!(mem < 0.03, "unexpected memory traffic {mem}");
+}
+
+#[test]
+fn skewed_distribution_matches_within_tolerance() {
+    let target = HitDistribution::new(0.25, 0.0, 0.75, 0.0).expect("valid");
+    let (l1, _, l3, _) = measured_distribution(target);
+    assert!((l1 - 0.25).abs() < 0.07, "L1 fraction {l1}");
+    assert!((l3 - 0.75).abs() < 0.07, "L3 fraction {l3}");
+}

@@ -1,0 +1,101 @@
+//! End-to-end check of the bottom-up modeling methodology: train on simulated
+//! measurements of a reduced training suite, validate on SPEC proxies the model never
+//! saw, and verify the decomposition behaves like the paper describes.
+
+use microprobe::platform::Platform;
+use mp_bench::{measure_benchmarks, MeasuredBenchmark};
+use mp_integration::test_platform;
+use mp_power::{paae, BottomUpModel, PowerModel, SampleKind, TrainingSet, WorkloadSample};
+use mp_uarch::{CmpSmtConfig, SmtMode};
+use mp_workloads::{spec_proxies, TrainingOptions, TrainingSuite};
+
+fn training_configs() -> Vec<CmpSmtConfig> {
+    vec![
+        CmpSmtConfig::new(1, SmtMode::Smt1),
+        CmpSmtConfig::new(1, SmtMode::Smt2),
+        CmpSmtConfig::new(1, SmtMode::Smt4),
+        CmpSmtConfig::new(2, SmtMode::Smt1),
+        CmpSmtConfig::new(2, SmtMode::Smt4),
+    ]
+}
+
+#[test]
+fn bottom_up_model_predicts_unseen_workloads() {
+    let platform = test_platform();
+    let arch = platform.uarch().clone();
+
+    // Reduced Table 2 suite, measured on a handful of configurations.
+    let suite = TrainingSuite::generate(&arch, TrainingOptions::reduced(0.02, 64))
+        .expect("training suite generates");
+    let benchmarks: Vec<MeasuredBenchmark> = suite
+        .benchmarks()
+        .iter()
+        .map(|tb| {
+            let kind =
+                if tb.family.is_random() { SampleKind::Random } else { SampleKind::MicroArch };
+            MeasuredBenchmark::new(tb.benchmark.name().to_owned(), tb.benchmark.clone(), kind)
+        })
+        .collect();
+    let mut training = TrainingSet::new();
+    training.extend(measure_benchmarks(&platform, &benchmarks, &training_configs(), 2));
+
+    let model =
+        BottomUpModel::train(&training, platform.idle_power()).expect("training succeeds");
+
+    // Validate on SPEC proxies the model never saw, on a configuration it never saw.
+    let config = CmpSmtConfig::new(2, SmtMode::Smt2);
+    let spec: Vec<WorkloadSample> = spec_proxies()
+        .iter()
+        .take(6)
+        .map(|proxy| {
+            let bench = proxy.generate(&arch, 96).expect("proxy generates");
+            WorkloadSample::from_measurement(proxy.name, &platform.run(&bench, config))
+        })
+        .collect();
+
+    let error = paae(&model, spec.iter()).expect("non-empty validation set");
+    assert!(error < 8.0, "bottom-up PAAE on unseen workloads too high: {error:.2}%");
+
+    // Decomposition sanity: components are non-negative and sum to the prediction, and
+    // the dynamic component varies across workloads while the constants do not.
+    let breakdowns: Vec<_> = spec.iter().map(|s| model.decompose(s)).collect();
+    for (sample, b) in spec.iter().zip(&breakdowns) {
+        assert!(b.dynamic >= 0.0 && b.uncore >= 0.0 && b.workload_independent >= 0.0);
+        assert!((b.total() - model.predict(sample)).abs() < 1e-9);
+    }
+    let dynamics: Vec<f64> = breakdowns.iter().map(|b| b.dynamic).collect();
+    let spread = dynamics.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        - dynamics.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(spread > 0.0, "dynamic power must differ across workloads");
+    assert!(
+        (breakdowns[0].workload_independent - breakdowns[1].workload_independent).abs() < 1e-9,
+        "the workload-independent component is constant"
+    );
+}
+
+#[test]
+fn smt_and_cmp_effects_are_learned_as_positive_constants() {
+    let platform = test_platform();
+    let arch = platform.uarch().clone();
+    let suite = TrainingSuite::generate(&arch, TrainingOptions::reduced(0.02, 64))
+        .expect("training suite generates");
+    let benchmarks: Vec<MeasuredBenchmark> = suite
+        .benchmarks()
+        .iter()
+        .map(|tb| {
+            let kind =
+                if tb.family.is_random() { SampleKind::Random } else { SampleKind::MicroArch };
+            MeasuredBenchmark::new(tb.benchmark.name().to_owned(), tb.benchmark.clone(), kind)
+        })
+        .collect();
+    let mut training = TrainingSet::new();
+    training.extend(measure_benchmarks(&platform, &benchmarks, &training_configs(), 2));
+    let model =
+        BottomUpModel::train(&training, platform.idle_power()).expect("training succeeds");
+
+    // The simulator's hidden ground truth uses 10 units per enabled core and 2 units per
+    // SMT-enabled core; the fitted constants must land in that neighbourhood.
+    assert!(model.cmp_effect() > 3.0, "CMP effect {:.2}", model.cmp_effect());
+    assert!(model.smt_effect() >= 0.0 && model.smt_effect() < 8.0, "SMT effect {:.2}", model.smt_effect());
+    assert!(model.workload_independent() > 50.0);
+}

@@ -1,0 +1,93 @@
+//! Integration checks of the bootstrap-derived instruction taxonomy (Table 3) and of the
+//! max-power stressmark case study (Figure 9), run at reduced scale.
+
+use microprobe::bootstrap::{Bootstrap, BootstrapOptions};
+use microprobe::platform::Platform;
+use mp_bench::Table3;
+use mp_integration::test_platform;
+use mp_stressmark::{expert_manual_set, microprobe_sequences, select_ipc_epi_instructions, StressmarkSearch};
+use mp_uarch::{CmpSmtConfig, SmtMode};
+use mp_workloads::daxpy_kernels;
+
+const TAXONOMY_INSTRUCTIONS: [&str; 14] = [
+    "addic", "subf", "mulldo", "add", "nor", "and", "lbz", "lxvw4x", "xstsqrtdp", "xvmaddadp",
+    "xvnmsubmdp", "stfd", "stxvw4x", "mullw",
+];
+
+fn bootstrap() -> (mp_uarch::InstrPropsTable, Vec<microprobe::bootstrap::BootstrapRecord>) {
+    let platform = test_platform();
+    let options = BootstrapOptions {
+        loop_instructions: 64,
+        config: CmpSmtConfig::new(2, SmtMode::Smt1),
+        include: Some(TAXONOMY_INSTRUCTIONS.iter().map(|s| (*s).to_owned()).collect()),
+    };
+    Bootstrap::new(&platform).with_options(options).run().expect("bootstrap succeeds")
+}
+
+#[test]
+fn taxonomy_reproduces_the_papers_orderings() {
+    let (_, records) = bootstrap();
+    let epi = |m: &str| records.iter().find(|r| r.mnemonic == m).expect("bootstrapped").epi;
+    let ipc = |m: &str| records.iter().find(|r| r.mnemonic == m).expect("bootstrapped").ipc;
+
+    // FXU category: mulldo is the most expensive, addic the cheapest (Table 3).
+    assert!(epi("mulldo") > epi("subf"));
+    assert!(epi("subf") > epi("addic"));
+    // VSU category: the FMA variants cost more than the test-for-square-root.
+    assert!(epi("xvnmsubmdp") > epi("xstsqrtdp"));
+    assert!(epi("xvmaddadp") > epi("xstsqrtdp"));
+    // Vector stores (LSU+VSU side effects) are the most expensive instructions overall.
+    assert!(epi("stxvw4x") > epi("add"));
+    assert!(epi("stxvw4x") > epi("lbz"));
+    // IPC classes: simple ops ~3.5, FXU-only ~2, vector stores lowest.
+    assert!(ipc("add") > ipc("subf"));
+    assert!(ipc("subf") > ipc("stxvw4x"));
+
+    // The assembled table groups instructions into the paper's categories.
+    let platform = test_platform();
+    let table = Table3::from_bootstrap(platform.uarch(), &records, 3);
+    assert!(!table.category("FXU").is_empty());
+    assert!(!table.category("FXU or LSU").is_empty());
+    assert!(!table.category("LSU and VSU").is_empty());
+    assert!(table.max_category_spread() > 0.10, "intra-category EPI spread should be visible");
+}
+
+#[test]
+fn ipc_epi_heuristic_selects_energetic_busy_instructions() {
+    let (props, _) = bootstrap();
+    let platform = test_platform();
+    let selected = select_ipc_epi_instructions(platform.uarch(), &props);
+    assert_eq!(selected.len(), 3, "one instruction per FXU/LSU/VSU category");
+    for (_, _, score) in &selected {
+        assert!(*score > 0.0);
+    }
+    let sequences = microprobe_sequences(platform.uarch(), &props);
+    assert_eq!(sequences.len(), 540);
+}
+
+#[test]
+fn stressmarks_draw_more_power_than_daxpy() {
+    let platform = test_platform();
+    let arch = platform.uarch().clone();
+    let cores = 2;
+    let smt = SmtMode::Smt4;
+
+    let daxpy = &daxpy_kernels(&arch, 48).expect("daxpy generates")[0];
+    let daxpy_power = platform.run(daxpy, CmpSmtConfig::new(cores, smt)).average_power();
+
+    let search = StressmarkSearch::new(&platform)
+        .with_cores(cores)
+        .with_loop_instructions(48)
+        .with_smt_modes(vec![smt]);
+    let results = search.evaluate_set(&expert_manual_set(&arch)).expect("expert set runs");
+    let best = results.iter().map(|r| r.power).fold(f64::NEG_INFINITY, f64::max);
+    let worst = results.iter().map(|r| r.power).fold(f64::INFINITY, f64::min);
+
+    assert!(
+        best > daxpy_power,
+        "expert stressmark ({best:.1}) should exceed DAXPY ({daxpy_power:.1})"
+    );
+    // Same instruction distribution, different order: power differs (the paper reports
+    // differences of up to 17%).
+    assert!(best / worst > 1.001, "instruction order should influence power");
+}
