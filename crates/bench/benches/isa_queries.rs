@@ -1,0 +1,27 @@
+//! Criterion benches of the ISA definition module: full-table construction and the
+//! property-query API that every generation policy sits on (the hot path of
+//! `Select ins in arch.isa() if ...` filters).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mp_isa::power_isa::power_isa_v206b;
+
+fn bench_isa_construction(c: &mut Criterion) {
+    c.bench_function("power_isa_v206b_build", |b| b.iter(power_isa_v206b));
+}
+
+fn bench_isa_selection(c: &mut Criterion) {
+    let isa = power_isa_v206b();
+    let mut group = c.benchmark_group("isa_select");
+    group.bench_function("loads", |b| {
+        b.iter(|| isa.instructions().filter(|i| i.is_load()).count())
+    });
+    group.bench_function("vector_loads", |b| {
+        b.iter(|| isa.instructions().filter(|i| i.is_load() && i.is_vector()).count())
+    });
+    group.bench_function("compute_instructions", |b| b.iter(|| isa.compute_instructions()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_isa_construction, bench_isa_selection);
+criterion_main!(benches);

@@ -12,7 +12,10 @@ fn synthetic_training(samples: usize) -> TrainingSet {
     let mut set = TrainingSet::new();
     for i in 0..samples {
         let cores = 1 + (i as u32 % 8);
-        let smt = SmtMode::ALL[i % 3];
+        // Decorrelated from the `i % 3` kind split below, so the micro-architecture
+        // samples (i % 3 != 0) cover every SMT mode — the trainer requires 1-core SMT1
+        // and SMT2/SMT4 micro-arch samples for its methodology steps 1 and 2.
+        let smt = SmtMode::ALL[(i / 3) % 3];
         let a = ActivityVector {
             fxu: rng.gen_range(0.0..4.0),
             vsu: rng.gen_range(0.0..3.0),

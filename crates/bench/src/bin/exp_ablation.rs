@@ -7,8 +7,9 @@
 //!
 //! Usage: `cargo run --release -p mp-bench --bin exp_ablation [quick|standard|full]`
 
+use microprobe::platform::Platform;
 use mp_bench::{ExperimentScale, Experiments};
-use mp_power::{paae, PowerModel, TopDownModel, WorkloadSample};
+use mp_power::{paae, TopDownModel, WorkloadSample};
 
 fn main() {
     let scale = ExperimentScale::from_arg(std::env::args().nth(1).as_deref());

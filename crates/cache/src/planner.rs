@@ -103,7 +103,7 @@ impl<'a> AccessPlanner<'a> {
         // pool, which an arbitrary permutation would break.
         let mut level_sequence: Vec<MemLevel> = Vec::with_capacity(n_accesses);
         for (level, count) in counts {
-            level_sequence.extend(std::iter::repeat(level).take(count));
+            level_sequence.extend(std::iter::repeat_n(level, count));
         }
         level_sequence.shuffle(&mut rng);
 

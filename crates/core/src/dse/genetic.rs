@@ -84,7 +84,7 @@ impl GeneticSearch {
             })
             .collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores are comparable"));
-        history.extend(std::iter::repeat(scored[0].1).take(self.population));
+        history.extend(std::iter::repeat_n(scored[0].1, self.population));
 
         for _ in 0..self.generations {
             let mut next: Vec<(S::Point, f64)> = scored.iter().take(self.elite).cloned().collect();

@@ -89,8 +89,9 @@ impl Pass for DependencyDistancePass {
         let mut written: Vec<Vec<(RegisterFile, RegRef)>> = vec![Vec::new(); n];
 
         // First rewrite destinations to a rotating pool so producers are predictable.
-        for idx in 0..n {
-            let slot = &mut ir.slots_mut()[idx];
+        for (idx, (slot, written_here)) in
+            ir.slots_mut().iter_mut().zip(written.iter_mut()).enumerate()
+        {
             let def = isa.def(slot.opcode);
             for (kind, op) in def.operands().iter().zip(slot.operands.iter_mut()) {
                 let (Some(file), Some(access)) = (kind.register_file(), kind.access()) else {
@@ -102,7 +103,7 @@ impl Pass for DependencyDistancePass {
                 if access.writes() {
                     let reg = Self::pool_register(file, idx);
                     *op = Operand::Reg(reg);
-                    written[idx].push((file, reg));
+                    written_here.push((file, reg));
                 }
             }
         }

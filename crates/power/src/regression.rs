@@ -171,12 +171,14 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
         }
         a.swap(col, pivot);
         b.swap(col, pivot);
-        for row in col + 1..n {
-            let factor = a[row][col] / a[col][col];
-            for k in col..n {
-                a[row][k] -= factor * a[col][k];
+        let (pivot_rows, rest) = a.split_at_mut(col + 1);
+        let pivot_row = &pivot_rows[col];
+        for (offset, row) in rest.iter_mut().enumerate() {
+            let factor = row[col] / pivot_row[col];
+            for (cell, &pivot_cell) in row[col..].iter_mut().zip(&pivot_row[col..]) {
+                *cell -= factor * pivot_cell;
             }
-            b[row] -= factor * b[col];
+            b[col + 1 + offset] -= factor * b[col];
         }
     }
     let mut x = vec![0.0; n];

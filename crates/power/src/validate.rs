@@ -63,7 +63,7 @@ pub fn per_config_paae<'a, M: PowerModel + ?Sized>(
     }
     let mut per_config = BTreeMap::new();
     for (config, group) in grouped {
-        let value = paae(model, group.into_iter())?;
+        let value = paae(model, group)?;
         per_config.insert(config, value);
     }
     let mean = per_config.values().sum::<f64>() / per_config.len() as f64;
@@ -99,7 +99,7 @@ mod tests {
 
     #[test]
     fn paae_is_mean_relative_error_in_percent() {
-        let samples = vec![sample(1, 100.0), sample(1, 200.0)];
+        let samples = [sample(1, 100.0), sample(1, 200.0)];
         // Predictions of 110 and 180 give errors of 10% and 10%.
         struct TwoPoint;
         impl PowerModel for TwoPoint {
@@ -120,7 +120,7 @@ mod tests {
 
     #[test]
     fn per_config_groups_and_averages() {
-        let samples = vec![sample(1, 100.0), sample(2, 100.0), sample(2, 50.0)];
+        let samples = [sample(1, 100.0), sample(2, 100.0), sample(2, 50.0)];
         let (per_config, mean) = per_config_paae(&Constant(100.0), samples.iter()).unwrap();
         assert_eq!(per_config.len(), 2);
         assert!((per_config[&CmpSmtConfig::new(1, SmtMode::Smt1)] - 0.0).abs() < 1e-9);

@@ -176,8 +176,8 @@ impl ChipSim {
             self.accrue_static(&mut breakdown, config);
 
             let elapsed = now - start + 1;
-            if elapsed % self.options.sample_cycles == 0 || now + 1 == end {
-                let window_cycles = if elapsed % self.options.sample_cycles == 0 {
+            if elapsed.is_multiple_of(self.options.sample_cycles) || now + 1 == end {
+                let window_cycles = if elapsed.is_multiple_of(self.options.sample_cycles) {
                     self.options.sample_cycles
                 } else {
                     elapsed % self.options.sample_cycles

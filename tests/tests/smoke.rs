@@ -1,0 +1,30 @@
+//! Fast smoke test of the shared fixture every integration test builds on: the
+//! simulated platform must construct and complete a minimal 1-core SMT1 measurement
+//! without panicking, and report physically sensible numbers.
+
+use microprobe::platform::Platform;
+use microprobe::prelude::*;
+use mp_integration::test_platform;
+
+#[test]
+fn test_platform_runs_a_minimal_measurement() {
+    let platform = test_platform();
+    assert_eq!(platform.uarch().name, "POWER7");
+
+    let arch = platform.uarch().clone();
+    let computes = arch.isa.compute_instructions();
+    assert!(!computes.is_empty(), "ISA exposes compute instructions");
+
+    let mut synth = Synthesizer::new(arch).with_name_prefix("smoke");
+    synth.add_pass(SkeletonPass::endless_loop(32));
+    synth.add_pass(InstructionMixPass::uniform(computes));
+    synth.add_pass(DependencyDistancePass::random(1, 4));
+    let bench = synth.synthesize().expect("benchmark generates");
+
+    let measurement = platform.run(&bench, CmpSmtConfig::new(1, SmtMode::Smt1));
+    assert!(measurement.chip_ipc() > 0.0, "a compute loop retires instructions");
+    assert!(
+        measurement.average_power() > platform.idle_power(),
+        "running a kernel draws more than idle power"
+    );
+}

@@ -1,0 +1,279 @@
+//! Vendored, self-contained reimplementation of the subset of the `proptest` API this
+//! workspace uses.
+//!
+//! The build environment has no network route to a crates.io registry, so the real
+//! `proptest` crate cannot be downloaded.  This stub supports the patterns the test
+//! suite actually writes:
+//!
+//! * the [`proptest!`] macro, with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` inner attribute and
+//!   `arg in strategy` bindings;
+//! * numeric range strategies (`16usize..64`, `0.0f64..1.0`, `0u64..u64::MAX`, ...);
+//! * [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assume!`].
+//!
+//! Unlike the real proptest there is **no shrinking** and no persistence of failing
+//! cases: a failing case panics with the sampled inputs so it can be reproduced by
+//! hand.  Sampling is deterministic per test function (fixed seed + case index), which
+//! suits a CI environment better than OS entropy anyway.
+
+use rand::rngs::SmallRng;
+
+pub mod test_runner {
+    //! Runner configuration and case-level control flow.
+
+    /// Runner configuration (`ProptestConfig` in the prelude).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of cases sampled per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // The real default is 256; 64 keeps the simulator-heavy properties fast
+            // while still exercising a meaningful sample of the input space.
+            Self { cases: 64 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is skipped, not failed.
+        Reject(String),
+        /// A `prop_assert*!` failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Convenience constructor used by the assertion macros.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self::Fail(msg.into())
+        }
+
+        /// Convenience constructor used by `prop_assume!`.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            Self::Reject(msg.into())
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.  Only numeric ranges are needed here.
+
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of values for one `arg in strategy` binding.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: Clone + Debug;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// `proptest::strategy::Just` — always the same value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut SmallRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+/// Deterministic per-test RNG used by the [`proptest!`] expansion.
+#[doc(hidden)]
+pub fn __test_rng(test_name: &str) -> SmallRng {
+    use rand::SeedableRng;
+    // FNV-1a over the test name so each property gets its own stream.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    SmallRng::seed_from_u64(hash)
+}
+
+/// Defines property tests: samples each `arg in strategy` binding `config.cases` times
+/// and runs the body; failures panic with the sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_body! { config = $config; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_body! {
+            config = $crate::test_runner::Config::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (
+        config = $config:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $( $arg:ident in $strategy:expr ),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $config;
+                let mut __rng = $crate::__test_rng(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut __rng);
+                    )*
+                    let __inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}, ",)* ""),
+                        $(::std::clone::Clone::clone(&$arg),)*
+                    );
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::std::result::Result::Ok(())
+                        })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                            // Input rejected by prop_assume!; skip this case.
+                        }
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                            panic!(
+                                "proptest case {} failed: {}\n  inputs: {}",
+                                __case, __msg, __inputs
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = ($left, $right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __l,
+                    __r
+                ),
+            ));
+        }
+    }};
+}
+
+/// Skips the current case (without failing) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..9, f in 0.25f64..0.75, s in 1u64..=4) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((0.25..0.75).contains(&f));
+            prop_assert!((1..=4).contains(&s));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn assume_skips_without_failing(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn per_test_rng_is_deterministic() {
+        use rand::RngCore;
+        let mut a = crate::__test_rng("some::test");
+        let mut b = crate::__test_rng("some::test");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

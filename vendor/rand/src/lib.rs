@@ -1,0 +1,501 @@
+//! Vendored, self-contained reimplementation of the subset of the `rand` 0.8 API this
+//! workspace uses.
+//!
+//! The build environment has no network route to a crates.io registry, so the workspace
+//! cannot download the real `rand` crate.  This crate provides the same *interface* for
+//! the calls the sources make — [`Rng::gen`], [`Rng::gen_range`], [`Rng::gen_bool`],
+//! [`SeedableRng::seed_from_u64`], [`rngs::SmallRng`] and
+//! [`seq::SliceRandom::shuffle`]/[`seq::SliceRandom::choose`] — with deterministic,
+//! well-distributed output.  The generated streams are **not bit-compatible** with
+//! upstream `rand`; everything in this repository treats the RNG as an opaque
+//! reproducible source, so only determinism per seed matters.
+//!
+//! `SmallRng` is xoshiro256++ (the algorithm upstream `rand` 0.8 uses on 64-bit
+//! targets) seeded through SplitMix64, per the xoshiro authors' recommendation.
+
+/// Low-level source of random 32/64-bit words.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the RNG from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the RNG from a `u64`, expanding it with SplitMix64 as upstream does.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64(state);
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = sm.next().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// High-level convenience methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniformly random value of `T` (see [`distributions::Standard`]).
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// A uniformly random value in `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    /// Panics if the range is empty, matching upstream behaviour.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: uniform::SampleUniform,
+        R: uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} outside [0, 1]");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod distributions {
+    //! The tiny slice of `rand::distributions` the workspace needs.
+
+    use super::RngCore;
+
+    /// A distribution of values of type `T`.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" uniform distribution over a whole type (floats in `[0, 1)`).
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Standard;
+
+    macro_rules! standard_int {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Distribution<u128> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+            (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+        }
+    }
+
+    impl Distribution<i128> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i128 {
+            <Standard as Distribution<u128>>::sample(self, rng) as i128
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 uniformly distributed mantissa bits in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+        }
+    }
+
+    /// Uniform distribution over a fixed range, reusable across samples.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Uniform<T> {
+        low: T,
+        high: T,
+        inclusive: bool,
+    }
+
+    impl<T: super::uniform::SampleUniform + Copy> Uniform<T> {
+        /// Uniform over `[low, high)`.
+        pub fn new(low: T, high: T) -> Self {
+            Self { low, high, inclusive: false }
+        }
+
+        /// Uniform over `[low, high]`.
+        pub fn new_inclusive(low: T, high: T) -> Self {
+            Self { low, high, inclusive: true }
+        }
+    }
+
+    impl<T: super::uniform::SampleUniform + Copy> Distribution<T> for Uniform<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+            if self.inclusive {
+                T::sample_single_inclusive(self.low, self.high, rng)
+            } else {
+                T::sample_single(self.low, self.high, rng)
+            }
+        }
+    }
+}
+
+pub mod uniform {
+    //! Uniform range sampling (`Rng::gen_range` plumbing).
+
+    use super::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types that can be drawn uniformly from a range.
+    pub trait SampleUniform: PartialOrd + Copy {
+        /// Uniform draw from `[low, high)`.  Panics if the range is empty.
+        fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+        /// Uniform draw from `[low, high]`.  Panics if `high < low`.
+        fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    }
+
+    // Unbiased enough for simulation purposes: scale a 64-bit draw into the span with a
+    // 128-bit fixed-point multiply (Lemire's multiply-shift, without the rejection step;
+    // bias is < 2^-64 per draw for every span the workspace uses).
+    fn scale_u128<R: RngCore + ?Sized>(span: u128, rng: &mut R) -> u128 {
+        debug_assert!(span > 0);
+        if span <= u128::from(u64::MAX) {
+            (u128::from(rng.next_u64()) * span) >> 64
+        } else {
+            // Spans wider than 2^64 only arise for 128-bit types; draw two words.
+            let hi = (u128::from(rng.next_u64()) * (span >> 64)) >> 64;
+            (hi << 64) | u128::from(rng.next_u64())
+        }
+    }
+
+    // The span is always computed in the *unsigned* wide type: for signed types the
+    // two's-complement wrapping difference of the sign-extended operands is exactly the
+    // true span (e.g. i64::MIN..i64::MAX spans u64::MAX), where a signed-typed span
+    // would wrap negative and sign-extend to a bogus near-2^128 value.
+    macro_rules! uniform_int {
+        ($($t:ty => $wide:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    assert!(low < high, "gen_range: empty range {low}..{high}");
+                    let span = (high as $wide).wrapping_sub(low as $wide) as u128;
+                    low.wrapping_add(scale_u128(span, rng) as $t)
+                }
+                fn sample_single_inclusive<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    assert!(low <= high, "gen_range: empty range {low}..={high}");
+                    let span = ((high as $wide).wrapping_sub(low as $wide) as u128) + 1;
+                    low.wrapping_add(scale_u128(span, rng) as $t)
+                }
+            }
+        )*};
+    }
+    uniform_int!(
+        u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+        i8 => u64, i16 => u64, i32 => u64, i64 => u64, isize => u64
+    );
+
+    macro_rules! uniform_float {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    assert!(low < high, "gen_range: empty range {low}..{high}");
+                    let unit = (rng.next_u64() >> 11) as $t * (1.0 / (1u64 << 53) as $t);
+                    let value = low + (high - low) * unit;
+                    // Guard against rounding up to the open bound.
+                    if value < high { value } else { low }
+                }
+                fn sample_single_inclusive<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    assert!(low <= high, "gen_range: empty range {low}..={high}");
+                    let unit = (rng.next_u64() >> 11) as $t * (1.0 / ((1u64 << 53) - 1) as $t);
+                    let value = low + (high - low) * unit;
+                    // `low + (high-low)*1.0` can round past `high`; clamp to the bound.
+                    if value > high { high } else { value }
+                }
+            }
+        )*};
+    }
+    uniform_float!(f32, f64);
+
+    /// Ranges accepted by [`Rng::gen_range`](super::Rng::gen_range).
+    pub trait SampleRange<T> {
+        /// Draws one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_single(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_single_inclusive(*self.start(), *self.end(), rng)
+        }
+    }
+}
+
+pub mod rngs {
+    //! Concrete RNG implementations.
+
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++: the small, fast, non-cryptographic generator upstream `rand` 0.8
+    /// uses for `SmallRng` on 64-bit platforms.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (word, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+                *word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            // An all-zero state is the one fixed point of xoshiro; nudge it.
+            if s == [0; 4] {
+                s = [0x9e37_79b9_7f4a_7c15, 0x6a09_e667_f3bc_c909, 0xbb67_ae85_84ca_a73b, 1];
+            }
+            Self { s }
+        }
+    }
+}
+
+pub mod seq {
+    //! Slice shuffling and choosing.
+
+    use super::uniform::SampleUniform;
+    use super::{Rng, RngCore};
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = usize::sample_single_inclusive(0, i, rng);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `rand::prelude`.
+    pub use super::distributions::Distribution;
+    pub use super::rngs::SmallRng;
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+// Re-exports at the crate root, as upstream.
+pub use distributions::Distribution;
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let stream_a: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let stream_b: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(stream_a, stream_b);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10usize..20);
+            assert!((10..20).contains(&v));
+            let f = rng.gen_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let i = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_full_u64_span() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let _ = rng.gen_range(0u64..u64::MAX);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_full_signed_span() {
+        // Spans wider than i64::MAX must not wrap negative (regression: the span used
+        // to be computed in the signed type, sign-extending to a bogus 128-bit value).
+        let mut rng = SmallRng::seed_from_u64(13);
+        let mut saw_negative = false;
+        let mut saw_positive = false;
+        for _ in 0..1_000 {
+            let v = rng.gen_range(i64::MIN..i64::MAX);
+            saw_negative |= v < 0;
+            saw_positive |= v > 0;
+            let w = rng.gen_range(-128i8..=127);
+            assert!((-128..=127).contains(&w));
+        }
+        assert!(saw_negative && saw_positive, "full-span draws must cover both signs");
+    }
+
+    #[test]
+    fn inclusive_float_range_never_exceeds_bound() {
+        // Regression: `low + (high-low)*1.0` can round past `high` without a clamp.
+        let mut rng = SmallRng::seed_from_u64(17);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(0.1f64..=0.3);
+            assert!((0.1..=0.3).contains(&v), "{v} escaped 0.1..=0.3");
+        }
+        // Degenerate range must return the single member exactly.
+        assert_eq!(rng.gen_range(0.25f64..=0.25), 0.25);
+    }
+
+    #[test]
+    fn unit_floats_stay_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..64).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+        assert_ne!(v, (0..64).collect::<Vec<_>>(), "64 elements almost surely move");
+    }
+
+    #[test]
+    fn choose_returns_member() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let v = [1, 2, 3];
+        assert!(v.contains(v.choose(&mut rng).unwrap()));
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}
