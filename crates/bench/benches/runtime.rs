@@ -1,0 +1,57 @@
+//! Benches for the `mp_runtime` subsystem: work-stealing executor overhead across
+//! worker counts, and the memoized replay path of an experiment session.
+
+use criterion::{criterion_group, criterion_main, black_box, BenchmarkId, Criterion};
+use microprobe::platform::SimPlatform;
+use microprobe::prelude::*;
+use mp_power::SampleKind;
+use mp_runtime::{par_map_with_workers, ExperimentPlan, ExperimentSession};
+use mp_uarch::{CmpSmtConfig, SmtMode};
+
+fn bench_par_map(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime/par_map");
+    group.sample_size(10);
+    let items: Vec<u64> = (0..512).collect();
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("mix64", workers), &workers, |b, &w| {
+            b.iter(|| {
+                par_map_with_workers(w, &items, |x| {
+                    // A few rounds of integer mixing per item: enough work to observe
+                    // scheduling overhead without drowning it.
+                    let mut v = *x;
+                    for _ in 0..64 {
+                        v = v.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(13) ^ *x;
+                    }
+                    v
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_session(c: &mut Criterion) {
+    let arch = mp_uarch::power7();
+    let computes = arch.isa.compute_instructions();
+    let mut synth = Synthesizer::new(arch).with_name_prefix("bench-session");
+    synth.add_pass(SkeletonPass::endless_loop(32));
+    synth.add_pass(InstructionMixPass::uniform(computes));
+    let bench = synth.synthesize().expect("benchmark synthesizes");
+
+    let mut plan = ExperimentPlan::new();
+    let configs = [CmpSmtConfig::new(1, SmtMode::Smt1), CmpSmtConfig::new(2, SmtMode::Smt2)];
+    plan.sweep("bench-session", &bench, &configs, SampleKind::Random);
+
+    let session = ExperimentSession::new(SimPlatform::power7_fast());
+    // Warm the memo cache; the bench then measures the pure replay path
+    // (content-hashing + cache lookup + sample relabelling, no simulation).
+    let _ = session.run(&plan);
+
+    let mut group = c.benchmark_group("runtime/session");
+    group.sample_size(10);
+    group.bench_function("memoized_replay", |b| b.iter(|| black_box(session.run(&plan))));
+    group.finish();
+}
+
+criterion_group!(runtime_benches, bench_par_map, bench_session);
+criterion_main!(runtime_benches);

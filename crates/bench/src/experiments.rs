@@ -6,7 +6,7 @@
 
 use std::fmt::Write as _;
 
-use microprobe::bootstrap::{Bootstrap, BootstrapOptions, BootstrapRecord};
+use microprobe::bootstrap::{BootstrapOptions, BootstrapRecord};
 use microprobe::platform::{Platform, SimPlatform};
 use mp_power::{
     paae, per_config_paae, BottomUpModel, PowerModel, SampleKind, TopDownModel, TrainingSet,
@@ -20,7 +20,9 @@ use mp_stressmark::{
 use mp_uarch::{CmpSmtConfig, InstrPropsTable, SmtMode};
 use mp_workloads::{daxpy_kernels, extreme_cases, spec_proxies, TrainingOptions, TrainingSuite};
 
-use crate::runner::{default_parallelism, measure_benchmarks, MeasuredBenchmark};
+use mp_runtime::ExperimentSession;
+
+use crate::runner::{measurement_plan, MeasuredBenchmark};
 use crate::table3::Table3;
 
 /// How large an experiment run should be.
@@ -149,22 +151,30 @@ pub struct StressmarkStudy {
 }
 
 /// The experiment driver.
+///
+/// All measurement flows through one memoizing [`ExperimentSession`], so a process that
+/// regenerates several figures (e.g. `reproduce_all`) measures each unique
+/// `(benchmark, configuration)` pair exactly once.
 pub struct Experiments {
-    platform: SimPlatform,
+    session: ExperimentSession<SimPlatform>,
     scale: ExperimentScale,
-    parallelism: usize,
 }
 
 impl Experiments {
     /// Creates a driver at the given scale, backed by the simulated POWER7 platform.
     pub fn new(scale: ExperimentScale) -> Self {
         let sim = ChipSim::new(mp_uarch::power7()).with_options(scale.sim_options());
-        Self { platform: SimPlatform::new(sim), scale, parallelism: default_parallelism() }
+        Self { session: ExperimentSession::new(SimPlatform::new(sim)), scale }
     }
 
     /// The platform used for all measurements.
     pub fn platform(&self) -> &SimPlatform {
-        &self.platform
+        self.session.platform()
+    }
+
+    /// The memoizing measurement session behind every experiment.
+    pub fn session(&self) -> &ExperimentSession<SimPlatform> {
+        &self.session
     }
 
     /// The CMP-SMT configurations evaluated at this scale.
@@ -183,7 +193,7 @@ impl Experiments {
     /// Generates and measures everything the power-model figures need, and trains the
     /// four models.
     pub fn model_study(&self) -> ModelStudy {
-        let arch = self.platform.uarch().clone();
+        let arch = self.platform().uarch().clone();
         let loop_len = self.scale.loop_instructions();
         let suite = TrainingSuite::generate(
             &arch,
@@ -225,8 +235,8 @@ impl Experiments {
         let all_configs = self.configs();
 
         let mut training = TrainingSet::new();
-        training.extend(measure_benchmarks(&self.platform, &micro, &all_configs, self.parallelism));
-        training.extend(measure_benchmarks(&self.platform, &random, &all_configs, self.parallelism));
+        training.extend(self.session.run(&measurement_plan(&micro, &all_configs)));
+        training.extend(self.session.run(&measurement_plan(&random, &all_configs)));
 
         // SPEC proxies and extreme cases over every evaluated configuration.
         let spec_benchmarks: Vec<MeasuredBenchmark> = spec_proxies()
@@ -238,24 +248,26 @@ impl Experiments {
                 MeasuredBenchmark::new(proxy.name, bench, SampleKind::Spec)
             })
             .collect();
-        let spec: Vec<WorkloadSample> =
-            measure_benchmarks(&self.platform, &spec_benchmarks, &all_configs, self.parallelism)
-                .into_iter()
-                .map(|(s, _)| s)
-                .collect();
+        let spec: Vec<WorkloadSample> = self
+            .session
+            .run(&measurement_plan(&spec_benchmarks, &all_configs))
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
 
         let extreme_benchmarks: Vec<MeasuredBenchmark> = extreme_cases(&arch, loop_len)
             .expect("extreme cases generate")
             .into_iter()
             .map(|case| MeasuredBenchmark::new(case.name, case.benchmark, SampleKind::Extreme))
             .collect();
-        let extreme: Vec<WorkloadSample> =
-            measure_benchmarks(&self.platform, &extreme_benchmarks, &all_configs, self.parallelism)
-                .into_iter()
-                .map(|(s, _)| s)
-                .collect();
+        let extreme: Vec<WorkloadSample> = self
+            .session
+            .run(&measurement_plan(&extreme_benchmarks, &all_configs))
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
 
-        let idle_power = self.platform.idle_power();
+        let idle_power = self.platform().idle_power();
         let bu = BottomUpModel::train(&training, idle_power)
             .expect("the training set covers every methodology step");
 
@@ -275,18 +287,19 @@ impl Experiments {
         ModelStudy { training, spec, extreme, idle_power, bu, models }
     }
 
-    /// Runs the per-instruction bootstrap and assembles the Table 3 taxonomy.
+    /// Runs the per-instruction bootstrap (in parallel, through the session) and
+    /// assembles the Table 3 taxonomy.
     pub fn taxonomy_study(&self) -> TaxonomyStudy {
         let options = BootstrapOptions {
             loop_instructions: self.scale.loop_instructions().min(512),
-            config: CmpSmtConfig::new(self.platform.uarch().max_cores, SmtMode::Smt1),
+            config: CmpSmtConfig::new(self.platform().uarch().max_cores, SmtMode::Smt1),
             include: self.scale.bootstrap_instructions(),
         };
-        let (props, records) = Bootstrap::new(&self.platform)
-            .with_options(options)
-            .run()
+        let (props, records) = self
+            .session
+            .bootstrap(options)
             .expect("bootstrap generation is infallible for the built-in ISA");
-        let table = Table3::from_bootstrap(self.platform.uarch(), &records, 3);
+        let table = Table3::from_bootstrap(self.platform().uarch(), &records, 3);
         TaxonomyStudy { records, props, table }
     }
 
@@ -295,7 +308,7 @@ impl Experiments {
     /// [`ModelStudy::spec`]); `props` is the bootstrapped table driving the IPC×EPI
     /// heuristic (from [`TaxonomyStudy::props`]).
     pub fn stressmark_study(&self, spec_max_power: f64, props: &InstrPropsTable) -> StressmarkStudy {
-        let arch = self.platform.uarch();
+        let arch = self.platform().uarch();
         let budget = self.scale.stressmark_budget();
         let smt_modes = match self.scale {
             ExperimentScale::Quick => vec![SmtMode::Smt4],
@@ -304,7 +317,7 @@ impl Experiments {
         // The stressmarks and the SPEC normalisation baseline must run on the same number
         // of cores, otherwise the comparison is meaningless.
         let cores = self.scale.cores().into_iter().max().unwrap_or(arch.max_cores);
-        let search = StressmarkSearch::new(&self.platform)
+        let search = StressmarkSearch::new(self.platform())
             .with_cores(cores)
             .with_loop_instructions(self.scale.loop_instructions().min(384))
             .with_smt_modes(smt_modes.clone());
@@ -321,7 +334,7 @@ impl Experiments {
                 let mut best_ipc = 0.0;
                 let mut best_mode = SmtMode::Smt1;
                 for &mode in &smt_modes {
-                    let m = self.platform.run(bench, CmpSmtConfig::new(cores, mode));
+                    let m = self.session.measure(bench, CmpSmtConfig::new(cores, mode));
                     if m.average_power() > best_power {
                         best_power = m.average_power();
                         best_ipc = m.chip_ipc();
@@ -374,7 +387,7 @@ impl Experiments {
 
     /// Table 2: the generated training suite summary.
     pub fn table2(&self) -> String {
-        let arch = self.platform.uarch().clone();
+        let arch = self.platform().uarch().clone();
         let suite = TrainingSuite::generate(
             &arch,
             TrainingOptions::reduced(
@@ -613,6 +626,15 @@ impl Experiments {
             model_study.spec.iter().map(|s| s.power).fold(f64::NEG_INFINITY, f64::max);
         let stressmark = self.stressmark_study(spec_max, &taxonomy.props);
         out.push_str(&self.fig9(&stressmark));
+        out.push('\n');
+        // Deliberately omits the worker count: run_all output must stay byte-identical
+        // across MP_THREADS settings (the counts below are scheduling-independent).
+        let stats = self.session.stats();
+        let _ = writeln!(
+            out,
+            "# Runtime — {} measurement jobs submitted, {} unique runs, {} memoized hits",
+            stats.submitted, stats.misses, stats.hits
+        );
         out
     }
 }

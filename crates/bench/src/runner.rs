@@ -1,8 +1,15 @@
 //! Parallel measurement of benchmark populations across CMP-SMT configurations.
+//!
+//! This is a thin wrapper over [`mp_runtime`]: populations are translated into a
+//! declarative [`ExperimentPlan`] and executed by a (possibly caller-shared, memoizing)
+//! [`ExperimentSession`] on the work-stealing executor.  Results come back in plan
+//! order — benchmark-major, then configuration — identical to a serial run regardless
+//! of the worker count.
 
 use microprobe::ir::MicroBenchmark;
 use microprobe::platform::Platform;
 use mp_power::{SampleKind, WorkloadSample};
+use mp_runtime::{ExperimentPlan, ExperimentSession};
 use mp_uarch::CmpSmtConfig;
 
 /// A benchmark queued for measurement, with the label the power models use.
@@ -23,55 +30,39 @@ impl MeasuredBenchmark {
     }
 }
 
+/// Builds the measurement plan for every `(benchmark, configuration)` pair,
+/// benchmark-major.
+pub fn measurement_plan(
+    benchmarks: &[MeasuredBenchmark],
+    configs: &[CmpSmtConfig],
+) -> ExperimentPlan {
+    let mut plan = ExperimentPlan::new();
+    for mb in benchmarks {
+        plan.sweep(mb.name.clone(), &mb.benchmark, configs, mb.kind);
+    }
+    plan
+}
+
 /// Runs every `(benchmark, configuration)` pair and returns the measured workload
 /// samples together with their labels.
 ///
-/// Work is spread over `parallelism` OS threads (the simulated platform is pure
-/// computation, so this scales with host cores).
+/// Work is spread over `parallelism` workers of the `mp_runtime` work-stealing executor
+/// (the simulated platform is pure computation, so this scales with host cores).
+/// Callers that measure repeatedly should hold their own [`ExperimentSession`] instead
+/// and submit plans to it, so repeated pairs are memoized.
 pub fn measure_benchmarks<P: Platform>(
     platform: &P,
     benchmarks: &[MeasuredBenchmark],
     configs: &[CmpSmtConfig],
     parallelism: usize,
 ) -> Vec<(WorkloadSample, SampleKind)> {
-    let jobs: Vec<(usize, CmpSmtConfig)> = benchmarks
-        .iter()
-        .enumerate()
-        .flat_map(|(i, _)| configs.iter().map(move |c| (i, *c)))
-        .collect();
-    if jobs.is_empty() {
-        return Vec::new();
-    }
-    let parallelism = parallelism.max(1).min(jobs.len());
-    let chunk_size = jobs.len().div_ceil(parallelism);
-
-    let mut results: Vec<Vec<(WorkloadSample, SampleKind)>> = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = jobs
-            .chunks(chunk_size)
-            .map(|chunk| {
-                scope.spawn(move || {
-                    chunk
-                        .iter()
-                        .map(|(idx, config)| {
-                            let mb = &benchmarks[*idx];
-                            let measurement = platform.run(&mb.benchmark, *config);
-                            (WorkloadSample::from_measurement(&mb.name, &measurement), mb.kind)
-                        })
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        for handle in handles {
-            results.push(handle.join().expect("measurement worker does not panic"));
-        }
-    });
-    results.into_iter().flatten().collect()
+    let session = ExperimentSession::new(platform).with_workers(parallelism);
+    session.run(&measurement_plan(benchmarks, configs))
 }
 
-/// Default parallelism: the host's available cores.
+/// Default parallelism: `MP_THREADS` when set, otherwise the host's available cores.
 pub fn default_parallelism() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    mp_runtime::default_workers()
 }
 
 #[cfg(test)]
@@ -106,6 +97,27 @@ mod tests {
         for (s, _) in &samples {
             assert!(s.power > 0.0);
             assert!(s.ipc > 0.0);
+        }
+    }
+
+    #[test]
+    fn results_are_benchmark_major_and_deterministic() {
+        let platform = SimPlatform::power7_fast();
+        let benchmarks = vec![
+            MeasuredBenchmark::new("a", tiny_benchmark("a"), SampleKind::MicroArch),
+            MeasuredBenchmark::new("b", tiny_benchmark("b"), SampleKind::Random),
+        ];
+        let configs =
+            vec![CmpSmtConfig::new(1, SmtMode::Smt1), CmpSmtConfig::new(2, SmtMode::Smt2)];
+        let serial = measure_benchmarks(&platform, &benchmarks, &configs, 1);
+        let names: Vec<&str> = serial.iter().map(|(s, _)| s.name.as_str()).collect();
+        assert_eq!(names, ["a", "a", "b", "b"]);
+        for workers in 2..=4 {
+            assert_eq!(
+                measure_benchmarks(&platform, &benchmarks, &configs, workers),
+                serial,
+                "workers={workers}"
+            );
         }
     }
 

@@ -10,6 +10,7 @@
 //! (EPI) and average power.  Registers, immediates and memory are initialised with
 //! random values so that instructions are compared fairly.
 
+use mp_sim::Measurement;
 use mp_uarch::{CmpSmtConfig, CounterValues, InstrProps, InstrPropsTable, SmtMode};
 
 use mp_isa::{InstructionDef, OpcodeId, Unit};
@@ -44,6 +45,20 @@ impl Default for BootstrapOptions {
             include: None,
         }
     }
+}
+
+/// One instruction's characterisation workload: the dependency-chained loop (latency)
+/// and the dependency-free loop (throughput, EPI), both run on the same configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BootstrapJob {
+    /// Instruction mnemonic the pair characterises.
+    pub mnemonic: String,
+    /// Serial dependency-chain loop: yields the instruction latency.
+    pub chained: MicroBenchmark,
+    /// Dependency-free loop: yields throughput (core IPC) and EPI.
+    pub independent: MicroBenchmark,
+    /// CMP-SMT configuration both loops run on.
+    pub config: CmpSmtConfig,
 }
 
 /// The result of bootstrapping one instruction (also recorded into the table).
@@ -93,19 +108,17 @@ impl<'a, P: Platform> Bootstrap<'a, P> {
             && !def.flags().contains(mp_isa::InstrFlags::SYNC)
     }
 
-    /// Runs the bootstrap and returns the per-instruction property table with the
-    /// measured fields (`epi`, `avg_power`, `measured_ipc`, `measured_latency`, units)
-    /// filled in.
+    /// Generates the characterisation benchmark pair for every eligible instruction —
+    /// the declarative half of the bootstrap.  The jobs are independent of each other,
+    /// so callers may measure them in any order (or in parallel) and hand the
+    /// measurements back to [`assemble`](Self::assemble).
     ///
     /// # Errors
     ///
     /// Returns the first benchmark generation failure.
-    pub fn run(&self) -> Result<(InstrPropsTable, Vec<BootstrapRecord>), PassError> {
+    pub fn jobs(&self) -> Result<Vec<BootstrapJob>, PassError> {
         let uarch = self.platform.uarch();
-        let idle = self.platform.idle_power();
-        let mut table = InstrPropsTable::new();
-        let mut records = Vec::new();
-
+        let mut jobs = Vec::new();
         for (opcode, def) in uarch.isa.entries() {
             if !Self::eligible(def) {
                 continue;
@@ -115,15 +128,45 @@ impl<'a, P: Platform> Bootstrap<'a, P> {
                     continue;
                 }
             }
+            jobs.push(BootstrapJob {
+                mnemonic: def.mnemonic().to_owned(),
+                chained: self.benchmark_for(opcode, true)?,
+                independent: self.benchmark_for(opcode, false)?,
+                config: self.options.config,
+            });
+        }
+        Ok(jobs)
+    }
 
-            let chained = self.benchmark_for(opcode, true)?;
-            let independent = self.benchmark_for(opcode, false)?;
+    /// Derives the property table and records from the measurements of every job's
+    /// `(chained, independent)` benchmark pair, in job order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `measurements` does not have one entry per job.
+    pub fn assemble(
+        &self,
+        jobs: &[BootstrapJob],
+        measurements: &[(Measurement, Measurement)],
+    ) -> (InstrPropsTable, Vec<BootstrapRecord>) {
+        assert_eq!(
+            jobs.len(),
+            measurements.len(),
+            "one (chained, independent) measurement pair per bootstrap job"
+        );
+        let uarch = self.platform.uarch();
+        let idle = self.platform.idle_power();
+        let mut table = InstrPropsTable::new();
+        let mut records = Vec::new();
 
-            let m_chained = self.platform.run(&chained, self.options.config);
-            let m_indep = self.platform.run(&independent, self.options.config);
-
-            let threads = f64::from(self.options.config.threads());
-            let cores = f64::from(self.options.config.cores);
+        for (job, (m_chained, m_indep)) in jobs.iter().zip(measurements) {
+            let def = uarch
+                .isa
+                .get(&job.mnemonic)
+                .expect("bootstrap jobs only name ISA instructions")
+                .1;
+            let threads = f64::from(job.config.threads());
+            let cores = f64::from(job.config.cores);
 
             let thread_ipc_chained = (m_chained.chip_ipc() / threads).max(1e-6);
             let latency = 1.0 / thread_ipc_chained;
@@ -153,7 +196,32 @@ impl<'a, P: Platform> Bootstrap<'a, P> {
                 units,
             });
         }
-        Ok((table, records))
+        (table, records)
+    }
+
+    /// Runs the bootstrap serially and returns the per-instruction property table with
+    /// the measured fields (`epi`, `avg_power`, `measured_ipc`, `measured_latency`,
+    /// units) filled in.
+    ///
+    /// Parallel/memoized callers should use [`jobs`](Self::jobs) +
+    /// [`assemble`](Self::assemble) instead (e.g. through an `mp_runtime`
+    /// `ExperimentSession`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first benchmark generation failure.
+    pub fn run(&self) -> Result<(InstrPropsTable, Vec<BootstrapRecord>), PassError> {
+        let jobs = self.jobs()?;
+        let measurements: Vec<(Measurement, Measurement)> = jobs
+            .iter()
+            .map(|job| {
+                (
+                    self.platform.run(&job.chained, job.config),
+                    self.platform.run(&job.independent, job.config),
+                )
+            })
+            .collect();
+        Ok(self.assemble(&jobs, &measurements))
     }
 
     /// Generates the per-instruction characterisation loop.

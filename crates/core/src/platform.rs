@@ -27,6 +27,26 @@ pub trait Platform: Send + Sync {
     fn idle_power(&self) -> f64;
 }
 
+/// Forwarding impl so borrowed platforms can be handed to APIs that take a platform by
+/// value (e.g. a memoizing session wrapping a caller-owned platform).
+impl<P: Platform + ?Sized> Platform for &P {
+    fn uarch(&self) -> &MicroArchitecture {
+        (**self).uarch()
+    }
+
+    fn run(&self, bench: &MicroBenchmark, config: CmpSmtConfig) -> Measurement {
+        (**self).run(bench, config)
+    }
+
+    fn run_heterogeneous(&self, benches: &[MicroBenchmark], config: CmpSmtConfig) -> Measurement {
+        (**self).run_heterogeneous(benches, config)
+    }
+
+    fn idle_power(&self) -> f64 {
+        (**self).idle_power()
+    }
+}
+
 /// The simulated POWER7 platform.
 #[derive(Debug, Clone)]
 pub struct SimPlatform {

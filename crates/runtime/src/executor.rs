@@ -1,0 +1,344 @@
+//! Layer 1: a std-only work-stealing thread pool.
+//!
+//! Jobs are distributed over per-worker deques; each worker pops from the back of its
+//! own deque (LIFO, cache-friendly) and, when it runs dry, steals from the front of the
+//! other workers' deques (FIFO, oldest work first).  This keeps every worker busy even
+//! when one job is pathologically slower than the rest — the failure mode of the old
+//! chunk-per-thread split in `mp_bench::measure_benchmarks`, where a slow chunk left its
+//! sibling jobs stranded behind it.
+//!
+//! Two entry points are exposed:
+//!
+//! * [`scope`] / [`scope_with_workers`] — spawn arbitrary jobs onto a pool whose threads
+//!   may borrow from the enclosing scope (built on [`std::thread::scope`]);
+//! * [`par_map`] / [`par_map_with_workers`] — map a function over a slice in parallel
+//!   with **deterministic result ordering**: results land by input index, so the output
+//!   is identical to the serial `iter().map().collect()` regardless of the worker count
+//!   or the steal interleaving.
+//!
+//! Worker-count control: explicit (`*_with_workers`), else the `MP_THREADS` environment
+//! variable, else [`std::thread::available_parallelism`].  A panic in any job is caught,
+//! the pool is poisoned (remaining jobs are dropped), and the first panic payload is
+//! re-raised on the caller's thread once every worker has parked.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Environment variable overriding the default worker count.
+pub const THREADS_ENV: &str = "MP_THREADS";
+
+/// The default worker count: `MP_THREADS` when set to a positive integer, otherwise the
+/// host's available parallelism.
+pub fn default_workers() -> usize {
+    workers_from_env_value(std::env::var(THREADS_ENV).ok().as_deref())
+}
+
+/// Parses an `MP_THREADS` value, falling back to the host parallelism when absent or
+/// malformed (split out of [`default_workers`] so the parsing is unit-testable without
+/// mutating the process environment).
+fn workers_from_env_value(value: Option<&str>) -> usize {
+    value
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4))
+}
+
+/// The index of the pool worker running the current thread, if any.
+///
+/// Jobs can call this to attribute work to workers (used by the scheduling regression
+/// tests to assert that stealing keeps every worker busy).
+pub fn worker_index() -> Option<usize> {
+    WORKER_INDEX.with(|w| w.get())
+}
+
+thread_local! {
+    static WORKER_INDEX: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// A handle for spawning jobs onto the pool from within [`scope`].
+pub struct Scope<'env> {
+    /// One deque per worker; `spawn` deals round-robin, workers steal across them.
+    deques: Vec<Mutex<VecDeque<Job<'env>>>>,
+    /// Round-robin cursor for `spawn`.
+    next_deque: AtomicUsize,
+    /// Jobs queued or currently running.
+    pending: AtomicUsize,
+    /// Set when the scope closure has returned and no further spawns can happen.
+    closed: AtomicBool,
+    /// Set on the first job panic; workers drain out instead of starting new jobs.
+    poisoned: AtomicBool,
+    /// First panic payload, re-raised by the scope once workers have parked.
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+    /// Parking spot for idle workers.
+    idle: Mutex<()>,
+    wake: Condvar,
+}
+
+impl<'env> Scope<'env> {
+    fn new(workers: usize) -> Self {
+        Self {
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            next_deque: AtomicUsize::new(0),
+            pending: AtomicUsize::new(0),
+            closed: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
+            panic: Mutex::new(None),
+            idle: Mutex::new(()),
+            wake: Condvar::new(),
+        }
+    }
+
+    /// The number of workers serving this scope.
+    pub fn workers(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// Queues a job onto the pool.  Jobs may borrow anything that outlives the
+    /// [`scope`] call; they run concurrently with the scope closure.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'env) {
+        let slot = self.next_deque.fetch_add(1, Ordering::Relaxed) % self.deques.len();
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.deques[slot].lock().expect("deque lock never poisoned").push_back(Box::new(job));
+        self.wake.notify_one();
+    }
+
+    /// Pops the next job for worker `me`: own deque from the back, then steal from the
+    /// other deques from the front.
+    fn pop(&self, me: usize) -> Option<Job<'env>> {
+        if let Some(job) = self.deques[me].lock().expect("deque lock never poisoned").pop_back() {
+            return Some(job);
+        }
+        for offset in 1..self.deques.len() {
+            let victim = (me + offset) % self.deques.len();
+            if let Some(job) =
+                self.deques[victim].lock().expect("deque lock never poisoned").pop_front()
+            {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn worker_loop(&self, me: usize) {
+        WORKER_INDEX.with(|w| w.set(Some(me)));
+        loop {
+            if self.poisoned.load(Ordering::SeqCst) {
+                break;
+            }
+            if let Some(job) = self.pop(me) {
+                if catch_unwind(AssertUnwindSafe(job)).is_err_and(|payload| {
+                    let mut slot = self.panic.lock().expect("panic slot lock never poisoned");
+                    let first = slot.is_none();
+                    if first {
+                        *slot = Some(payload);
+                    }
+                    first
+                }) {
+                    self.poisoned.store(true, Ordering::SeqCst);
+                }
+                self.pending.fetch_sub(1, Ordering::SeqCst);
+                self.wake.notify_all();
+            } else if self.closed.load(Ordering::SeqCst)
+                && self.pending.load(Ordering::SeqCst) == 0
+            {
+                break;
+            } else {
+                // Park until new work or shutdown.  The timed wait makes lost wakeups
+                // harmless (they only cost a re-check, never a hang).
+                let guard = self.idle.lock().expect("idle lock never poisoned");
+                let _ = self
+                    .wake
+                    .wait_timeout(guard, Duration::from_millis(1))
+                    .expect("idle lock never poisoned");
+            }
+        }
+        WORKER_INDEX.with(|w| w.set(None));
+    }
+}
+
+/// Runs `f` with a work-stealing pool of [`default_workers`] threads; jobs spawned via
+/// the [`Scope`] handle run concurrently with `f` and are guaranteed to have finished
+/// (or been dropped, after a panic) when `scope` returns.
+///
+/// # Panics
+///
+/// Re-raises the first panic of any spawned job (after all workers have stopped).
+pub fn scope<'env, R>(f: impl FnOnce(&Scope<'env>) -> R) -> R {
+    scope_with_workers(default_workers(), f)
+}
+
+/// [`scope`] with an explicit worker count (clamped to at least 1).
+pub fn scope_with_workers<'env, R>(workers: usize, f: impl FnOnce(&Scope<'env>) -> R) -> R {
+    let sc = Scope::new(workers.max(1));
+    let result = std::thread::scope(|threads| {
+        let handles: Vec<_> = (0..sc.workers())
+            .map(|me| {
+                let sc = &sc;
+                threads.spawn(move || sc.worker_loop(me))
+            })
+            .collect();
+        let result = f(&sc);
+        sc.closed.store(true, Ordering::SeqCst);
+        sc.wake.notify_all();
+        for handle in handles {
+            handle.join().expect("pool workers catch job panics and never panic themselves");
+        }
+        result
+    });
+    if let Some(payload) = sc.panic.lock().expect("panic slot lock never poisoned").take() {
+        resume_unwind(payload);
+    }
+    result
+}
+
+/// Maps `f` over `items` on [`default_workers`] threads with deterministic result
+/// ordering (`result[i] == f(&items[i])`).
+///
+/// # Panics
+///
+/// Re-raises the first panic of any job.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_with_workers(default_workers(), items, f)
+}
+
+/// [`par_map`] with an explicit worker count.
+///
+/// The output is byte-identical to `items.iter().map(f).collect()` for every worker
+/// count: results are stored by job index, and `f` receives items in whatever order the
+/// stealing resolves but writes only its own slot.
+pub fn par_map_with_workers<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = workers.max(1).min(items.len().max(1));
+    if workers == 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    scope_with_workers(workers, |sc| {
+        for (slot, item) in slots.iter().zip(items) {
+            let f = &f;
+            sc.spawn(move || {
+                let result = f(item);
+                *slot.lock().expect("result slot lock never poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot lock never poisoned")
+                .expect("scope ran every job to completion")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+    use std::sync::mpsc;
+
+    #[test]
+    fn par_map_matches_serial_for_every_worker_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for workers in 1..=8 {
+            let parallel = par_map_with_workers(workers, &items, |x| x * x + 1);
+            assert_eq!(parallel, serial, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_singleton_inputs() {
+        assert_eq!(par_map_with_workers(4, &[] as &[u32], |x| *x), Vec::<u32>::new());
+        assert_eq!(par_map_with_workers(4, &[7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn scope_runs_spawned_jobs_borrowing_the_environment() {
+        let counter = AtomicU32::new(0);
+        scope_with_workers(3, |sc| {
+            for _ in 0..50 {
+                sc.spawn(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn job_panics_propagate_to_the_caller() {
+        let result = std::panic::catch_unwind(|| {
+            par_map_with_workers(4, &[1u32, 2, 3, 4, 5, 6], |x| {
+                if *x == 4 {
+                    panic!("job four exploded");
+                }
+                *x
+            })
+        });
+        let payload = result.expect_err("the job panic must propagate");
+        let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(message, "job four exploded");
+    }
+
+    #[test]
+    fn env_override_parses_and_falls_back() {
+        let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        assert_eq!(workers_from_env_value(Some("6")), 6);
+        assert_eq!(workers_from_env_value(Some(" 2 ")), 2);
+        assert_eq!(workers_from_env_value(Some("0")), host);
+        assert_eq!(workers_from_env_value(Some("lots")), host);
+        assert_eq!(workers_from_env_value(None), host);
+    }
+
+    /// Regression test for the chunk-per-thread scheduling this executor replaced: one
+    /// pathologically slow job must not strand the jobs queued behind it.  Job 0 blocks
+    /// until every other job has completed — under contiguous chunking the jobs sharing
+    /// its chunk could never run and this would time out; with stealing the other worker
+    /// drains them while job 0 waits.
+    #[test]
+    fn stealing_keeps_workers_busy_behind_a_slow_job() {
+        let jobs: Vec<usize> = (0..8).collect();
+        let (done_tx, done_rx) = mpsc::channel::<usize>();
+        let done_rx = Mutex::new(done_rx);
+        let completion_order = Mutex::new(Vec::new());
+
+        let results = par_map_with_workers(2, &jobs, |&job| {
+            if job == 0 {
+                // The slow job: wait (with a generous timeout) for the other 7.
+                let rx = done_rx.lock().expect("receiver lock never poisoned");
+                for _ in 0..jobs.len() - 1 {
+                    rx.recv_timeout(Duration::from_secs(30))
+                        .expect("remaining jobs must complete while job 0 runs");
+                }
+                completion_order.lock().expect("order lock never poisoned").push(job);
+            } else {
+                completion_order.lock().expect("order lock never poisoned").push(job);
+                done_tx.send(job).expect("receiver outlives the jobs");
+            }
+            worker_index().expect("jobs run on pool workers")
+        });
+
+        let order = completion_order.into_inner().expect("order lock never poisoned");
+        assert_eq!(*order.last().expect("jobs ran"), 0, "the slow job must finish last");
+        // The slow job pinned one worker, so the other worker must have run the rest.
+        let workers: std::collections::HashSet<usize> = results.iter().copied().collect();
+        assert_eq!(workers.len(), 2, "both workers must execute jobs: {results:?}");
+    }
+}

@@ -1,0 +1,28 @@
+//! `mp-runtime` — the measurement runtime of the MicroProbe reproduction.
+//!
+//! The paper's methodology is embarrassingly parallel: hundreds of independent
+//! `(micro-benchmark × CMP-SMT configuration)` runs feed the bottom-up/top-down power
+//! models.  This crate supplies the two layers every measurement path in the workspace
+//! runs through:
+//!
+//! 1. [`executor`] — a std-only work-stealing thread pool (per-worker deques plus
+//!    stealing) exposing [`scope`]/[`par_map`] with deterministic result ordering,
+//!    worker-count control via the `MP_THREADS` environment variable, and panic
+//!    propagation;
+//! 2. [`session`] — a memoizing [`ExperimentSession`] that takes a declarative
+//!    [`ExperimentPlan`] of measurement jobs, content-hashes each job, dedupes repeats
+//!    and memoizes [`Measurement`](mp_sim::Measurement)s across plan submissions, so
+//!    regenerating every figure (or running every test fixture) measures each unique
+//!    pair exactly once per process.
+//!
+//! `mp_bench::measure_benchmarks`, the experiment binaries, and the slow integration
+//! tests are all thin wrappers over these layers.
+
+pub mod executor;
+pub mod session;
+
+pub use executor::{
+    default_workers, par_map, par_map_with_workers, scope, scope_with_workers, worker_index,
+    Scope, THREADS_ENV,
+};
+pub use session::{ExperimentPlan, ExperimentSession, PlannedJob, SessionStats};

@@ -1,0 +1,417 @@
+//! Layer 2: memoizing experiment sessions.
+//!
+//! An [`ExperimentSession`] wraps a [`Platform`] and executes declarative
+//! [`ExperimentPlan`]s of `(benchmark, configuration)` measurement jobs.  Every job is
+//! content-hashed (the kernel body, data profile, misprediction rate and configuration —
+//! the benchmark *name* is deliberately excluded), duplicate jobs are measured once, and
+//! the resulting [`Measurement`]s are memoized across plan submissions for the lifetime
+//! of the session.  The figure drivers and the integration-test fixtures therefore stop
+//! re-measuring the same pairs for every figure/model/test case.
+//!
+//! Unique jobs are measured on the work-stealing [`executor`](crate::executor); results
+//! are handed back in plan order, so output is deterministic regardless of the worker
+//! count (the simulator itself is deterministic per job).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use microprobe::bootstrap::{Bootstrap, BootstrapOptions, BootstrapRecord};
+use microprobe::ir::MicroBenchmark;
+use microprobe::platform::Platform;
+use microprobe::synth::PassError;
+use mp_power::{SampleKind, WorkloadSample};
+use mp_sim::Measurement;
+use mp_uarch::{CmpSmtConfig, InstrPropsTable};
+
+use crate::executor;
+
+/// A 128-bit content fingerprint of one measurement job.
+///
+/// Two jobs collide exactly when they would produce the same [`Measurement`]: the
+/// simulator is a pure function of the kernel *content* (loop body, data profile,
+/// misprediction rate) and the configuration, so the benchmark name is excluded —
+/// renamed copies of the same kernel dedupe onto one measurement.
+fn job_key(benchmark: &MicroBenchmark, config: CmpSmtConfig) -> u128 {
+    use std::fmt::Write as _;
+
+    /// Feeds formatted output into two hashers without materialising a string (kernel
+    /// bodies reach thousands of instructions, and keys are recomputed per submission —
+    /// including pure cache-hit replays).
+    struct DualHasher {
+        lo: std::collections::hash_map::DefaultHasher,
+        hi: std::collections::hash_map::DefaultHasher,
+    }
+
+    impl std::fmt::Write for DualHasher {
+        fn write_str(&mut self, s: &str) -> std::fmt::Result {
+            s.hash(&mut self.lo);
+            s.hash(&mut self.hi);
+            Ok(())
+        }
+    }
+
+    let kernel = benchmark.kernel();
+    let mut hasher = DualHasher {
+        lo: std::collections::hash_map::DefaultHasher::new(),
+        hi: std::collections::hash_map::DefaultHasher::new(),
+    };
+    // Distinct per-half prefixes make the two 64-bit digests independent.
+    0xA5u8.hash(&mut hasher.lo);
+    0x5Au8.hash(&mut hasher.hi);
+    // The kernel body has no stable binary serialisation; its `Debug` form is a faithful
+    // content encoding (every operand, memory access and attribute).
+    write!(
+        hasher,
+        "{:?}|{:?}|{}|{:?}",
+        kernel.body(),
+        kernel.data_profile(),
+        kernel.mispredict_rate().to_bits(),
+        config
+    )
+    .expect("hashing formatter never fails");
+    (u128::from(hasher.hi.finish()) << 64) | u128::from(hasher.lo.finish())
+}
+
+/// One labelled measurement job of a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedJob {
+    /// The workload name attached to the resulting sample.
+    pub name: String,
+    /// The benchmark to run.
+    pub benchmark: MicroBenchmark,
+    /// The CMP-SMT configuration to run it on.
+    pub config: CmpSmtConfig,
+    /// Training-set label of the resulting sample.
+    pub kind: SampleKind,
+}
+
+/// A declarative batch of measurement jobs.
+///
+/// Plans are plain data: build one with [`push`](Self::push)/[`sweep`](Self::sweep) and
+/// hand it to [`ExperimentSession::run`].  Job order is preserved in the results.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExperimentPlan {
+    jobs: Vec<PlannedJob>,
+}
+
+impl ExperimentPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one job.
+    pub fn push(
+        &mut self,
+        name: impl Into<String>,
+        benchmark: MicroBenchmark,
+        config: CmpSmtConfig,
+        kind: SampleKind,
+    ) -> &mut Self {
+        self.jobs.push(PlannedJob { name: name.into(), benchmark, config, kind });
+        self
+    }
+
+    /// Appends one job per configuration for a single benchmark.
+    pub fn sweep(
+        &mut self,
+        name: impl Into<String>,
+        benchmark: &MicroBenchmark,
+        configs: &[CmpSmtConfig],
+        kind: SampleKind,
+    ) -> &mut Self {
+        let name = name.into();
+        for config in configs {
+            self.push(name.clone(), benchmark.clone(), *config, kind);
+        }
+        self
+    }
+
+    /// The queued jobs, in submission order.
+    pub fn jobs(&self) -> &[PlannedJob] {
+        &self.jobs
+    }
+
+    /// Number of queued jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Returns `true` when no jobs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+/// Cumulative cache statistics of a session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Jobs submitted across all plans (including repeats).
+    pub submitted: usize,
+    /// Jobs answered from the memo cache (or deduped within a plan).
+    pub hits: usize,
+    /// Jobs that required a platform run.
+    pub misses: usize,
+}
+
+/// A memoizing measurement session over a platform.
+///
+/// The session owns (or borrows, via the blanket `Platform for &P` impl) the platform
+/// and a content-addressed cache of [`Measurement`]s.  All methods take `&self`; the
+/// cache is internally synchronised, so a session can be shared across test threads
+/// (e.g. behind a `OnceLock`).
+pub struct ExperimentSession<P: Platform> {
+    platform: P,
+    workers: Option<usize>,
+    cache: Mutex<HashMap<u128, Measurement>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl<P: Platform> ExperimentSession<P> {
+    /// Creates a session over a platform with the default worker count
+    /// ([`executor::default_workers`], i.e. `MP_THREADS` or the host parallelism).
+    pub fn new(platform: P) -> Self {
+        Self {
+            platform,
+            workers: None,
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Overrides the executor worker count for this session.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// The wrapped platform.
+    pub fn platform(&self) -> &P {
+        &self.platform
+    }
+
+    /// The worker count measurements run on.
+    pub fn workers(&self) -> usize {
+        self.workers.unwrap_or_else(executor::default_workers)
+    }
+
+    /// Cumulative cache statistics.
+    pub fn stats(&self) -> SessionStats {
+        let hits = self.hits.load(Ordering::SeqCst);
+        let misses = self.misses.load(Ordering::SeqCst);
+        SessionStats { submitted: hits + misses, hits, misses }
+    }
+
+    /// Measures one benchmark/configuration pair, memoized.
+    pub fn measure(&self, benchmark: &MicroBenchmark, config: CmpSmtConfig) -> Measurement {
+        self.measure_batch(&[(benchmark, config)]).pop().expect("one job in, one result out")
+    }
+
+    /// Measures a batch of `(benchmark, configuration)` jobs and returns the
+    /// measurements in job order.  Repeats (within the batch or against the session
+    /// cache) are measured once; cache misses run in parallel on the executor.
+    pub fn measure_batch(&self, jobs: &[(&MicroBenchmark, CmpSmtConfig)]) -> Vec<Measurement> {
+        let keys: Vec<u128> = jobs.iter().map(|(b, c)| job_key(b, *c)).collect();
+
+        // Unique cache misses, in first-appearance order (deterministic).
+        let mut to_measure: Vec<(u128, usize)> = Vec::new();
+        {
+            let cache = self.cache.lock().expect("cache lock never poisoned");
+            let mut queued: HashSet<u128> = HashSet::new();
+            for (index, key) in keys.iter().enumerate() {
+                if cache.contains_key(key) || !queued.insert(*key) {
+                    self.hits.fetch_add(1, Ordering::SeqCst);
+                } else {
+                    self.misses.fetch_add(1, Ordering::SeqCst);
+                    to_measure.push((*key, index));
+                }
+            }
+        }
+
+        if !to_measure.is_empty() {
+            let measured: Vec<Measurement> =
+                executor::par_map_with_workers(self.workers(), &to_measure, |&(_, index)| {
+                    let (benchmark, config) = jobs[index];
+                    self.platform.run(benchmark, config)
+                });
+            let mut cache = self.cache.lock().expect("cache lock never poisoned");
+            for ((key, _), measurement) in to_measure.into_iter().zip(measured) {
+                cache.insert(key, measurement);
+            }
+        }
+
+        let cache = self.cache.lock().expect("cache lock never poisoned");
+        keys.iter()
+            .map(|key| cache.get(key).expect("every job was measured or cached").clone())
+            .collect()
+    }
+
+    /// Runs a plan and returns one labelled sample per job, in plan order.
+    pub fn run(&self, plan: &ExperimentPlan) -> Vec<(WorkloadSample, SampleKind)> {
+        let jobs: Vec<(&MicroBenchmark, CmpSmtConfig)> =
+            plan.jobs().iter().map(|job| (&job.benchmark, job.config)).collect();
+        let measurements = self.measure_batch(&jobs);
+        plan.jobs()
+            .iter()
+            .zip(&measurements)
+            .map(|(job, measurement)| {
+                (WorkloadSample::from_measurement(&job.name, measurement), job.kind)
+            })
+            .collect()
+    }
+
+    /// Runs the per-instruction bootstrap through the session: generation is
+    /// declarative ([`Bootstrap::jobs`]), the characterisation loops are measured in
+    /// parallel with memoization, and the records are assembled in job order
+    /// ([`Bootstrap::assemble`]) — output is identical to the serial
+    /// [`Bootstrap::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first benchmark generation failure.
+    pub fn bootstrap(
+        &self,
+        options: BootstrapOptions,
+    ) -> Result<(InstrPropsTable, Vec<BootstrapRecord>), PassError> {
+        let driver = Bootstrap::new(&self.platform).with_options(options);
+        let jobs = driver.jobs()?;
+        let flat: Vec<(&MicroBenchmark, CmpSmtConfig)> = jobs
+            .iter()
+            .flat_map(|job| [(&job.chained, job.config), (&job.independent, job.config)])
+            .collect();
+        let mut measured = self.measure_batch(&flat).into_iter();
+        let pairs: Vec<(Measurement, Measurement)> = jobs
+            .iter()
+            .map(|_| {
+                (
+                    measured.next().expect("two measurements per job"),
+                    measured.next().expect("two measurements per job"),
+                )
+            })
+            .collect();
+        Ok(driver.assemble(&jobs, &pairs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microprobe::platform::SimPlatform;
+    use microprobe::prelude::*;
+    use mp_uarch::SmtMode;
+
+    fn tiny_benchmark(name: &str, seed: u64) -> MicroBenchmark {
+        let arch = mp_uarch::power7();
+        let computes = arch.isa.compute_instructions();
+        let mut synth = Synthesizer::new(arch).with_name_prefix(name).with_seed(seed);
+        synth.add_pass(SkeletonPass::endless_loop(24));
+        synth.add_pass(InstructionMixPass::uniform(computes));
+        synth.synthesize().expect("tiny benchmark synthesizes")
+    }
+
+    #[test]
+    fn repeats_are_measured_once_and_relabelled() {
+        let session = ExperimentSession::new(SimPlatform::power7_fast()).with_workers(2);
+        let bench = tiny_benchmark("t", 1);
+        let config = CmpSmtConfig::new(1, SmtMode::Smt1);
+
+        let mut plan = ExperimentPlan::new();
+        plan.push("first", bench.clone(), config, SampleKind::MicroArch);
+        plan.push("again", bench.clone(), config, SampleKind::Random);
+        let samples = session.run(&plan);
+
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].0.name, "first");
+        assert_eq!(samples[1].0.name, "again");
+        assert_eq!(samples[0].0.power, samples[1].0.power, "same content, same measurement");
+        assert_eq!(samples[1].1, SampleKind::Random, "labels follow the plan, not the cache");
+        let stats = session.stats();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+
+        // A second submission of the same plan is answered entirely from the cache.
+        let replay = session.run(&plan);
+        assert_eq!(replay, samples);
+        assert_eq!(session.stats().misses, 1);
+        assert_eq!(session.stats().hits, 3);
+    }
+
+    #[test]
+    fn renamed_copies_of_the_same_kernel_dedupe() {
+        let a = tiny_benchmark("alpha", 7);
+        // Same seed + passes => identical kernel content; only the name differs.
+        let renamed = tiny_benchmark("beta", 7);
+        assert_ne!(a.name(), renamed.name());
+        let config = CmpSmtConfig::new(2, SmtMode::Smt2);
+        assert_eq!(job_key(&a, config), job_key(&renamed, config));
+        assert_ne!(
+            job_key(&a, config),
+            job_key(&a, CmpSmtConfig::new(2, SmtMode::Smt4)),
+            "the configuration is part of the content"
+        );
+        assert_ne!(
+            job_key(&a, config),
+            job_key(&tiny_benchmark("alpha", 8), config),
+            "different kernel bodies do not collide"
+        );
+    }
+
+    #[test]
+    fn plan_results_are_in_plan_order_for_any_worker_count() {
+        let platform = SimPlatform::power7_fast();
+        let benches: Vec<MicroBenchmark> =
+            (0..4).map(|i| tiny_benchmark(&format!("b{i}"), i)).collect();
+        let configs =
+            [CmpSmtConfig::new(1, SmtMode::Smt1), CmpSmtConfig::new(2, SmtMode::Smt2)];
+
+        let mut plan = ExperimentPlan::new();
+        for (i, bench) in benches.iter().enumerate() {
+            plan.sweep(format!("b{i}"), bench, &configs, SampleKind::Random);
+        }
+
+        let reference: Vec<(WorkloadSample, SampleKind)> = plan
+            .jobs()
+            .iter()
+            .map(|job| {
+                let m = platform.run(&job.benchmark, job.config);
+                (WorkloadSample::from_measurement(&job.name, &m), job.kind)
+            })
+            .collect();
+
+        for workers in [1usize, 3, 8] {
+            let session =
+                ExperimentSession::new(SimPlatform::power7_fast()).with_workers(workers);
+            assert_eq!(session.run(&plan), reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn session_bootstrap_matches_the_serial_driver() {
+        let platform = SimPlatform::power7_fast();
+        let options = BootstrapOptions {
+            loop_instructions: 48,
+            config: CmpSmtConfig::new(1, SmtMode::Smt1),
+            include: Some(vec!["add".to_owned(), "mulld".to_owned(), "lbz".to_owned()]),
+        };
+        let (serial_table, serial_records) = Bootstrap::new(&platform)
+            .with_options(options.clone())
+            .run()
+            .expect("serial bootstrap succeeds");
+
+        let session = ExperimentSession::new(&platform).with_workers(4);
+        let (table, records) = session.bootstrap(options).expect("session bootstrap succeeds");
+        assert_eq!(records, serial_records);
+        for record in &records {
+            let a = table.get(&record.mnemonic).expect("bootstrapped");
+            let b = serial_table.get(&record.mnemonic).expect("bootstrapped");
+            assert_eq!(a.epi, b.epi);
+            assert_eq!(a.measured_ipc, b.measured_ipc);
+            assert_eq!(a.measured_latency, b.measured_latency);
+        }
+    }
+}

@@ -1,12 +1,13 @@
 //! Bootstraps a handful of instructions and prints their measured latency, throughput
 //! (core IPC) and energy per instruction — a small slice of the paper's Table 3.
 
-use microprobe::bootstrap::{Bootstrap, BootstrapOptions};
+use microprobe::bootstrap::BootstrapOptions;
 use microprobe::prelude::*;
 use mp_examples::example_platform;
+use mp_runtime::ExperimentSession;
 
 fn main() {
-    let platform = example_platform();
+    let session = ExperimentSession::new(example_platform());
     let instructions = [
         "addic", "subf", "mulldo", "add", "nor", "and", "lbz", "lxvw4x", "xstsqrtdp",
         "xvmaddadp", "xvnmsubmdp", "stfd", "stxvw4x",
@@ -16,8 +17,9 @@ fn main() {
         config: CmpSmtConfig::new(8, SmtMode::Smt1),
         include: Some(instructions.iter().map(|s| (*s).to_owned()).collect()),
     };
-    let (_, mut records) =
-        Bootstrap::new(&platform).with_options(options).run().expect("bootstrap succeeds");
+    // The characterisation loops run in parallel through the memoizing session; the
+    // assembled records are identical to the serial `Bootstrap::run`.
+    let (_, mut records) = session.bootstrap(options).expect("bootstrap succeeds");
     records.sort_by(|a, b| b.epi.partial_cmp(&a.epi).expect("EPIs are finite"));
 
     let min_epi = records.iter().map(|r| r.epi).fold(f64::INFINITY, f64::min);

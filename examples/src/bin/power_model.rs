@@ -4,14 +4,16 @@
 use microprobe::platform::Platform;
 use mp_examples::example_platform;
 use mp_power::{BottomUpModel, PowerModel, SampleKind, TrainingSet, WorkloadSample};
+use mp_runtime::{ExperimentPlan, ExperimentSession};
 use mp_uarch::{CmpSmtConfig, SmtMode};
 use mp_workloads::{spec_proxies, TrainingOptions, TrainingSuite};
 
 fn main() {
-    let platform = example_platform();
-    let arch = platform.uarch().clone();
+    let session = ExperimentSession::new(example_platform());
+    let arch = session.platform().uarch().clone();
 
-    // 1. Generate a reduced Table 2 training suite and measure it.
+    // 1. Generate a reduced Table 2 training suite and measure it (in parallel on the
+    //    work-stealing executor; honours MP_THREADS).
     let suite = TrainingSuite::generate(&arch, TrainingOptions::reduced(0.05, 96))
         .expect("training suite generates");
     let configs: Vec<CmpSmtConfig> = vec![
@@ -21,25 +23,25 @@ fn main() {
         CmpSmtConfig::new(2, SmtMode::Smt2),
         CmpSmtConfig::new(4, SmtMode::Smt4),
     ];
-    let mut training = TrainingSet::new();
+    let mut plan = ExperimentPlan::new();
     for tb in suite.benchmarks() {
         let kind = if tb.family.is_random() { SampleKind::Random } else { SampleKind::MicroArch };
-        for config in &configs {
-            let m = platform.run(&tb.benchmark, *config);
-            training.push(WorkloadSample::from_measurement(tb.benchmark.name(), &m), kind);
-        }
+        plan.sweep(tb.benchmark.name(), &tb.benchmark, &configs, kind);
     }
+    let mut training = TrainingSet::new();
+    training.extend(session.run(&plan));
     println!("measured {} training samples", training.len());
 
     // 2. Train the bottom-up model.
-    let model = BottomUpModel::train(&training, platform.idle_power()).expect("training succeeds");
+    let model = BottomUpModel::train(&training, session.platform().idle_power())
+        .expect("training succeeds");
     println!("fitted SMT effect {:.2}, CMP effect {:.2}, uncore {:.2}", model.smt_effect(), model.cmp_effect(), model.uncore());
 
     // 3. Predict and decompose one SPEC proxy on a configuration.
     let proxy = &spec_proxies()[5]; // mcf
     let bench = proxy.generate(&arch, 128).expect("proxy generates");
     let config = CmpSmtConfig::new(4, SmtMode::Smt4);
-    let m = platform.run(&bench, config);
+    let m = session.measure(&bench, config);
     let sample = WorkloadSample::from_measurement(proxy.name, &m);
     let breakdown = model.breakdown(&sample).expect("bottom-up models decompose");
 

@@ -1,6 +1,9 @@
 //! Shared fixtures for the cross-crate integration tests.
 
+use std::sync::OnceLock;
+
 use microprobe::platform::SimPlatform;
+use mp_runtime::ExperimentSession;
 use mp_sim::{ChipSim, SimOptions};
 
 /// A platform with short runs, sized so the integration tests stay fast in debug builds.
@@ -13,4 +16,16 @@ pub fn test_platform() -> SimPlatform {
         prefetch_enabled: true,
         seed: 0x17e5,
     }))
+}
+
+/// The process-wide memoizing measurement session over [`test_platform`].
+///
+/// Test cases in the same integration-test binary share this session, so fixtures that
+/// measure the same `(benchmark, configuration)` pairs (training sweeps, bootstrap
+/// loops) pay for each unique pair once per process instead of once per test case.
+/// The session is internally synchronised; the default worker count honours
+/// `MP_THREADS`.
+pub fn session() -> &'static ExperimentSession<SimPlatform> {
+    static SESSION: OnceLock<ExperimentSession<SimPlatform>> = OnceLock::new();
+    SESSION.get_or_init(|| ExperimentSession::new(test_platform()))
 }

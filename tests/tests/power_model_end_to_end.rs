@@ -1,11 +1,18 @@
 //! End-to-end check of the bottom-up modeling methodology: train on simulated
 //! measurements of a reduced training suite, validate on SPEC proxies the model never
 //! saw, and verify the decomposition behaves like the paper describes.
+//!
+//! Both test cases consume the same measured training set; the fixture runs through the
+//! shared memoizing [`mp_integration::session`], so the suite is generated and measured
+//! once per process instead of once per test case.
+
+use std::sync::OnceLock;
 
 use microprobe::platform::Platform;
-use mp_bench::{measure_benchmarks, MeasuredBenchmark};
-use mp_integration::test_platform;
+use mp_bench::{measurement_plan, MeasuredBenchmark};
+use mp_integration::session;
 use mp_power::{paae, BottomUpModel, PowerModel, SampleKind, TrainingSet, WorkloadSample};
+use mp_runtime::ExperimentPlan;
 use mp_uarch::{CmpSmtConfig, SmtMode};
 use mp_workloads::{spec_proxies, TrainingOptions, TrainingSuite};
 
@@ -19,41 +26,48 @@ fn training_configs() -> Vec<CmpSmtConfig> {
     ]
 }
 
+/// Reduced Table 2 suite, measured once (per process) on a handful of configurations,
+/// plus the trained bottom-up model.
+fn trained_fixture() -> &'static (TrainingSet, BottomUpModel) {
+    static FIXTURE: OnceLock<(TrainingSet, BottomUpModel)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let session = session();
+        let arch = session.platform().uarch().clone();
+        let suite = TrainingSuite::generate(&arch, TrainingOptions::reduced(0.02, 64))
+            .expect("training suite generates");
+        let benchmarks: Vec<MeasuredBenchmark> = suite
+            .benchmarks()
+            .iter()
+            .map(|tb| {
+                let kind =
+                    if tb.family.is_random() { SampleKind::Random } else { SampleKind::MicroArch };
+                MeasuredBenchmark::new(tb.benchmark.name().to_owned(), tb.benchmark.clone(), kind)
+            })
+            .collect();
+        let mut training = TrainingSet::new();
+        training.extend(session.run(&measurement_plan(&benchmarks, &training_configs())));
+        let model = BottomUpModel::train(&training, session.platform().idle_power())
+            .expect("training succeeds");
+        (training, model)
+    })
+}
+
 #[test]
 fn bottom_up_model_predicts_unseen_workloads() {
-    let platform = test_platform();
-    let arch = platform.uarch().clone();
-
-    // Reduced Table 2 suite, measured on a handful of configurations.
-    let suite = TrainingSuite::generate(&arch, TrainingOptions::reduced(0.02, 64))
-        .expect("training suite generates");
-    let benchmarks: Vec<MeasuredBenchmark> = suite
-        .benchmarks()
-        .iter()
-        .map(|tb| {
-            let kind =
-                if tb.family.is_random() { SampleKind::Random } else { SampleKind::MicroArch };
-            MeasuredBenchmark::new(tb.benchmark.name().to_owned(), tb.benchmark.clone(), kind)
-        })
-        .collect();
-    let mut training = TrainingSet::new();
-    training.extend(measure_benchmarks(&platform, &benchmarks, &training_configs(), 2));
-
-    let model =
-        BottomUpModel::train(&training, platform.idle_power()).expect("training succeeds");
+    let session = session();
+    let arch = session.platform().uarch().clone();
+    let (_, model) = trained_fixture();
 
     // Validate on SPEC proxies the model never saw, on a configuration it never saw.
     let config = CmpSmtConfig::new(2, SmtMode::Smt2);
-    let spec: Vec<WorkloadSample> = spec_proxies()
-        .iter()
-        .take(6)
-        .map(|proxy| {
-            let bench = proxy.generate(&arch, 96).expect("proxy generates");
-            WorkloadSample::from_measurement(proxy.name, &platform.run(&bench, config))
-        })
-        .collect();
+    let mut plan = ExperimentPlan::new();
+    for proxy in spec_proxies().iter().take(6) {
+        let bench = proxy.generate(&arch, 96).expect("proxy generates");
+        plan.push(proxy.name, bench, config, SampleKind::Spec);
+    }
+    let spec: Vec<WorkloadSample> = session.run(&plan).into_iter().map(|(s, _)| s).collect();
 
-    let error = paae(&model, spec.iter()).expect("non-empty validation set");
+    let error = paae(model, spec.iter()).expect("non-empty validation set");
     assert!(error < 8.0, "bottom-up PAAE on unseen workloads too high: {error:.2}%");
 
     // Decomposition sanity: components are non-negative and sum to the prediction, and
@@ -75,27 +89,15 @@ fn bottom_up_model_predicts_unseen_workloads() {
 
 #[test]
 fn smt_and_cmp_effects_are_learned_as_positive_constants() {
-    let platform = test_platform();
-    let arch = platform.uarch().clone();
-    let suite = TrainingSuite::generate(&arch, TrainingOptions::reduced(0.02, 64))
-        .expect("training suite generates");
-    let benchmarks: Vec<MeasuredBenchmark> = suite
-        .benchmarks()
-        .iter()
-        .map(|tb| {
-            let kind =
-                if tb.family.is_random() { SampleKind::Random } else { SampleKind::MicroArch };
-            MeasuredBenchmark::new(tb.benchmark.name().to_owned(), tb.benchmark.clone(), kind)
-        })
-        .collect();
-    let mut training = TrainingSet::new();
-    training.extend(measure_benchmarks(&platform, &benchmarks, &training_configs(), 2));
-    let model =
-        BottomUpModel::train(&training, platform.idle_power()).expect("training succeeds");
+    let (_, model) = trained_fixture();
 
     // The simulator's hidden ground truth uses 10 units per enabled core and 2 units per
     // SMT-enabled core; the fitted constants must land in that neighbourhood.
     assert!(model.cmp_effect() > 3.0, "CMP effect {:.2}", model.cmp_effect());
-    assert!(model.smt_effect() >= 0.0 && model.smt_effect() < 8.0, "SMT effect {:.2}", model.smt_effect());
+    assert!(
+        model.smt_effect() >= 0.0 && model.smt_effect() < 8.0,
+        "SMT effect {:.2}",
+        model.smt_effect()
+    );
     assert!(model.workload_independent() > 50.0);
 }

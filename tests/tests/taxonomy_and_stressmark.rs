@@ -1,11 +1,19 @@
 //! Integration checks of the bootstrap-derived instruction taxonomy (Table 3) and of the
 //! max-power stressmark case study (Figure 9), run at reduced scale.
+//!
+//! The bootstrap fixture runs once per process through the shared memoizing
+//! [`mp_integration::session`] (parallel characterisation loops, results identical to
+//! the serial driver); the test cases consuming it share the measured records.
 
-use microprobe::bootstrap::{Bootstrap, BootstrapOptions};
+use std::sync::OnceLock;
+
+use microprobe::bootstrap::{BootstrapOptions, BootstrapRecord};
 use microprobe::platform::Platform;
 use mp_bench::Table3;
-use mp_integration::test_platform;
-use mp_stressmark::{expert_manual_set, microprobe_sequences, select_ipc_epi_instructions, StressmarkSearch};
+use mp_integration::session;
+use mp_stressmark::{
+    expert_manual_set, microprobe_sequences, select_ipc_epi_instructions, StressmarkSearch,
+};
 use mp_uarch::{CmpSmtConfig, SmtMode};
 use mp_workloads::daxpy_kernels;
 
@@ -14,14 +22,16 @@ const TAXONOMY_INSTRUCTIONS: [&str; 14] = [
     "xvnmsubmdp", "stfd", "stxvw4x", "mullw",
 ];
 
-fn bootstrap() -> (mp_uarch::InstrPropsTable, Vec<microprobe::bootstrap::BootstrapRecord>) {
-    let platform = test_platform();
-    let options = BootstrapOptions {
-        loop_instructions: 64,
-        config: CmpSmtConfig::new(2, SmtMode::Smt1),
-        include: Some(TAXONOMY_INSTRUCTIONS.iter().map(|s| (*s).to_owned()).collect()),
-    };
-    Bootstrap::new(&platform).with_options(options).run().expect("bootstrap succeeds")
+fn bootstrap() -> &'static (mp_uarch::InstrPropsTable, Vec<BootstrapRecord>) {
+    static FIXTURE: OnceLock<(mp_uarch::InstrPropsTable, Vec<BootstrapRecord>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let options = BootstrapOptions {
+            loop_instructions: 64,
+            config: CmpSmtConfig::new(2, SmtMode::Smt1),
+            include: Some(TAXONOMY_INSTRUCTIONS.iter().map(|s| (*s).to_owned()).collect()),
+        };
+        session().bootstrap(options).expect("bootstrap succeeds")
+    })
 }
 
 #[test]
@@ -44,8 +54,7 @@ fn taxonomy_reproduces_the_papers_orderings() {
     assert!(ipc("subf") > ipc("stxvw4x"));
 
     // The assembled table groups instructions into the paper's categories.
-    let platform = test_platform();
-    let table = Table3::from_bootstrap(platform.uarch(), &records, 3);
+    let table = Table3::from_bootstrap(session().platform().uarch(), records, 3);
     assert!(!table.category("FXU").is_empty());
     assert!(!table.category("FXU or LSU").is_empty());
     assert!(!table.category("LSU and VSU").is_empty());
@@ -55,27 +64,28 @@ fn taxonomy_reproduces_the_papers_orderings() {
 #[test]
 fn ipc_epi_heuristic_selects_energetic_busy_instructions() {
     let (props, _) = bootstrap();
-    let platform = test_platform();
-    let selected = select_ipc_epi_instructions(platform.uarch(), &props);
+    let arch = session().platform().uarch();
+    let selected = select_ipc_epi_instructions(arch, props);
     assert_eq!(selected.len(), 3, "one instruction per FXU/LSU/VSU category");
     for (_, _, score) in &selected {
         assert!(*score > 0.0);
     }
-    let sequences = microprobe_sequences(platform.uarch(), &props);
+    let sequences = microprobe_sequences(arch, props);
     assert_eq!(sequences.len(), 540);
 }
 
 #[test]
 fn stressmarks_draw_more_power_than_daxpy() {
-    let platform = test_platform();
-    let arch = platform.uarch().clone();
+    let session = session();
+    let arch = session.platform().uarch().clone();
     let cores = 2;
     let smt = SmtMode::Smt4;
 
     let daxpy = &daxpy_kernels(&arch, 48).expect("daxpy generates")[0];
-    let daxpy_power = platform.run(daxpy, CmpSmtConfig::new(cores, smt)).average_power();
+    let daxpy_power =
+        session.measure(daxpy, CmpSmtConfig::new(cores, smt)).average_power();
 
-    let search = StressmarkSearch::new(&platform)
+    let search = StressmarkSearch::new(session.platform())
         .with_cores(cores)
         .with_loop_instructions(48)
         .with_smt_modes(vec![smt]);

@@ -7,9 +7,11 @@
 //! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Bencher::iter`],
 //! [`criterion_group!`] and [`criterion_main!`] — and implements a simple but honest
 //! timer: per benchmark it warms up, picks an iteration count targeting a fixed
-//! per-sample budget, collects `sample_size` samples and prints min/median/mean
-//! per-iteration times.  There is no statistical regression analysis, HTML report or
-//! saved baseline; output goes to stdout only.
+//! per-sample budget, collects `sample_size` samples, rejects outliers with Tukey's
+//! 1.5×IQR fences, and prints min/median/mean per-iteration times over the surviving
+//! samples.  The default sample count can be raised for noisy hosts with the
+//! `MP_BENCH_SAMPLES` environment variable.  There is no statistical regression
+//! analysis, HTML report or saved baseline; output goes to stdout only.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -19,6 +21,9 @@ pub use std::hint::black_box;
 /// Number of samples collected per benchmark by default (criterion's default is 100;
 /// a smaller default keeps the simulator benches affordable in CI).
 const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// Environment variable overriding the default sample count (minimum 2).
+pub const SAMPLES_ENV: &str = "MP_BENCH_SAMPLES";
 
 /// Wall-clock budget targeted per sample.
 const SAMPLE_BUDGET: Duration = Duration::from_millis(25);
@@ -30,8 +35,19 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Self { sample_size: DEFAULT_SAMPLE_SIZE }
+        Self { sample_size: samples_from_env_value(std::env::var(SAMPLES_ENV).ok().as_deref()) }
     }
+}
+
+/// Parses an `MP_BENCH_SAMPLES` value: parsed values are clamped to the 2-sample
+/// minimum; absent or malformed values fall back to [`DEFAULT_SAMPLE_SIZE`] (split out
+/// of `Default` so the parsing is unit-testable without mutating the process
+/// environment).
+fn samples_from_env_value(value: Option<&str>) -> usize {
+    value
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map(|n| n.max(2))
+        .unwrap_or(DEFAULT_SAMPLE_SIZE)
 }
 
 impl Criterion {
@@ -185,17 +201,48 @@ fn run_benchmark(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) 
         samples_ns.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
     }
     samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("benchmark time is never NaN"));
+    let rejected = reject_outliers(&mut samples_ns);
     let min = samples_ns[0];
     let median = samples_ns[samples_ns.len() / 2];
     let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
     println!(
-        "{id:<60} min {:>12} med {:>12} mean {:>12}  ({} samples x {} iters)",
+        "{id:<60} min {:>12} med {:>12} mean {:>12}  ({} samples x {} iters, {} outliers)",
         fmt_ns(min),
         fmt_ns(median),
         fmt_ns(mean),
         sample_size,
-        iters_per_sample
+        iters_per_sample,
+        rejected
     );
+}
+
+/// Removes samples outside Tukey's fences (`[Q1 - 1.5·IQR, Q3 + 1.5·IQR]`) from a
+/// **sorted** sample vector, returning how many were rejected.
+///
+/// Quartiles use linear interpolation between closest ranks (the common "type 7"
+/// estimator).  Fewer than 4 samples carry no quartile information and are left
+/// untouched, as is a degenerate distribution (IQR of 0 rejects nothing because the
+/// fences collapse onto the quartiles themselves).
+fn reject_outliers(sorted_ns: &mut Vec<f64>) -> usize {
+    if sorted_ns.len() < 4 {
+        return 0;
+    }
+    let q1 = quantile_sorted(sorted_ns, 0.25);
+    let q3 = quantile_sorted(sorted_ns, 0.75);
+    let iqr = q3 - q1;
+    let (lo, hi) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+    let before = sorted_ns.len();
+    sorted_ns.retain(|&s| (lo..=hi).contains(&s));
+    before - sorted_ns.len()
+}
+
+/// Linearly interpolated quantile (`0.0 ..= 1.0`) of a sorted, non-empty slice.
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    let rank = q * (sorted.len() - 1) as f64;
+    let below = rank.floor() as usize;
+    let above = rank.ceil() as usize;
+    let weight = rank - below as f64;
+    sorted[below] * (1.0 - weight) + sorted[above] * weight
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -263,5 +310,50 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("plan", 128).to_string(), "plan/128");
         assert_eq!(BenchmarkId::from_parameter("8xSMT4").to_string(), "8xSMT4");
+    }
+
+    #[test]
+    fn quantiles_interpolate_linearly() {
+        let sorted = [10.0, 20.0, 30.0, 40.0];
+        assert!((quantile_sorted(&sorted, 0.0) - 10.0).abs() < 1e-12);
+        assert!((quantile_sorted(&sorted, 1.0) - 40.0).abs() < 1e-12);
+        assert!((quantile_sorted(&sorted, 0.5) - 25.0).abs() < 1e-12);
+        assert!((quantile_sorted(&sorted, 0.25) - 17.5).abs() < 1e-12);
+        assert!((quantile_sorted(&sorted, 0.75) - 32.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iqr_rejection_drops_only_the_outliers() {
+        // Q1 = 3, Q3 = 7, IQR = 4 => fences at [-3, 13]: 1000 is out, the rest stay.
+        let mut samples = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 1000.0];
+        assert_eq!(reject_outliers(&mut samples), 1);
+        assert_eq!(samples, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]);
+
+        // Outliers can be rejected on both sides.
+        let mut samples = vec![-500.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0, 700.0];
+        assert_eq!(reject_outliers(&mut samples), 2);
+        assert_eq!(samples.first(), Some(&10.0));
+        assert_eq!(samples.last(), Some(&16.0));
+    }
+
+    #[test]
+    fn iqr_rejection_keeps_small_and_degenerate_sample_sets() {
+        let mut tiny = vec![1.0, 2.0, 100.0];
+        assert_eq!(reject_outliers(&mut tiny), 0, "fewer than 4 samples are left alone");
+        assert_eq!(tiny.len(), 3);
+
+        let mut flat = vec![5.0; 12];
+        assert_eq!(reject_outliers(&mut flat), 0, "a zero-IQR distribution rejects nothing");
+        assert_eq!(flat.len(), 12);
+    }
+
+    #[test]
+    fn sample_env_override_parses_and_falls_back() {
+        assert_eq!(samples_from_env_value(Some("64")), 64);
+        assert_eq!(samples_from_env_value(Some(" 8 ")), 8);
+        assert_eq!(samples_from_env_value(Some("1")), 2, "low values clamp to the minimum");
+        assert_eq!(samples_from_env_value(Some("0")), 2, "low values clamp to the minimum");
+        assert_eq!(samples_from_env_value(Some("many")), DEFAULT_SAMPLE_SIZE);
+        assert_eq!(samples_from_env_value(None), DEFAULT_SAMPLE_SIZE);
     }
 }
