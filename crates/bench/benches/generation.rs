@@ -14,8 +14,7 @@ fn bench_synthesizer(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("figure2_policy", size), &size, |b, &size| {
             b.iter(|| {
                 let arch = mp_uarch::power7();
-                let loads_vsu =
-                    arch.isa.select(|d| d.is_load() && d.stresses(mp_isa::Unit::Vsu));
+                let loads_vsu = arch.isa.select(|d| d.is_load() && d.stresses(mp_isa::Unit::Vsu));
                 let mut synth = Synthesizer::new(arch);
                 synth.add_pass(SkeletonPass::endless_loop(size));
                 synth.add_pass(InstructionMixPass::uniform(loads_vsu));

@@ -13,9 +13,8 @@ fn bench_isa_construction(c: &mut Criterion) {
 fn bench_isa_selection(c: &mut Criterion) {
     let isa = power_isa_v206b();
     let mut group = c.benchmark_group("isa_select");
-    group.bench_function("loads", |b| {
-        b.iter(|| isa.instructions().filter(|i| i.is_load()).count())
-    });
+    group
+        .bench_function("loads", |b| b.iter(|| isa.instructions().filter(|i| i.is_load()).count()));
     group.bench_function("vector_loads", |b| {
         b.iter(|| isa.instructions().filter(|i| i.is_load() && i.is_vector()).count())
     });

@@ -4,7 +4,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use mp_power::{ActivityVector, BottomUpModel, LinearRegression, SampleKind, TrainingSet, WorkloadSample};
+use mp_power::{
+    ActivityVector, BottomUpModel, LinearRegression, SampleKind, TrainingSet, WorkloadSample,
+};
 use mp_uarch::{CmpSmtConfig, SmtMode};
 
 fn synthetic_training(samples: usize) -> TrainingSet {

@@ -1,7 +1,7 @@
 //! Benches for the `mp_runtime` subsystem: work-stealing executor overhead across
 //! worker counts, and the memoized replay path of an experiment session.
 
-use criterion::{criterion_group, criterion_main, black_box, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use microprobe::platform::SimPlatform;
 use microprobe::prelude::*;
 use mp_power::SampleKind;

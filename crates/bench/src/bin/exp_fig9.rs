@@ -1,5 +1,9 @@
 //! Regenerates Figure 9: the max-power stressmark comparison (DAXPY, Expert manual,
 //! Expert DSE, MicroProbe) normalised to the SPEC maximum.
+//!
+//! The whole study — SPEC baseline, bootstrap, and every candidate set — shares one
+//! memoizing session: the stressmark search measures each unique candidate × SMT mode
+//! pair once, in parallel (`MP_THREADS` controls the worker count).
 
 use mp_bench::{ExperimentScale, Experiments};
 
@@ -8,11 +12,13 @@ fn main() {
     let experiments = Experiments::new(scale);
     let model_study = experiments.model_study();
     let taxonomy = experiments.taxonomy_study();
-    let spec_max = model_study
-        .spec
-        .iter()
-        .map(|s| s.power)
-        .fold(f64::NEG_INFINITY, f64::max);
+    let spec_max = model_study.spec.iter().map(|s| s.power).fold(f64::NEG_INFINITY, f64::max);
     let stressmark = experiments.stressmark_study(spec_max, &taxonomy.props);
     println!("{}", experiments.fig9(&stressmark));
+    // Scheduling-independent cache statistics: identical for any MP_THREADS setting.
+    let stats = experiments.session().stats();
+    println!(
+        "# Runtime — {} measurement jobs submitted, {} unique runs, {} memoized hits",
+        stats.submitted, stats.misses, stats.hits
+    );
 }

@@ -7,4 +7,10 @@ fn main() {
     let experiments = Experiments::new(scale);
     let taxonomy = experiments.taxonomy_study();
     println!("{}", experiments.table3(&taxonomy));
+    // Scheduling-independent cache statistics: identical for any MP_THREADS setting.
+    let stats = experiments.session().stats();
+    println!(
+        "# Runtime — {} measurement jobs submitted, {} unique runs, {} memoized hits",
+        stats.submitted, stats.misses, stats.hits
+    );
 }

@@ -14,8 +14,7 @@ use mp_power::{
 };
 use mp_sim::{ChipSim, SimOptions};
 use mp_stressmark::{
-    expert_dse_sequences, expert_manual_set, microprobe_sequences, Figure9Report,
-    StressmarkSearch,
+    expert_dse_sequences, expert_manual_set, microprobe_sequences, Figure9Report, StressmarkSearch,
 };
 use mp_uarch::{CmpSmtConfig, InstrPropsTable, SmtMode};
 use mp_workloads::{daxpy_kernels, extreme_cases, spec_proxies, TrainingOptions, TrainingSuite};
@@ -88,10 +87,32 @@ impl ExperimentScale {
             // Table 3 actually shows (plus the Section 6 candidates).
             ExperimentScale::Quick => Some(
                 [
-                    "mulldo", "subf", "addic", "lxvw4x", "lvewx", "lbz", "xvnmsubmdp",
-                    "xvmaddadp", "xstsqrtdp", "add", "nor", "and", "ldux", "lwax", "lfsu",
-                    "lhaux", "lwaux", "lhau", "stxvw4x", "stxsdx", "stfd", "stfsux", "stfdux",
-                    "stfdu", "mullw", "lxvd2x",
+                    "mulldo",
+                    "subf",
+                    "addic",
+                    "lxvw4x",
+                    "lvewx",
+                    "lbz",
+                    "xvnmsubmdp",
+                    "xvmaddadp",
+                    "xstsqrtdp",
+                    "add",
+                    "nor",
+                    "and",
+                    "ldux",
+                    "lwax",
+                    "lfsu",
+                    "lhaux",
+                    "lwaux",
+                    "lhau",
+                    "stxvw4x",
+                    "stxsdx",
+                    "stfd",
+                    "stfsux",
+                    "stfdux",
+                    "stfdu",
+                    "mullw",
+                    "lxvd2x",
                 ]
                 .iter()
                 .map(|s| (*s).to_owned())
@@ -275,15 +296,10 @@ impl Experiments {
             .expect("micro-architecture samples exist");
         let td_random = TopDownModel::train("TD_Random", training.of_kind(SampleKind::Random))
             .expect("random samples exist");
-        let td_spec =
-            TopDownModel::train("TD_SPEC", spec.iter()).expect("SPEC samples exist");
+        let td_spec = TopDownModel::train("TD_SPEC", spec.iter()).expect("SPEC samples exist");
 
-        let models: Vec<Box<dyn PowerModel>> = vec![
-            Box::new(td_micro),
-            Box::new(td_random),
-            Box::new(td_spec),
-            Box::new(bu.clone()),
-        ];
+        let models: Vec<Box<dyn PowerModel>> =
+            vec![Box::new(td_micro), Box::new(td_random), Box::new(td_spec), Box::new(bu.clone())];
         ModelStudy { training, spec, extreme, idle_power, bu, models }
     }
 
@@ -307,7 +323,11 @@ impl Experiments {
     /// baseline (the maximum power observed while running the SPEC proxies, from
     /// [`ModelStudy::spec`]); `props` is the bootstrapped table driving the IPC×EPI
     /// heuristic (from [`TaxonomyStudy::props`]).
-    pub fn stressmark_study(&self, spec_max_power: f64, props: &InstrPropsTable) -> StressmarkStudy {
+    pub fn stressmark_study(
+        &self,
+        spec_max_power: f64,
+        props: &InstrPropsTable,
+    ) -> StressmarkStudy {
         let arch = self.platform().uarch();
         let budget = self.scale.stressmark_budget();
         let smt_modes = match self.scale {
@@ -315,26 +335,38 @@ impl Experiments {
             _ => vec![SmtMode::Smt1, SmtMode::Smt2, SmtMode::Smt4],
         };
         // The stressmarks and the SPEC normalisation baseline must run on the same number
-        // of cores, otherwise the comparison is meaningless.
+        // of cores, otherwise the comparison is meaningless.  The search shares the
+        // driver's memoizing session, so its candidate measurements dedupe against every
+        // other figure of the run.
         let cores = self.scale.cores().into_iter().max().unwrap_or(arch.max_cores);
-        let search = StressmarkSearch::new(self.platform())
+        let search = StressmarkSearch::with_session(&self.session)
             .with_cores(cores)
             .with_loop_instructions(self.scale.loop_instructions().min(384))
             .with_smt_modes(smt_modes.clone());
 
         let mut report = Figure9Report::new(spec_max_power);
 
-        // DAXPY baselines.
+        // DAXPY baselines: one batch of kernel × SMT-mode jobs through the session.
         let daxpy = daxpy_kernels(arch, self.scale.loop_instructions().min(384))
             .expect("DAXPY kernels generate");
+        let daxpy_jobs: Vec<(&microprobe::ir::MicroBenchmark, CmpSmtConfig)> = daxpy
+            .iter()
+            .flat_map(|bench| {
+                smt_modes.iter().map(move |&mode| (bench, CmpSmtConfig::new(cores, mode)))
+            })
+            .collect();
+        let daxpy_measured = self.session.measure_batch(&daxpy_jobs);
+        // Pair measurements back structurally: the jobs were laid out kernel-major with
+        // one entry per SMT mode, so chunking by the mode count recovers each kernel's
+        // sweep regardless of how either list is built above.
         let daxpy_results: Vec<_> = daxpy
             .iter()
-            .map(|bench| {
+            .zip(daxpy_measured.chunks(smt_modes.len()))
+            .map(|(bench, sweep)| {
                 let mut best_power = 0.0f64;
                 let mut best_ipc = 0.0;
                 let mut best_mode = SmtMode::Smt1;
-                for &mode in &smt_modes {
-                    let m = self.session.measure(bench, CmpSmtConfig::new(cores, mode));
+                for (&mode, m) in smt_modes.iter().zip(sweep) {
                     if m.average_power() > best_power {
                         best_power = m.average_power();
                         best_ipc = m.chip_ipc();
@@ -352,9 +384,8 @@ impl Experiments {
         report.add_set("DAXPY", &daxpy_results);
 
         // Expert manual set.
-        let manual = search
-            .evaluate_set(&expert_manual_set(arch))
-            .expect("expert sequences generate");
+        let manual =
+            search.evaluate_set(&expert_manual_set(arch)).expect("expert sequences generate");
         report.add_set("Expert manual", &manual);
 
         // Expert DSE set (budget-limited outside the full scale).
@@ -390,15 +421,16 @@ impl Experiments {
         let arch = self.platform().uarch().clone();
         let suite = TrainingSuite::generate(
             &arch,
-            TrainingOptions::reduced(
-                self.scale.training_scale(),
-                self.scale.loop_instructions(),
-            ),
+            TrainingOptions::reduced(self.scale.training_scale(), self.scale.loop_instructions()),
         )
         .expect("training suite generates");
         let mut out = String::new();
         let _ = writeln!(out, "# Table 2 — automatically generated training micro-benchmarks");
-        let _ = writeln!(out, "{:<16} {:<22} {:>6} {:>14}", "name", "units stressed", "count", "paper count");
+        let _ = writeln!(
+            out,
+            "{:<16} {:<22} {:>6} {:>14}",
+            "name", "units stressed", "count", "paper count"
+        );
         let mut total = 0;
         let mut paper_total = 0;
         for (name, units, count) in suite.table2_rows() {
@@ -419,7 +451,10 @@ impl Experiments {
     /// Figure 5a: per-SPEC-benchmark real vs predicted power with the component
     /// breakdown, on the 4-core SMT4 configuration.
     pub fn fig5a(&self, study: &ModelStudy) -> String {
-        let config = CmpSmtConfig::new(4.min(self.scale.cores().iter().copied().max().unwrap_or(4)), SmtMode::Smt4);
+        let config = CmpSmtConfig::new(
+            4.min(self.scale.cores().iter().copied().max().unwrap_or(4)),
+            SmtMode::Smt4,
+        );
         let mut out = String::new();
         let _ = writeln!(
             out,
@@ -469,7 +504,10 @@ impl Experiments {
     /// Figure 6: PAAE of the four models per configuration.
     pub fn fig6(&self, study: &ModelStudy) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "# Figure 6 — PAAE of TD_Micro / TD_Random / TD_SPEC / BU on the SPEC proxies");
+        let _ = writeln!(
+            out,
+            "# Figure 6 — PAAE of TD_Micro / TD_Random / TD_SPEC / BU on the SPEC proxies"
+        );
         let _ = write!(out, "{:<8}", "config");
         for model in &study.models {
             let _ = write!(out, " {:>10}", model.name());
@@ -506,8 +544,11 @@ impl Experiments {
             let _ = write!(out, " {:>10}", model.name());
         }
         let _ = writeln!(out);
-        let mut case_names: Vec<String> =
-            study.extreme.iter().map(|s| s.name.split('-').next().unwrap_or(&s.name).to_owned()).collect();
+        let mut case_names: Vec<String> = study
+            .extreme
+            .iter()
+            .map(|s| s.name.split('-').next().unwrap_or(&s.name).to_owned())
+            .collect();
         case_names.sort();
         case_names.dedup();
         for case in &case_names {
@@ -622,8 +663,7 @@ impl Experiments {
         let taxonomy = self.taxonomy_study();
         out.push_str(&self.table3(&taxonomy));
         out.push('\n');
-        let spec_max =
-            model_study.spec.iter().map(|s| s.power).fold(f64::NEG_INFINITY, f64::max);
+        let spec_max = model_study.spec.iter().map(|s| s.power).fold(f64::NEG_INFINITY, f64::max);
         let stressmark = self.stressmark_study(spec_max, &taxonomy.props);
         out.push_str(&self.fig9(&stressmark));
         out.push('\n');

@@ -33,11 +33,8 @@ impl Table3 {
         records: &[BootstrapRecord],
         per_category: usize,
     ) -> Self {
-        let min_epi_global = records
-            .iter()
-            .filter(|r| r.epi > 0.0)
-            .map(|r| r.epi)
-            .fold(f64::INFINITY, f64::min);
+        let min_epi_global =
+            records.iter().filter(|r| r.epi > 0.0).map(|r| r.epi).fold(f64::INFINITY, f64::min);
         if !min_epi_global.is_finite() {
             return Self::default();
         }
@@ -56,11 +53,8 @@ impl Table3 {
         let mut rows = Vec::new();
         for (category, mut members) in grouped {
             members.sort_by(|a, b| b.epi.partial_cmp(&a.epi).expect("EPIs are finite"));
-            let min_epi_cat = members
-                .iter()
-                .filter(|r| r.epi > 0.0)
-                .map(|r| r.epi)
-                .fold(f64::INFINITY, f64::min);
+            let min_epi_cat =
+                members.iter().filter(|r| r.epi > 0.0).map(|r| r.epi).fold(f64::INFINITY, f64::min);
             if !min_epi_cat.is_finite() {
                 continue;
             }
@@ -95,8 +89,9 @@ impl Table3 {
 
     /// Renders the taxonomy as an aligned text table.
     pub fn to_table(&self) -> String {
-        let mut out =
-            String::from("category                 instruction   core IPC  EPI(global)  EPI(category)\n");
+        let mut out = String::from(
+            "category                 instruction   core IPC  EPI(global)  EPI(category)\n",
+        );
         for row in &self.rows {
             out.push_str(&format!(
                 "{:<24} {:<13} {:>8.2} {:>12.2} {:>14.2}\n",

@@ -62,12 +62,9 @@ impl HitDistribution {
     /// Returns [`DistributionError`] if a fraction is negative, not finite, or the
     /// fractions do not sum to 1.
     pub fn new(l1: f64, l2: f64, l3: f64, mem: f64) -> Result<Self, DistributionError> {
-        for (level, value) in [
-            (MemLevel::L1, l1),
-            (MemLevel::L2, l2),
-            (MemLevel::L3, l3),
-            (MemLevel::Mem, mem),
-        ] {
+        for (level, value) in
+            [(MemLevel::L1, l1), (MemLevel::L2, l2), (MemLevel::L3, l3), (MemLevel::Mem, mem)]
+        {
             if !value.is_finite() || !(0.0..=1.0).contains(&value) {
                 return Err(DistributionError::InvalidFraction { level, value });
             }

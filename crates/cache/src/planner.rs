@@ -143,7 +143,8 @@ impl<'a> AccessPlanner<'a> {
 
         // Unique L1 set per (thread, stream): 4 streams × up to 8 thread slots fit the
         // 32 L1 sets of POWER7.
-        let set = (u64::from(thread_slot) * MemLevel::ALL.len() as u64 + u64::from(stream)) % l1_sets;
+        let set =
+            (u64::from(thread_slot) * MemLevel::ALL.len() as u64 + u64::from(stream)) % l1_sets;
 
         let lines: Vec<u64> = match level {
             MemLevel::L1 => {

@@ -39,11 +39,7 @@ pub struct BootstrapOptions {
 
 impl Default for BootstrapOptions {
     fn default() -> Self {
-        Self {
-            loop_instructions: 256,
-            config: CmpSmtConfig::new(8, SmtMode::Smt1),
-            include: None,
-        }
+        Self { loop_instructions: 256, config: CmpSmtConfig::new(8, SmtMode::Smt1), include: None }
     }
 }
 
@@ -160,11 +156,8 @@ impl<'a, P: Platform> Bootstrap<'a, P> {
         let mut records = Vec::new();
 
         for (job, (m_chained, m_indep)) in jobs.iter().zip(measurements) {
-            let def = uarch
-                .isa
-                .get(&job.mnemonic)
-                .expect("bootstrap jobs only name ISA instructions")
-                .1;
+            let def =
+                uarch.isa.get(&job.mnemonic).expect("bootstrap jobs only name ISA instructions").1;
             let threads = f64::from(job.config.threads());
             let cores = f64::from(job.config.cores);
 
@@ -229,7 +222,11 @@ impl<'a, P: Platform> Bootstrap<'a, P> {
         let uarch = self.platform.uarch();
         let def = uarch.isa.def(opcode);
         let mut synth = Synthesizer::new(uarch.clone())
-            .with_name_prefix(format!("bootstrap-{}-{}", def.mnemonic(), if chained { "lat" } else { "tput" }))
+            .with_name_prefix(format!(
+                "bootstrap-{}-{}",
+                def.mnemonic(),
+                if chained { "lat" } else { "tput" }
+            ))
             .with_seed(0xb007 ^ opcode.index() as u64);
         synth.add_pass(SkeletonPass::endless_loop(self.options.loop_instructions));
         synth.add_pass(InstructionMixPass::uniform(vec![opcode]));

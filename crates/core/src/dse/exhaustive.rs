@@ -1,6 +1,6 @@
 //! Exhaustive enumeration of a design space.
 
-use super::{Evaluator, SearchResult};
+use super::{sanitize_scores, BatchEvaluator, SearchResult};
 
 /// Evaluates every point of an explicitly enumerated design space.
 ///
@@ -8,6 +8,11 @@ use super::{Evaluator, SearchResult};
 /// small set of expert- or heuristic-selected instructions are enumerated and measured.
 /// An optional evaluation budget truncates the enumeration, which is how a real
 /// measurement campaign bounds its cost.
+///
+/// The whole (budget-truncated) enumeration is handed to the evaluator as **one batch**,
+/// so a [`BatchEvaluator`] backed by a thread pool or a memoizing session evaluates the
+/// candidates concurrently.  Results are byte-identical to a serial one-at-a-time loop:
+/// scores come back in input order and ties keep the earliest candidate.
 #[derive(Debug, Clone, Default)]
 pub struct ExhaustiveSearch {
     max_evaluations: Option<usize>,
@@ -28,32 +33,42 @@ impl ExhaustiveSearch {
     ///
     /// # Panics
     ///
-    /// Panics if `points` yields no point (there would be no best element).
+    /// Panics if `points` yields no point, or the budget is zero (there would be no best
+    /// element).
     pub fn run<P, I, E>(&self, points: I, evaluator: &mut E) -> SearchResult<P>
     where
-        P: Clone,
         I: IntoIterator<Item = P>,
-        E: Evaluator<P> + ?Sized,
+        E: BatchEvaluator<P> + ?Sized,
     {
-        let mut best: Option<(P, f64)> = None;
-        let mut history = Vec::new();
-        let mut evaluations = 0usize;
-        for point in points {
-            if let Some(budget) = self.max_evaluations {
-                if evaluations >= budget {
-                    break;
-                }
+        let mut points: Vec<P> = match self.max_evaluations {
+            Some(budget) => points.into_iter().take(budget).collect(),
+            None => points.into_iter().collect(),
+        };
+        let mut scores = evaluator.evaluate_batch(&points);
+        debug_assert_eq!(scores.len(), points.len(), "one score per point, in order");
+        let mut failures = 0usize;
+        sanitize_scores(&mut scores, &mut failures);
+
+        // Strict tie-breaking: the earliest candidate of equal score wins, exactly as
+        // in a serial one-at-a-time loop.
+        let mut best: Option<(usize, f64)> = None;
+        let mut history = Vec::with_capacity(points.len());
+        for (index, &score) in scores.iter().enumerate() {
+            if best.map(|(_, s)| score > s).unwrap_or(true) {
+                best = Some((index, score));
             }
-            let score = evaluator.evaluate(&point);
-            evaluations += 1;
-            let better = best.as_ref().map(|(_, s)| score > *s).unwrap_or(true);
-            if better {
-                best = Some((point, score));
-            }
-            history.push(best.as_ref().expect("best is set after first evaluation").1);
+            history.push(best.expect("best is set after the first evaluation").1);
         }
-        let (best, best_score) = best.expect("exhaustive search needs at least one point");
-        SearchResult { best, best_score, evaluations, history }
+
+        let (best_index, best_score) = best.expect("exhaustive search needs at least one point");
+        let evaluations = points.len();
+        SearchResult {
+            best: points.swap_remove(best_index),
+            best_score,
+            evaluations,
+            failures,
+            history,
+        }
     }
 }
 
@@ -63,15 +78,18 @@ mod tests {
 
     #[test]
     fn finds_the_maximum() {
-        let result = ExhaustiveSearch::new().run(0..100, &mut |x: &i32| -((x - 63) * (x - 63)) as f64);
+        let result =
+            ExhaustiveSearch::new().run(0..100, &mut |x: &i32| -((x - 63) * (x - 63)) as f64);
         assert_eq!(result.best, 63);
         assert_eq!(result.evaluations, 100);
         assert_eq!(result.history.len(), 100);
+        assert_eq!(result.failures, 0);
     }
 
     #[test]
     fn history_is_monotonic() {
-        let result = ExhaustiveSearch::new().run(vec![3, 1, 7, 2, 9, 4], &mut |x: &i32| f64::from(*x));
+        let result =
+            ExhaustiveSearch::new().run(vec![3, 1, 7, 2, 9, 4], &mut |x: &i32| f64::from(*x));
         for pair in result.history.windows(2) {
             assert!(pair[1] >= pair[0]);
         }
@@ -80,9 +98,52 @@ mod tests {
 
     #[test]
     fn budget_truncates_the_enumeration() {
-        let result = ExhaustiveSearch::with_budget(10).run(0..1000, &mut |x: &i32| f64::from(*x));
+        let mut evaluated = 0usize;
+        let result = ExhaustiveSearch::with_budget(10).run(0..1000, &mut |x: &i32| {
+            evaluated += 1;
+            f64::from(*x)
+        });
         assert_eq!(result.evaluations, 10);
         assert_eq!(result.best, 9);
+        assert_eq!(evaluated, 10, "points beyond the budget must never reach the evaluator");
+    }
+
+    #[test]
+    fn non_finite_scores_are_counted_as_failures_and_never_win() {
+        let result = ExhaustiveSearch::new().run(vec![1, -1, 2, -1, 3], &mut |x: &i32| {
+            if *x < 0 {
+                f64::NEG_INFINITY
+            } else {
+                f64::from(*x)
+            }
+        });
+        assert_eq!(result.best, 3);
+        assert_eq!(result.failures, 2);
+        assert_eq!(result.evaluations, 5);
+    }
+
+    #[test]
+    fn a_leading_nan_cannot_poison_the_best_tracking() {
+        // NaN comparisons are always false: without sanitisation a NaN first score
+        // would stay `best` forever.  It must lose to any finite score instead.
+        let result = ExhaustiveSearch::new().run(vec![0, 1, 2], &mut |x: &i32| {
+            if *x == 0 {
+                f64::NAN
+            } else {
+                f64::from(*x)
+            }
+        });
+        assert_eq!(result.best, 2);
+        assert_eq!(result.best_score, 2.0);
+        assert_eq!(result.failures, 1);
+        assert_eq!(result.history, vec![f64::NEG_INFINITY, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn ties_keep_the_earliest_candidate() {
+        let result =
+            ExhaustiveSearch::new().run(vec![(0, 5.0), (1, 5.0)], &mut |p: &(u32, f64)| p.1);
+        assert_eq!(result.best.0, 0, "strict tie-breaking keeps the first equal-score point");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use super::{Evaluator, SearchResult};
+use super::{sanitize_scores, BatchEvaluator, SearchResult};
 
 /// Describes how candidate points are created and recombined by the genetic search.
 pub trait GenomeSpace {
@@ -22,6 +22,13 @@ pub trait GenomeSpace {
 
 /// A small steady-state genetic algorithm, the search driver previous stressmark
 /// generators rely on and one of the drivers MicroProbe integrates.
+///
+/// Each generation's offspring are bred first (all random draws happen up front, in
+/// offspring order) and then scored as **one batch** through the [`BatchEvaluator`], so
+/// a parallel or memoizing evaluator measures a whole population concurrently.  The
+/// random stream, the selection pressure and the reported history are identical to a
+/// serial breed-then-evaluate loop: searches stay deterministic given the seed, for any
+/// evaluator backend.
 #[derive(Debug, Clone)]
 pub struct GeneticSearch {
     population: usize,
@@ -69,34 +76,43 @@ impl GeneticSearch {
     pub fn run<S, E>(&self, space: &S, evaluator: &mut E) -> SearchResult<S::Point>
     where
         S: GenomeSpace,
-        E: Evaluator<S::Point> + ?Sized,
+        E: BatchEvaluator<S::Point> + ?Sized,
     {
         let mut rng = SmallRng::seed_from_u64(self.seed);
         let mut history = Vec::new();
         let mut evaluations = 0usize;
+        let mut failures = 0usize;
 
-        let mut scored: Vec<(S::Point, f64)> = (0..self.population)
-            .map(|_| {
-                let p = space.random(&mut rng);
-                let s = evaluator.evaluate(&p);
-                evaluations += 1;
-                (p, s)
-            })
-            .collect();
+        // Initial population: breed first, then score the whole batch at once.
+        let initial: Vec<S::Point> = (0..self.population).map(|_| space.random(&mut rng)).collect();
+        let mut scores = evaluator.evaluate_batch(&initial);
+        evaluations += initial.len();
+        sanitize_scores(&mut scores, &mut failures);
+        let mut scored: Vec<(S::Point, f64)> = initial.into_iter().zip(scores).collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores are comparable"));
         history.extend(std::iter::repeat_n(scored[0].1, self.population));
 
         for _ in 0..self.generations {
+            // Breed every offspring of the generation up front: selection, crossover and
+            // mutation only read the *parent* scores, so the random stream is the same
+            // as in an interleaved breed-evaluate loop.
+            let offspring: Vec<S::Point> = (self.elite..self.population)
+                .map(|_| {
+                    let a = self.tournament(&scored, &mut rng);
+                    let b = self.tournament(&scored, &mut rng);
+                    let mut child = space.crossover(&scored[a].0, &scored[b].0, &mut rng);
+                    if rng.gen::<f64>() < self.mutation_rate {
+                        space.mutate(&mut child, &mut rng);
+                    }
+                    child
+                })
+                .collect();
+            let mut scores = evaluator.evaluate_batch(&offspring);
+            evaluations += offspring.len();
+            sanitize_scores(&mut scores, &mut failures);
+
             let mut next: Vec<(S::Point, f64)> = scored.iter().take(self.elite).cloned().collect();
-            while next.len() < self.population {
-                let a = self.tournament(&scored, &mut rng);
-                let b = self.tournament(&scored, &mut rng);
-                let mut child = space.crossover(&scored[a].0, &scored[b].0, &mut rng);
-                if rng.gen::<f64>() < self.mutation_rate {
-                    space.mutate(&mut child, &mut rng);
-                }
-                let score = evaluator.evaluate(&child);
-                evaluations += 1;
+            for (child, score) in offspring.into_iter().zip(scores) {
                 next.push((child, score));
                 let best_so_far = next
                     .iter()
@@ -110,7 +126,7 @@ impl GeneticSearch {
         }
 
         let (best, best_score) = scored.swap_remove(0);
-        SearchResult { best, best_score, evaluations, history }
+        SearchResult { best, best_score, evaluations, failures, history }
     }
 
     /// Binary tournament selection: picks the better of two random individuals.
@@ -177,6 +193,7 @@ mod tests {
         assert!(result.best_score >= 45.0, "GA should approach 54, got {}", result.best_score);
         assert!(result.improved());
         assert_eq!(result.evaluations, ga.budget());
+        assert_eq!(result.failures, 0);
     }
 
     #[test]
@@ -191,6 +208,7 @@ mod tests {
         let b = run();
         assert_eq!(a.best, b.best);
         assert_eq!(a.best_score, b.best_score);
+        assert_eq!(a.history, b.history);
     }
 
     #[test]
@@ -202,6 +220,42 @@ mod tests {
         for pair in result.history.windows(2) {
             assert!(pair[1] >= pair[0]);
         }
+    }
+
+    #[test]
+    fn nan_scores_are_quarantined_instead_of_panicking_the_sort() {
+        // Without sanitisation a NaN score would hit the `partial_cmp(...).expect(...)`
+        // in the selection sort; quarantined as -inf it just loses every tournament.
+        let space = VecSpace::new(3, 5);
+        let result = GeneticSearch::new(6, 2).with_seed(13).run(&space, &mut |p: &Vec<u32>| {
+            let sum = p.iter().sum::<u32>();
+            if sum.is_multiple_of(3) {
+                f64::NAN
+            } else {
+                f64::from(sum)
+            }
+        });
+        assert!(result.failures > 0, "the seed draws at least one NaN-scored genome");
+        assert!(!result.best_score.is_nan(), "a NaN must never surface as the best score");
+    }
+
+    #[test]
+    fn batches_arrive_per_generation() {
+        // The GA must submit one batch for the initial population and one per
+        // generation's offspring — that is what a parallel evaluator fans out.
+        struct CountingEvaluator(Vec<usize>);
+        impl BatchEvaluator<Vec<u32>> for CountingEvaluator {
+            fn evaluate_batch(&mut self, points: &[Vec<u32>]) -> Vec<f64> {
+                self.0.push(points.len());
+                points.iter().map(|p| p.iter().sum::<u32>() as f64).collect()
+            }
+        }
+        let space = VecSpace::new(3, 5);
+        let mut counting = CountingEvaluator(Vec::new());
+        let ga = GeneticSearch::new(6, 3).with_seed(11);
+        let result = ga.run(&space, &mut counting);
+        assert_eq!(counting.0, vec![6, 5, 5, 5], "population batch, then offspring batches");
+        assert_eq!(result.evaluations, ga.budget());
     }
 
     #[test]

@@ -6,6 +6,13 @@
 //! framework: an [`Evaluator`] typically synthesizes a candidate benchmark and runs it on
 //! a [`Platform`](crate::platform::Platform), and the search driver — [`ExhaustiveSearch`],
 //! [`GeneticSearch`] or a user-defined loop — decides which candidates to evaluate.
+//!
+//! The drivers hand candidates to the evaluator in **batches** (the whole enumeration, or
+//! one GA generation's offspring) through the [`BatchEvaluator`] trait, so an evaluator
+//! can fan a batch out over a thread pool or turn it into one memoized measurement plan.
+//! Scoring closures — today's [`Evaluator`]s — are batch evaluators through a blanket
+//! impl that scores the batch serially, in order ([`Serial`] adapts non-closure
+//! evaluators) — results are identical either way.
 
 mod exhaustive;
 mod genetic;
@@ -28,6 +35,50 @@ where
     }
 }
 
+/// Scores whole batches of candidate design points.
+///
+/// The search drivers call this with every candidate they need scored at once: the
+/// (budget-truncated) enumeration for [`ExhaustiveSearch`], the initial population and
+/// each generation's offspring for [`GeneticSearch`].  Implementations are free to
+/// evaluate the batch in parallel — scores must be returned **in input order**, one per
+/// point, so search results do not depend on how a batch is scheduled.
+///
+/// A non-finite score (`NaN` or ±∞) marks a candidate whose evaluation *failed* (e.g.
+/// the benchmark build raised a pass error).  The drivers tally such candidates in
+/// [`SearchResult::failures`] and clamp their score to `-∞` before any ranking, so a
+/// failed candidate never outranks (or, via `NaN` comparisons, poisons) a working one.
+pub trait BatchEvaluator<P> {
+    /// Evaluates a batch, returning one score per point, in input order.
+    fn evaluate_batch(&mut self, points: &[P]) -> Vec<f64>;
+}
+
+/// Every scoring closure — today's [`Evaluator`] closures — scores batches serially, in
+/// order.  (The impl is over `FnMut` rather than `Evaluator` so that downstream crates
+/// can implement [`BatchEvaluator`] for their own parallel backends without coherence
+/// conflicts; wrap a non-closure [`Evaluator`] in [`Serial`] instead.)
+impl<P, F> BatchEvaluator<P> for F
+where
+    F: FnMut(&P) -> f64 + ?Sized,
+{
+    fn evaluate_batch(&mut self, points: &[P]) -> Vec<f64> {
+        points.iter().map(self).collect()
+    }
+}
+
+/// Adapts any single-point [`Evaluator`] into a [`BatchEvaluator`] that scores batches
+/// serially, in order.
+#[derive(Debug, Clone)]
+pub struct Serial<E>(pub E);
+
+impl<P, E> BatchEvaluator<P> for Serial<E>
+where
+    E: Evaluator<P>,
+{
+    fn evaluate_batch(&mut self, points: &[P]) -> Vec<f64> {
+        points.iter().map(|p| self.0.evaluate(p)).collect()
+    }
+}
+
 /// The outcome of a design space exploration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SearchResult<P> {
@@ -37,6 +88,9 @@ pub struct SearchResult<P> {
     pub best_score: f64,
     /// Total number of evaluations performed.
     pub evaluations: usize,
+    /// Evaluations that failed (reported a non-finite score, the convention evaluators
+    /// use for candidates that could not be built or measured).
+    pub failures: usize,
     /// Best score after each evaluation (monotonically non-decreasing).
     pub history: Vec<f64>,
 }
@@ -45,6 +99,19 @@ impl<P> SearchResult<P> {
     /// Returns `true` if the search improved on its first evaluation.
     pub fn improved(&self) -> bool {
         self.history.first().map(|first| self.best_score > *first).unwrap_or(false)
+    }
+}
+
+/// Quarantines a batch's failed evaluations, shared by the drivers: every non-finite
+/// score is counted in `failures` and clamped to `-∞`, so ranking (strict `>`
+/// comparisons, the GA's sort) only ever sees comparable scores and a failed candidate
+/// can never beat a working one.
+pub(crate) fn sanitize_scores(scores: &mut [f64], failures: &mut usize) {
+    for score in scores {
+        if !score.is_finite() {
+            *failures += 1;
+            *score = f64::NEG_INFINITY;
+        }
     }
 }
 
@@ -61,10 +128,61 @@ mod tests {
     }
 
     #[test]
+    fn closures_are_batch_evaluators() {
+        fn takes_batch<E: BatchEvaluator<i32>>(mut e: E) -> Vec<f64> {
+            e.evaluate_batch(&[1, 2, 3])
+        }
+        let mut calls = 0;
+        let scores = takes_batch(|x: &i32| {
+            calls += 1;
+            f64::from(*x) * 2.0
+        });
+        assert_eq!(scores, vec![2.0, 4.0, 6.0]);
+        assert_eq!(calls, 3, "the blanket impl scores every point exactly once");
+    }
+
+    #[test]
+    fn serial_adapts_non_closure_evaluators() {
+        struct Doubler;
+        impl Evaluator<i32> for Doubler {
+            fn evaluate(&mut self, point: &i32) -> f64 {
+                f64::from(*point) * 2.0
+            }
+        }
+        let mut serial = Serial(Doubler);
+        assert_eq!(serial.evaluate_batch(&[1, 2, 3]), vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
     fn improved_reflects_history() {
-        let r = SearchResult { best: 3, best_score: 9.0, evaluations: 3, history: vec![1.0, 4.0, 9.0] };
+        let r = SearchResult {
+            best: 3,
+            best_score: 9.0,
+            evaluations: 3,
+            failures: 0,
+            history: vec![1.0, 4.0, 9.0],
+        };
         assert!(r.improved());
-        let flat = SearchResult { best: 0, best_score: 1.0, evaluations: 1, history: vec![1.0] };
+        let flat = SearchResult {
+            best: 0,
+            best_score: 1.0,
+            evaluations: 1,
+            failures: 0,
+            history: vec![1.0],
+        };
         assert!(!flat.improved());
+    }
+
+    #[test]
+    fn sanitize_scores_clamps_every_non_finite_flavour() {
+        let mut scores = [2.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0];
+        let mut failures = 0;
+        sanitize_scores(&mut scores, &mut failures);
+        assert_eq!(failures, 3);
+        assert_eq!(
+            scores,
+            [2.0, f64::NEG_INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY, -1.0],
+            "NaN and +inf are failures too: they must never outrank a working candidate"
+        );
     }
 }

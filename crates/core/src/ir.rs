@@ -174,12 +174,13 @@ pub fn default_operand(kind: &OperandKind, slot_index: usize, rng: &mut SmallRng
 }
 
 /// Materialises the full default operand list for an instruction definition.
-pub fn default_operands(isa: &Isa, opcode: OpcodeId, slot_index: usize, rng: &mut SmallRng) -> Vec<Operand> {
-    isa.def(opcode)
-        .operands()
-        .iter()
-        .map(|kind| default_operand(kind, slot_index, rng))
-        .collect()
+pub fn default_operands(
+    isa: &Isa,
+    opcode: OpcodeId,
+    slot_index: usize,
+    rng: &mut SmallRng,
+) -> Vec<Operand> {
+    isa.def(opcode).operands().iter().map(|kind| default_operand(kind, slot_index, rng)).collect()
 }
 
 #[cfg(test)]

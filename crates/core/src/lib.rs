@@ -51,7 +51,10 @@ pub mod synth;
 
 /// Convenient re-exports of the types most generation scripts need.
 pub mod prelude {
-    pub use crate::dse::{Evaluator, ExhaustiveSearch, GeneticSearch, GenomeSpace, SearchResult};
+    pub use crate::dse::{
+        BatchEvaluator, Evaluator, ExhaustiveSearch, GeneticSearch, GenomeSpace, SearchResult,
+        Serial,
+    };
     pub use crate::ir::{BenchmarkIr, MicroBenchmark};
     pub use crate::passes::{
         BranchBehaviorPass, DependencyDistancePass, InitImmediatesPass, InitRegistersPass,

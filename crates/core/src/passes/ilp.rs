@@ -126,7 +126,8 @@ impl Pass for DependencyDistancePass {
                             continue;
                         }
                         let base = Self::POOL.min(file.count().saturating_sub(8).max(1));
-                        let reg = RegRef::new(file, base + (idx as u16 % 8.min(file.count() - base)));
+                        let reg =
+                            RegRef::new(file, base + (idx as u16 % 8.min(file.count() - base)));
                         *op = Operand::Reg(reg);
                     }
                     continue;
@@ -187,7 +188,11 @@ mod tests {
     use crate::synth::Synthesizer;
     use mp_uarch::power7;
 
-    fn build(spec_pass: DependencyDistancePass, mnemonic: &str, n: usize) -> crate::ir::MicroBenchmark {
+    fn build(
+        spec_pass: DependencyDistancePass,
+        mnemonic: &str,
+        n: usize,
+    ) -> crate::ir::MicroBenchmark {
         let arch = power7();
         let op = arch.isa.opcode(mnemonic).unwrap();
         let mut synth = Synthesizer::new(arch);
@@ -242,7 +247,8 @@ mod tests {
         // within the requested [2, 4] window — and on no closer producer.
         for i in 4..body.len() {
             let reads = body[i].reads(isa);
-            let chained = (2..=4).any(|d| body[i - d].writes(isa).iter().any(|w| reads.contains(w)));
+            let chained =
+                (2..=4).any(|d| body[i - d].writes(isa).iter().any(|w| reads.contains(w)));
             assert!(chained, "slot {i} has no dependency in the requested distance window");
             let too_close = body[i - 1].writes(isa).iter().any(|w| reads.contains(w));
             assert!(!too_close, "slot {i} depends on its immediate predecessor");

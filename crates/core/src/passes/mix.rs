@@ -176,10 +176,8 @@ mod tests {
     #[test]
     fn sequence_pass_repeats_in_order() {
         let arch = power7();
-        let seq: Vec<OpcodeId> = ["mullw", "xvmaddadp", "add"]
-            .iter()
-            .map(|m| arch.isa.opcode(m).unwrap())
-            .collect();
+        let seq: Vec<OpcodeId> =
+            ["mullw", "xvmaddadp", "add"].iter().map(|m| arch.isa.opcode(m).unwrap()).collect();
         let mut synth = Synthesizer::new(arch);
         synth.add_pass(SkeletonPass::endless_loop(9));
         synth.add_pass(SequencePass::repeat(seq.clone()));

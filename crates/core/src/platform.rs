@@ -123,8 +123,7 @@ mod tests {
         synth.add_pass(SkeletonPass::endless_loop(32));
         synth.add_pass(InstructionMixPass::uniform(computes));
         let benches = synth.synthesize_many(4).unwrap();
-        let m = platform
-            .run_heterogeneous(&benches, CmpSmtConfig::new(2, SmtMode::Smt2));
+        let m = platform.run_heterogeneous(&benches, CmpSmtConfig::new(2, SmtMode::Smt2));
         assert_eq!(m.per_thread().len(), 4);
     }
 }

@@ -179,14 +179,15 @@ impl Synthesizer {
         let mut ir = BenchmarkIr::new(format!("{}-{}", self.name_prefix, invocation));
         let mut ctx = PassContext {
             arch: &self.arch,
-            rng: SmallRng::seed_from_u64(self.seed.wrapping_add(invocation.wrapping_mul(0x9e37_79b9))),
+            rng: SmallRng::seed_from_u64(
+                self.seed.wrapping_add(invocation.wrapping_mul(0x9e37_79b9)),
+            ),
             invocation,
         };
         for pass in &self.passes {
             pass.apply(&mut ir, &mut ctx)?;
         }
-        ir.finalize(&self.arch.isa)
-            .map_err(|e| PassError::new("finalize", e))
+        ir.finalize(&self.arch.isa).map_err(|e| PassError::new("finalize", e))
     }
 
     /// Convenience: synthesize `n` benchmarks in one call.
@@ -241,10 +242,13 @@ mod tests {
         let arch = power7();
         let (nop, _) = arch.isa.get("nop").unwrap();
         let mut synth = Synthesizer::new(arch);
-        synth.add_pass(FnPass::new("add-one-nop", move |ir: &mut BenchmarkIr, _ctx: &mut PassContext<'_>| {
-            ir.slots_mut().push(Slot { opcode: nop, operands: vec![], mem: None });
-            Ok(())
-        }));
+        synth.add_pass(FnPass::new(
+            "add-one-nop",
+            move |ir: &mut BenchmarkIr, _ctx: &mut PassContext<'_>| {
+                ir.slots_mut().push(Slot { opcode: nop, operands: vec![], mem: None });
+                Ok(())
+            },
+        ));
         let bench = synth.synthesize().unwrap();
         assert_eq!(bench.kernel().len(), 1);
     }

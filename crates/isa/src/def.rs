@@ -315,8 +315,7 @@ impl InstructionDef {
 
     /// Returns `true` if the instruction accesses memory (load, store or prefetch).
     pub fn is_memory(&self) -> bool {
-        self.flags
-            .intersects(InstrFlags::LOAD | InstrFlags::STORE | InstrFlags::PREFETCH)
+        self.flags.intersects(InstrFlags::LOAD | InstrFlags::STORE | InstrFlags::PREFETCH)
     }
 
     /// Returns `true` if the instruction changes control flow.
@@ -366,18 +365,12 @@ impl InstructionDef {
 
     /// Number of register operands written by the instruction.
     pub fn num_register_writes(&self) -> usize {
-        self.operands
-            .iter()
-            .filter(|o| o.access().map(|a| a.writes()).unwrap_or(false))
-            .count()
+        self.operands.iter().filter(|o| o.access().map(|a| a.writes()).unwrap_or(false)).count()
     }
 
     /// Number of register operands read by the instruction.
     pub fn num_register_reads(&self) -> usize {
-        self.operands
-            .iter()
-            .filter(|o| o.access().map(|a| a.reads()).unwrap_or(false))
-            .count()
+        self.operands.iter().filter(|o| o.access().map(|a| a.reads()).unwrap_or(false)).count()
     }
 
     /// Register files touched by the instruction's operands, without duplicates.
@@ -496,7 +489,11 @@ impl InstructionDefBuilder {
             "{}: non-memory instruction must not declare mem_bytes",
             def.mnemonic
         );
-        assert!(!def.units.is_empty(), "{}: instruction must stress at least one unit", def.mnemonic);
+        assert!(
+            !def.units.is_empty(),
+            "{}: instruction must stress at least one unit",
+            def.mnemonic
+        );
         def
     }
 }

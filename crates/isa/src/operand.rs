@@ -63,7 +63,9 @@ impl OperandKind {
     pub const fn is_immediate(&self) -> bool {
         matches!(
             self,
-            OperandKind::Imm { .. } | OperandKind::Displacement { .. } | OperandKind::BranchTarget { .. }
+            OperandKind::Imm { .. }
+                | OperandKind::Displacement { .. }
+                | OperandKind::BranchTarget { .. }
         )
     }
 
@@ -161,7 +163,9 @@ impl fmt::Display for Operand {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Operand::Reg(r) => write!(f, "{r}"),
-            Operand::Imm(v) | Operand::Displacement(v) | Operand::BranchTarget(v) => write!(f, "{v}"),
+            Operand::Imm(v) | Operand::Displacement(v) | Operand::BranchTarget(v) => {
+                write!(f, "{v}")
+            }
             Operand::CrField(v) => write!(f, "cr{v}"),
         }
     }

@@ -34,7 +34,14 @@ const D14: OperandKind = OperandKind::Displacement { bits: 14 };
 const CR_W: OperandKind = OperandKind::CrField { access: RegAccess::Write };
 
 /// Fixed point XO/X-form register-register arithmetic executed only by the FXU.
-fn fxu_rrr(m: &'static str, desc: &'static str, xo: u16, cx: f64, lat: LatencyClass, fl: InstrFlags) -> InstructionDef {
+fn fxu_rrr(
+    m: &'static str,
+    desc: &'static str,
+    xo: u16,
+    cx: f64,
+    lat: LatencyClass,
+    fl: InstrFlags,
+) -> InstructionDef {
     InstructionDef::builder(m, Format::Xo, 31)
         .description(desc)
         .flags(InstrFlags::INTEGER | fl)
@@ -47,7 +54,13 @@ fn fxu_rrr(m: &'static str, desc: &'static str, xo: u16, cx: f64, lat: LatencyCl
 }
 
 /// Simple fixed point register-register operations executable by either FXU or LSU pipes.
-fn simple_rrr(m: &'static str, desc: &'static str, xo: u16, cx: f64, fl: InstrFlags) -> InstructionDef {
+fn simple_rrr(
+    m: &'static str,
+    desc: &'static str,
+    xo: u16,
+    cx: f64,
+    fl: InstrFlags,
+) -> InstructionDef {
     InstructionDef::builder(m, Format::X, 31)
         .description(desc)
         .flags(InstrFlags::INTEGER | fl)
@@ -60,7 +73,14 @@ fn simple_rrr(m: &'static str, desc: &'static str, xo: u16, cx: f64, fl: InstrFl
 }
 
 /// Fixed point D-form register-immediate arithmetic.
-fn fxu_rri(m: &'static str, desc: &'static str, op: u8, cx: f64, fl: InstrFlags, simple: bool) -> InstructionDef {
+fn fxu_rri(
+    m: &'static str,
+    desc: &'static str,
+    op: u8,
+    cx: f64,
+    fl: InstrFlags,
+    simple: bool,
+) -> InstructionDef {
     InstructionDef::builder(m, Format::D, op)
         .description(desc)
         .flags(InstrFlags::INTEGER | InstrFlags::IMMEDIATE_FORM | fl)
@@ -72,7 +92,15 @@ fn fxu_rri(m: &'static str, desc: &'static str, op: u8, cx: f64, fl: InstrFlags,
 }
 
 /// Fixed point load, D/DS-form (`lXz rt, d(ra)`).
-fn load_d(m: &'static str, desc: &'static str, op: u8, bytes: u8, w: OperandWidth, cx: f64, fl: InstrFlags) -> InstructionDef {
+fn load_d(
+    m: &'static str,
+    desc: &'static str,
+    op: u8,
+    bytes: u8,
+    w: OperandWidth,
+    cx: f64,
+    fl: InstrFlags,
+) -> InstructionDef {
     let disp = if bytes == 8 { D14 } else { D16 };
     let fmt = if bytes == 8 { Format::Ds } else { Format::D };
     let base = if fl.contains(InstrFlags::UPDATE_FORM) { GPR_RW } else { GPR_R };
@@ -92,7 +120,15 @@ fn load_d(m: &'static str, desc: &'static str, op: u8, bytes: u8, w: OperandWidt
 }
 
 /// Fixed point load, X-form indexed (`lXzx rt, ra, rb`).
-fn load_x(m: &'static str, desc: &'static str, xo: u16, bytes: u8, w: OperandWidth, cx: f64, fl: InstrFlags) -> InstructionDef {
+fn load_x(
+    m: &'static str,
+    desc: &'static str,
+    xo: u16,
+    bytes: u8,
+    w: OperandWidth,
+    cx: f64,
+    fl: InstrFlags,
+) -> InstructionDef {
     let base = if fl.contains(InstrFlags::UPDATE_FORM) { GPR_RW } else { GPR_R };
     let mut b = InstructionDef::builder(m, Format::X, 31)
         .description(desc)
@@ -111,7 +147,15 @@ fn load_x(m: &'static str, desc: &'static str, xo: u16, bytes: u8, w: OperandWid
 }
 
 /// Floating point load (D-form or X-form depending on `xo`).
-fn load_fp(m: &'static str, desc: &'static str, op: u8, xo: u16, bytes: u8, cx: f64, fl: InstrFlags) -> InstructionDef {
+fn load_fp(
+    m: &'static str,
+    desc: &'static str,
+    op: u8,
+    xo: u16,
+    bytes: u8,
+    cx: f64,
+    fl: InstrFlags,
+) -> InstructionDef {
     let indexed = fl.contains(InstrFlags::INDEXED_FORM);
     let base = if fl.contains(InstrFlags::UPDATE_FORM) { GPR_RW } else { GPR_R };
     let mut b = InstructionDef::builder(m, if indexed { Format::X } else { Format::D }, op)
@@ -123,11 +167,7 @@ fn load_fp(m: &'static str, desc: &'static str, op: u8, xo: u16, bytes: u8, cx: 
         .complexity(cx)
         .mem_bytes(bytes)
         .xo(xo);
-    b = if indexed {
-        b.operands(&[FPR_W, base, GPR_R])
-    } else {
-        b.operands(&[FPR_W, D16, base])
-    };
+    b = if indexed { b.operands(&[FPR_W, base, GPR_R]) } else { b.operands(&[FPR_W, D16, base]) };
     if fl.contains(InstrFlags::UPDATE_FORM) {
         b = b.also_stresses(Unit::Fxu);
     }
@@ -135,7 +175,14 @@ fn load_fp(m: &'static str, desc: &'static str, op: u8, xo: u16, bytes: u8, cx: 
 }
 
 /// VSX/VMX vector load, always X-form indexed; stresses the LSU and the VSU.
-fn load_vec(m: &'static str, desc: &'static str, xo: u16, bytes: u8, cx: f64, vsx: bool) -> InstructionDef {
+fn load_vec(
+    m: &'static str,
+    desc: &'static str,
+    xo: u16,
+    bytes: u8,
+    cx: f64,
+    vsx: bool,
+) -> InstructionDef {
     let target = if vsx { VSR_W } else { VR_W };
     InstructionDef::builder(m, if vsx { Format::Xx3 } else { Format::Vx }, 31)
         .description(desc)
@@ -152,7 +199,15 @@ fn load_vec(m: &'static str, desc: &'static str, xo: u16, bytes: u8, cx: f64, vs
 }
 
 /// Fixed point store, D/DS-form.
-fn store_d(m: &'static str, desc: &'static str, op: u8, bytes: u8, w: OperandWidth, cx: f64, fl: InstrFlags) -> InstructionDef {
+fn store_d(
+    m: &'static str,
+    desc: &'static str,
+    op: u8,
+    bytes: u8,
+    w: OperandWidth,
+    cx: f64,
+    fl: InstrFlags,
+) -> InstructionDef {
     let disp = if bytes == 8 { D14 } else { D16 };
     let base = if fl.contains(InstrFlags::UPDATE_FORM) { GPR_RW } else { GPR_R };
     let mut b = InstructionDef::builder(m, if bytes == 8 { Format::Ds } else { Format::D }, op)
@@ -171,7 +226,15 @@ fn store_d(m: &'static str, desc: &'static str, op: u8, bytes: u8, w: OperandWid
 }
 
 /// Fixed point store, X-form indexed.
-fn store_x(m: &'static str, desc: &'static str, xo: u16, bytes: u8, w: OperandWidth, cx: f64, fl: InstrFlags) -> InstructionDef {
+fn store_x(
+    m: &'static str,
+    desc: &'static str,
+    xo: u16,
+    bytes: u8,
+    w: OperandWidth,
+    cx: f64,
+    fl: InstrFlags,
+) -> InstructionDef {
     let base = if fl.contains(InstrFlags::UPDATE_FORM) { GPR_RW } else { GPR_R };
     let mut b = InstructionDef::builder(m, Format::X, 31)
         .description(desc)
@@ -190,7 +253,15 @@ fn store_x(m: &'static str, desc: &'static str, xo: u16, bytes: u8, w: OperandWi
 }
 
 /// Floating point store.
-fn store_fp(m: &'static str, desc: &'static str, op: u8, xo: u16, bytes: u8, cx: f64, fl: InstrFlags) -> InstructionDef {
+fn store_fp(
+    m: &'static str,
+    desc: &'static str,
+    op: u8,
+    xo: u16,
+    bytes: u8,
+    cx: f64,
+    fl: InstrFlags,
+) -> InstructionDef {
     let indexed = fl.contains(InstrFlags::INDEXED_FORM);
     let base = if fl.contains(InstrFlags::UPDATE_FORM) { GPR_RW } else { GPR_R };
     let mut b = InstructionDef::builder(m, if indexed { Format::X } else { Format::D }, op)
@@ -203,11 +274,7 @@ fn store_fp(m: &'static str, desc: &'static str, op: u8, xo: u16, bytes: u8, cx:
         .complexity(cx)
         .mem_bytes(bytes)
         .xo(xo);
-    b = if indexed {
-        b.operands(&[FPR_R, base, GPR_R])
-    } else {
-        b.operands(&[FPR_R, D16, base])
-    };
+    b = if indexed { b.operands(&[FPR_R, base, GPR_R]) } else { b.operands(&[FPR_R, D16, base]) };
     if fl.contains(InstrFlags::UPDATE_FORM) {
         b = b.also_stresses(Unit::Fxu);
     }
@@ -215,7 +282,14 @@ fn store_fp(m: &'static str, desc: &'static str, op: u8, xo: u16, bytes: u8, cx:
 }
 
 /// VSX/VMX vector store; stresses LSU (address generation) and VSU (data propagation).
-fn store_vec(m: &'static str, desc: &'static str, xo: u16, bytes: u8, cx: f64, vsx: bool) -> InstructionDef {
+fn store_vec(
+    m: &'static str,
+    desc: &'static str,
+    xo: u16,
+    bytes: u8,
+    cx: f64,
+    vsx: bool,
+) -> InstructionDef {
     let source = if vsx { VSR_R } else { VR_R };
     InstructionDef::builder(m, if vsx { Format::Xx3 } else { Format::Vx }, 31)
         .description(desc)
@@ -232,7 +306,15 @@ fn store_vec(m: &'static str, desc: &'static str, xo: u16, bytes: u8, cx: f64, v
 }
 
 /// Scalar floating point arithmetic (A/X-form on FPRs), executed by the VSU.
-fn fp_arith(m: &'static str, desc: &'static str, xo: u16, nsrc: usize, cx: f64, lat: LatencyClass, fl: InstrFlags) -> InstructionDef {
+fn fp_arith(
+    m: &'static str,
+    desc: &'static str,
+    xo: u16,
+    nsrc: usize,
+    cx: f64,
+    lat: LatencyClass,
+    fl: InstrFlags,
+) -> InstructionDef {
     let mut b = InstructionDef::builder(m, Format::A, 63)
         .description(desc)
         .flags(InstrFlags::FLOAT | fl)
@@ -249,7 +331,15 @@ fn fp_arith(m: &'static str, desc: &'static str, xo: u16, nsrc: usize, cx: f64, 
 }
 
 /// VSX arithmetic (XX3-form on VSRs), executed by the VSU.
-fn vsx_arith(m: &'static str, desc: &'static str, xo: u16, nsrc: usize, cx: f64, lat: LatencyClass, fl: InstrFlags) -> InstructionDef {
+fn vsx_arith(
+    m: &'static str,
+    desc: &'static str,
+    xo: u16,
+    nsrc: usize,
+    cx: f64,
+    lat: LatencyClass,
+    fl: InstrFlags,
+) -> InstructionDef {
     let mut b = InstructionDef::builder(m, Format::Xx3, 60)
         .description(desc)
         .flags(InstrFlags::VECTOR | InstrFlags::FLOAT | fl)
@@ -266,7 +356,15 @@ fn vsx_arith(m: &'static str, desc: &'static str, xo: u16, nsrc: usize, cx: f64,
 }
 
 /// VMX integer/logical vector arithmetic (VX-form on VRs), executed by the VSU.
-fn vmx_arith(m: &'static str, desc: &'static str, xo: u16, nsrc: usize, cx: f64, lat: LatencyClass, fl: InstrFlags) -> InstructionDef {
+fn vmx_arith(
+    m: &'static str,
+    desc: &'static str,
+    xo: u16,
+    nsrc: usize,
+    cx: f64,
+    lat: LatencyClass,
+    fl: InstrFlags,
+) -> InstructionDef {
     let mut b = InstructionDef::builder(m, Format::Vx, 4)
         .description(desc)
         .flags(InstrFlags::VECTOR | fl)
@@ -283,7 +381,13 @@ fn vmx_arith(m: &'static str, desc: &'static str, xo: u16, nsrc: usize, cx: f64,
 }
 
 /// Decimal floating point arithmetic, executed by the DFU pipe of the VSU.
-fn dfp_arith(m: &'static str, desc: &'static str, xo: u16, cx: f64, lat: LatencyClass) -> InstructionDef {
+fn dfp_arith(
+    m: &'static str,
+    desc: &'static str,
+    xo: u16,
+    cx: f64,
+    lat: LatencyClass,
+) -> InstructionDef {
     InstructionDef::builder(m, Format::Z, 59)
         .description(desc)
         .flags(InstrFlags::DECIMAL)
@@ -312,24 +416,122 @@ pub fn power_isa_v206b() -> Isa {
     defs.push(fxu_rri("addi", "Add Immediate", 14, 1.00, InstrFlags::empty(), true));
     defs.push(fxu_rri("addis", "Add Immediate Shifted", 15, 1.02, InstrFlags::empty(), true));
     defs.push(fxu_rri("addic", "Add Immediate Carrying", 12, 1.00, InstrFlags::CARRYING, false));
-    defs.push(fxu_rri("addic.", "Add Immediate Carrying and Record", 13, 1.05, InstrFlags::CARRYING | InstrFlags::CR_WRITING, false));
-    defs.push(fxu_rrr("subf", "Subtract From", 40, 1.45, LatencyClass::Simple, InstrFlags::empty()));
-    defs.push(fxu_rrr("subfc", "Subtract From Carrying", 8, 1.50, LatencyClass::Simple, InstrFlags::CARRYING));
-    defs.push(fxu_rri("subfic", "Subtract From Immediate Carrying", 8, 1.20, InstrFlags::CARRYING, false));
+    defs.push(fxu_rri(
+        "addic.",
+        "Add Immediate Carrying and Record",
+        13,
+        1.05,
+        InstrFlags::CARRYING | InstrFlags::CR_WRITING,
+        false,
+    ));
+    defs.push(fxu_rrr(
+        "subf",
+        "Subtract From",
+        40,
+        1.45,
+        LatencyClass::Simple,
+        InstrFlags::empty(),
+    ));
+    defs.push(fxu_rrr(
+        "subfc",
+        "Subtract From Carrying",
+        8,
+        1.50,
+        LatencyClass::Simple,
+        InstrFlags::CARRYING,
+    ));
+    defs.push(fxu_rri(
+        "subfic",
+        "Subtract From Immediate Carrying",
+        8,
+        1.20,
+        InstrFlags::CARRYING,
+        false,
+    ));
     defs.push(fxu_rrr("neg", "Negate", 104, 1.10, LatencyClass::Simple, InstrFlags::empty()));
 
     // ---------------------------------------------------------------- fixed point: multiply/divide
-    defs.push(fxu_rrr("mulld", "Multiply Low Doubleword", 233, 4.20, LatencyClass::Medium, InstrFlags::MULTIPLY));
-    defs.push(fxu_rrr("mulldo", "Multiply Low Doubleword with Overflow", 233, 4.55, LatencyClass::Medium, InstrFlags::MULTIPLY));
-    defs.push(fxu_rrr("mullw", "Multiply Low Word", 235, 3.60, LatencyClass::Medium, InstrFlags::MULTIPLY));
-    defs.push(fxu_rrr("mulhw", "Multiply High Word", 75, 3.55, LatencyClass::Medium, InstrFlags::MULTIPLY));
-    defs.push(fxu_rrr("mulhwu", "Multiply High Word Unsigned", 11, 3.50, LatencyClass::Medium, InstrFlags::MULTIPLY));
-    defs.push(fxu_rrr("mulhd", "Multiply High Doubleword", 73, 4.10, LatencyClass::Medium, InstrFlags::MULTIPLY));
+    defs.push(fxu_rrr(
+        "mulld",
+        "Multiply Low Doubleword",
+        233,
+        4.20,
+        LatencyClass::Medium,
+        InstrFlags::MULTIPLY,
+    ));
+    defs.push(fxu_rrr(
+        "mulldo",
+        "Multiply Low Doubleword with Overflow",
+        233,
+        4.55,
+        LatencyClass::Medium,
+        InstrFlags::MULTIPLY,
+    ));
+    defs.push(fxu_rrr(
+        "mullw",
+        "Multiply Low Word",
+        235,
+        3.60,
+        LatencyClass::Medium,
+        InstrFlags::MULTIPLY,
+    ));
+    defs.push(fxu_rrr(
+        "mulhw",
+        "Multiply High Word",
+        75,
+        3.55,
+        LatencyClass::Medium,
+        InstrFlags::MULTIPLY,
+    ));
+    defs.push(fxu_rrr(
+        "mulhwu",
+        "Multiply High Word Unsigned",
+        11,
+        3.50,
+        LatencyClass::Medium,
+        InstrFlags::MULTIPLY,
+    ));
+    defs.push(fxu_rrr(
+        "mulhd",
+        "Multiply High Doubleword",
+        73,
+        4.10,
+        LatencyClass::Medium,
+        InstrFlags::MULTIPLY,
+    ));
     defs.push(fxu_rri("mulli", "Multiply Low Immediate", 7, 3.30, InstrFlags::MULTIPLY, false));
-    defs.push(fxu_rrr("divw", "Divide Word", 491, 6.80, LatencyClass::VeryLong, InstrFlags::DIVIDE));
-    defs.push(fxu_rrr("divwu", "Divide Word Unsigned", 459, 6.60, LatencyClass::VeryLong, InstrFlags::DIVIDE));
-    defs.push(fxu_rrr("divd", "Divide Doubleword", 489, 8.20, LatencyClass::VeryLong, InstrFlags::DIVIDE));
-    defs.push(fxu_rrr("divdu", "Divide Doubleword Unsigned", 457, 8.00, LatencyClass::VeryLong, InstrFlags::DIVIDE));
+    defs.push(fxu_rrr(
+        "divw",
+        "Divide Word",
+        491,
+        6.80,
+        LatencyClass::VeryLong,
+        InstrFlags::DIVIDE,
+    ));
+    defs.push(fxu_rrr(
+        "divwu",
+        "Divide Word Unsigned",
+        459,
+        6.60,
+        LatencyClass::VeryLong,
+        InstrFlags::DIVIDE,
+    ));
+    defs.push(fxu_rrr(
+        "divd",
+        "Divide Doubleword",
+        489,
+        8.20,
+        LatencyClass::VeryLong,
+        InstrFlags::DIVIDE,
+    ));
+    defs.push(fxu_rrr(
+        "divdu",
+        "Divide Doubleword Unsigned",
+        457,
+        8.00,
+        LatencyClass::VeryLong,
+        InstrFlags::DIVIDE,
+    ));
 
     // ---------------------------------------------------------------- fixed point: logical
     defs.push(simple_rrr("and", "AND", 28, 0.80, InstrFlags::LOGICAL));
@@ -340,33 +542,130 @@ pub fn power_isa_v206b() -> Isa {
     defs.push(simple_rrr("eqv", "Equivalent", 284, 1.00, InstrFlags::LOGICAL));
     defs.push(simple_rrr("andc", "AND with Complement", 60, 0.90, InstrFlags::LOGICAL));
     defs.push(simple_rrr("orc", "OR with Complement", 412, 0.95, InstrFlags::LOGICAL));
-    defs.push(fxu_rri("andi.", "AND Immediate and Record", 28, 0.92, InstrFlags::LOGICAL | InstrFlags::CR_WRITING, false));
+    defs.push(fxu_rri(
+        "andi.",
+        "AND Immediate and Record",
+        28,
+        0.92,
+        InstrFlags::LOGICAL | InstrFlags::CR_WRITING,
+        false,
+    ));
     defs.push(fxu_rri("ori", "OR Immediate", 24, 0.82, InstrFlags::LOGICAL, true));
     defs.push(fxu_rri("oris", "OR Immediate Shifted", 25, 0.84, InstrFlags::LOGICAL, true));
     defs.push(fxu_rri("xori", "XOR Immediate", 26, 0.90, InstrFlags::LOGICAL, true));
     defs.push(fxu_rri("xoris", "XOR Immediate Shifted", 27, 0.92, InstrFlags::LOGICAL, true));
-    defs.push(fxu_rrr("cntlzw", "Count Leading Zeros Word", 26, 1.30, LatencyClass::Simple, InstrFlags::LOGICAL));
-    defs.push(fxu_rrr("cntlzd", "Count Leading Zeros Doubleword", 58, 1.40, LatencyClass::Simple, InstrFlags::LOGICAL));
-    defs.push(fxu_rrr("popcntw", "Population Count Words", 378, 1.60, LatencyClass::Simple, InstrFlags::LOGICAL));
-    defs.push(fxu_rrr("popcntd", "Population Count Doubleword", 506, 1.70, LatencyClass::Simple, InstrFlags::LOGICAL));
-    defs.push(fxu_rrr("extsb", "Extend Sign Byte", 954, 0.95, LatencyClass::Simple, InstrFlags::LOGICAL));
-    defs.push(fxu_rrr("extsh", "Extend Sign Halfword", 922, 0.97, LatencyClass::Simple, InstrFlags::LOGICAL));
-    defs.push(fxu_rrr("extsw", "Extend Sign Word", 986, 1.00, LatencyClass::Simple, InstrFlags::LOGICAL));
+    defs.push(fxu_rrr(
+        "cntlzw",
+        "Count Leading Zeros Word",
+        26,
+        1.30,
+        LatencyClass::Simple,
+        InstrFlags::LOGICAL,
+    ));
+    defs.push(fxu_rrr(
+        "cntlzd",
+        "Count Leading Zeros Doubleword",
+        58,
+        1.40,
+        LatencyClass::Simple,
+        InstrFlags::LOGICAL,
+    ));
+    defs.push(fxu_rrr(
+        "popcntw",
+        "Population Count Words",
+        378,
+        1.60,
+        LatencyClass::Simple,
+        InstrFlags::LOGICAL,
+    ));
+    defs.push(fxu_rrr(
+        "popcntd",
+        "Population Count Doubleword",
+        506,
+        1.70,
+        LatencyClass::Simple,
+        InstrFlags::LOGICAL,
+    ));
+    defs.push(fxu_rrr(
+        "extsb",
+        "Extend Sign Byte",
+        954,
+        0.95,
+        LatencyClass::Simple,
+        InstrFlags::LOGICAL,
+    ));
+    defs.push(fxu_rrr(
+        "extsh",
+        "Extend Sign Halfword",
+        922,
+        0.97,
+        LatencyClass::Simple,
+        InstrFlags::LOGICAL,
+    ));
+    defs.push(fxu_rrr(
+        "extsw",
+        "Extend Sign Word",
+        986,
+        1.00,
+        LatencyClass::Simple,
+        InstrFlags::LOGICAL,
+    ));
 
     // ---------------------------------------------------------------- fixed point: shifts/rotates
     defs.push(fxu_rrr("slw", "Shift Left Word", 24, 1.25, LatencyClass::Simple, InstrFlags::SHIFT));
-    defs.push(fxu_rrr("srw", "Shift Right Word", 536, 1.25, LatencyClass::Simple, InstrFlags::SHIFT));
-    defs.push(fxu_rrr("sld", "Shift Left Doubleword", 27, 1.35, LatencyClass::Simple, InstrFlags::SHIFT));
-    defs.push(fxu_rrr("srd", "Shift Right Doubleword", 539, 1.35, LatencyClass::Simple, InstrFlags::SHIFT));
-    defs.push(fxu_rrr("sraw", "Shift Right Algebraic Word", 792, 1.45, LatencyClass::Simple, InstrFlags::SHIFT));
-    defs.push(fxu_rrr("srad", "Shift Right Algebraic Doubleword", 794, 1.50, LatencyClass::Simple, InstrFlags::SHIFT));
+    defs.push(fxu_rrr(
+        "srw",
+        "Shift Right Word",
+        536,
+        1.25,
+        LatencyClass::Simple,
+        InstrFlags::SHIFT,
+    ));
+    defs.push(fxu_rrr(
+        "sld",
+        "Shift Left Doubleword",
+        27,
+        1.35,
+        LatencyClass::Simple,
+        InstrFlags::SHIFT,
+    ));
+    defs.push(fxu_rrr(
+        "srd",
+        "Shift Right Doubleword",
+        539,
+        1.35,
+        LatencyClass::Simple,
+        InstrFlags::SHIFT,
+    ));
+    defs.push(fxu_rrr(
+        "sraw",
+        "Shift Right Algebraic Word",
+        792,
+        1.45,
+        LatencyClass::Simple,
+        InstrFlags::SHIFT,
+    ));
+    defs.push(fxu_rrr(
+        "srad",
+        "Shift Right Algebraic Doubleword",
+        794,
+        1.50,
+        LatencyClass::Simple,
+        InstrFlags::SHIFT,
+    ));
     defs.push(
         InstructionDef::builder("rlwinm", Format::M, 21)
             .description("Rotate Left Word Immediate then AND with Mask")
             .flags(InstrFlags::INTEGER | InstrFlags::SHIFT | InstrFlags::IMMEDIATE_FORM)
             .issue(IssueClass::Fxu)
             .complexity(1.40)
-            .operands(&[GPR_W, GPR_R, OperandKind::Imm { bits: 5, signed: false }, OperandKind::Imm { bits: 5, signed: false }, OperandKind::Imm { bits: 5, signed: false }])
+            .operands(&[
+                GPR_W,
+                GPR_R,
+                OperandKind::Imm { bits: 5, signed: false },
+                OperandKind::Imm { bits: 5, signed: false },
+                OperandKind::Imm { bits: 5, signed: false },
+            ])
             .build(),
     );
     defs.push(
@@ -375,7 +674,12 @@ pub fn power_isa_v206b() -> Isa {
             .flags(InstrFlags::INTEGER | InstrFlags::SHIFT | InstrFlags::IMMEDIATE_FORM)
             .issue(IssueClass::Fxu)
             .complexity(1.45)
-            .operands(&[GPR_W, GPR_R, OperandKind::Imm { bits: 6, signed: false }, OperandKind::Imm { bits: 6, signed: false }])
+            .operands(&[
+                GPR_W,
+                GPR_R,
+                OperandKind::Imm { bits: 6, signed: false },
+                OperandKind::Imm { bits: 6, signed: false },
+            ])
             .build(),
     );
 
@@ -405,7 +709,12 @@ pub fn power_isa_v206b() -> Isa {
     defs.push(
         InstructionDef::builder("cmpwi", Format::D, 11)
             .description("Compare Word Immediate signed")
-            .flags(InstrFlags::INTEGER | InstrFlags::COMPARE | InstrFlags::CR_WRITING | InstrFlags::IMMEDIATE_FORM)
+            .flags(
+                InstrFlags::INTEGER
+                    | InstrFlags::COMPARE
+                    | InstrFlags::CR_WRITING
+                    | InstrFlags::IMMEDIATE_FORM,
+            )
             .issue(IssueClass::Fxu)
             .also_stresses(Unit::Bru)
             .complexity(0.85)
@@ -424,36 +733,236 @@ pub fn power_isa_v206b() -> Isa {
     );
 
     // ---------------------------------------------------------------- fixed point loads
-    defs.push(load_d("lbz", "Load Byte and Zero", 34, 1, OperandWidth::W8, 1.20, InstrFlags::empty()));
-    defs.push(load_d("lbzu", "Load Byte and Zero with Update", 35, 1, OperandWidth::W8, 1.80, InstrFlags::UPDATE_FORM));
-    defs.push(load_d("lhz", "Load Halfword and Zero", 40, 2, OperandWidth::W16, 1.25, InstrFlags::empty()));
-    defs.push(load_d("lhzu", "Load Halfword and Zero with Update", 41, 2, OperandWidth::W16, 1.85, InstrFlags::UPDATE_FORM));
-    defs.push(load_d("lha", "Load Halfword Algebraic", 42, 2, OperandWidth::W16, 1.55, InstrFlags::ALGEBRAIC));
-    defs.push(load_d("lhau", "Load Halfword Algebraic with Update", 43, 2, OperandWidth::W16, 2.45, InstrFlags::ALGEBRAIC | InstrFlags::UPDATE_FORM));
-    defs.push(load_d("lwz", "Load Word and Zero", 32, 4, OperandWidth::W32, 1.35, InstrFlags::empty()));
-    defs.push(load_d("lwzu", "Load Word and Zero with Update", 33, 4, OperandWidth::W32, 1.95, InstrFlags::UPDATE_FORM));
-    defs.push(load_d("lwa", "Load Word Algebraic", 58, 4, OperandWidth::W32, 1.65, InstrFlags::ALGEBRAIC));
+    defs.push(load_d(
+        "lbz",
+        "Load Byte and Zero",
+        34,
+        1,
+        OperandWidth::W8,
+        1.20,
+        InstrFlags::empty(),
+    ));
+    defs.push(load_d(
+        "lbzu",
+        "Load Byte and Zero with Update",
+        35,
+        1,
+        OperandWidth::W8,
+        1.80,
+        InstrFlags::UPDATE_FORM,
+    ));
+    defs.push(load_d(
+        "lhz",
+        "Load Halfword and Zero",
+        40,
+        2,
+        OperandWidth::W16,
+        1.25,
+        InstrFlags::empty(),
+    ));
+    defs.push(load_d(
+        "lhzu",
+        "Load Halfword and Zero with Update",
+        41,
+        2,
+        OperandWidth::W16,
+        1.85,
+        InstrFlags::UPDATE_FORM,
+    ));
+    defs.push(load_d(
+        "lha",
+        "Load Halfword Algebraic",
+        42,
+        2,
+        OperandWidth::W16,
+        1.55,
+        InstrFlags::ALGEBRAIC,
+    ));
+    defs.push(load_d(
+        "lhau",
+        "Load Halfword Algebraic with Update",
+        43,
+        2,
+        OperandWidth::W16,
+        2.45,
+        InstrFlags::ALGEBRAIC | InstrFlags::UPDATE_FORM,
+    ));
+    defs.push(load_d(
+        "lwz",
+        "Load Word and Zero",
+        32,
+        4,
+        OperandWidth::W32,
+        1.35,
+        InstrFlags::empty(),
+    ));
+    defs.push(load_d(
+        "lwzu",
+        "Load Word and Zero with Update",
+        33,
+        4,
+        OperandWidth::W32,
+        1.95,
+        InstrFlags::UPDATE_FORM,
+    ));
+    defs.push(load_d(
+        "lwa",
+        "Load Word Algebraic",
+        58,
+        4,
+        OperandWidth::W32,
+        1.65,
+        InstrFlags::ALGEBRAIC,
+    ));
     defs.push(load_d("ld", "Load Doubleword", 58, 8, OperandWidth::W64, 1.45, InstrFlags::empty()));
-    defs.push(load_d("ldu", "Load Doubleword with Update", 58, 8, OperandWidth::W64, 2.10, InstrFlags::UPDATE_FORM));
-    defs.push(load_x("lbzx", "Load Byte and Zero Indexed", 87, 1, OperandWidth::W8, 1.30, InstrFlags::empty()));
-    defs.push(load_x("lhzx", "Load Halfword and Zero Indexed", 279, 2, OperandWidth::W16, 1.35, InstrFlags::empty()));
-    defs.push(load_x("lhax", "Load Halfword Algebraic Indexed", 343, 2, OperandWidth::W16, 1.70, InstrFlags::ALGEBRAIC));
-    defs.push(load_x("lhaux", "Load Halfword Algebraic with Update Indexed", 375, 2, OperandWidth::W16, 2.80, InstrFlags::ALGEBRAIC | InstrFlags::UPDATE_FORM));
-    defs.push(load_x("lwzx", "Load Word and Zero Indexed", 23, 4, OperandWidth::W32, 1.45, InstrFlags::empty()));
-    defs.push(load_x("lwax", "Load Word Algebraic Indexed", 341, 4, OperandWidth::W32, 2.52, InstrFlags::ALGEBRAIC));
-    defs.push(load_x("lwaux", "Load Word Algebraic with Update Indexed", 373, 4, OperandWidth::W32, 2.68, InstrFlags::ALGEBRAIC | InstrFlags::UPDATE_FORM));
-    defs.push(load_x("ldx", "Load Doubleword Indexed", 21, 8, OperandWidth::W64, 1.55, InstrFlags::empty()));
-    defs.push(load_x("ldux", "Load Doubleword with Update Indexed", 53, 8, OperandWidth::W64, 2.58, InstrFlags::UPDATE_FORM));
+    defs.push(load_d(
+        "ldu",
+        "Load Doubleword with Update",
+        58,
+        8,
+        OperandWidth::W64,
+        2.10,
+        InstrFlags::UPDATE_FORM,
+    ));
+    defs.push(load_x(
+        "lbzx",
+        "Load Byte and Zero Indexed",
+        87,
+        1,
+        OperandWidth::W8,
+        1.30,
+        InstrFlags::empty(),
+    ));
+    defs.push(load_x(
+        "lhzx",
+        "Load Halfword and Zero Indexed",
+        279,
+        2,
+        OperandWidth::W16,
+        1.35,
+        InstrFlags::empty(),
+    ));
+    defs.push(load_x(
+        "lhax",
+        "Load Halfword Algebraic Indexed",
+        343,
+        2,
+        OperandWidth::W16,
+        1.70,
+        InstrFlags::ALGEBRAIC,
+    ));
+    defs.push(load_x(
+        "lhaux",
+        "Load Halfword Algebraic with Update Indexed",
+        375,
+        2,
+        OperandWidth::W16,
+        2.80,
+        InstrFlags::ALGEBRAIC | InstrFlags::UPDATE_FORM,
+    ));
+    defs.push(load_x(
+        "lwzx",
+        "Load Word and Zero Indexed",
+        23,
+        4,
+        OperandWidth::W32,
+        1.45,
+        InstrFlags::empty(),
+    ));
+    defs.push(load_x(
+        "lwax",
+        "Load Word Algebraic Indexed",
+        341,
+        4,
+        OperandWidth::W32,
+        2.52,
+        InstrFlags::ALGEBRAIC,
+    ));
+    defs.push(load_x(
+        "lwaux",
+        "Load Word Algebraic with Update Indexed",
+        373,
+        4,
+        OperandWidth::W32,
+        2.68,
+        InstrFlags::ALGEBRAIC | InstrFlags::UPDATE_FORM,
+    ));
+    defs.push(load_x(
+        "ldx",
+        "Load Doubleword Indexed",
+        21,
+        8,
+        OperandWidth::W64,
+        1.55,
+        InstrFlags::empty(),
+    ));
+    defs.push(load_x(
+        "ldux",
+        "Load Doubleword with Update Indexed",
+        53,
+        8,
+        OperandWidth::W64,
+        2.58,
+        InstrFlags::UPDATE_FORM,
+    ));
 
     // ---------------------------------------------------------------- floating point loads
     defs.push(load_fp("lfs", "Load Floating-Point Single", 48, 0, 4, 1.50, InstrFlags::empty()));
-    defs.push(load_fp("lfsu", "Load Floating-Point Single with Update", 49, 0, 4, 2.12, InstrFlags::UPDATE_FORM));
+    defs.push(load_fp(
+        "lfsu",
+        "Load Floating-Point Single with Update",
+        49,
+        0,
+        4,
+        2.12,
+        InstrFlags::UPDATE_FORM,
+    ));
     defs.push(load_fp("lfd", "Load Floating-Point Double", 50, 0, 8, 1.60, InstrFlags::empty()));
-    defs.push(load_fp("lfdu", "Load Floating-Point Double with Update", 51, 0, 8, 2.25, InstrFlags::UPDATE_FORM));
-    defs.push(load_fp("lfsx", "Load Floating-Point Single Indexed", 31, 535, 4, 1.60, InstrFlags::INDEXED_FORM));
-    defs.push(load_fp("lfsux", "Load Floating-Point Single with Update Indexed", 31, 567, 4, 2.35, InstrFlags::UPDATE_FORM | InstrFlags::INDEXED_FORM));
-    defs.push(load_fp("lfdx", "Load Floating-Point Double Indexed", 31, 599, 8, 1.70, InstrFlags::INDEXED_FORM));
-    defs.push(load_fp("lfdux", "Load Floating-Point Double with Update Indexed", 31, 631, 8, 2.45, InstrFlags::UPDATE_FORM | InstrFlags::INDEXED_FORM));
+    defs.push(load_fp(
+        "lfdu",
+        "Load Floating-Point Double with Update",
+        51,
+        0,
+        8,
+        2.25,
+        InstrFlags::UPDATE_FORM,
+    ));
+    defs.push(load_fp(
+        "lfsx",
+        "Load Floating-Point Single Indexed",
+        31,
+        535,
+        4,
+        1.60,
+        InstrFlags::INDEXED_FORM,
+    ));
+    defs.push(load_fp(
+        "lfsux",
+        "Load Floating-Point Single with Update Indexed",
+        31,
+        567,
+        4,
+        2.35,
+        InstrFlags::UPDATE_FORM | InstrFlags::INDEXED_FORM,
+    ));
+    defs.push(load_fp(
+        "lfdx",
+        "Load Floating-Point Double Indexed",
+        31,
+        599,
+        8,
+        1.70,
+        InstrFlags::INDEXED_FORM,
+    ));
+    defs.push(load_fp(
+        "lfdux",
+        "Load Floating-Point Double with Update Indexed",
+        31,
+        631,
+        8,
+        2.45,
+        InstrFlags::UPDATE_FORM | InstrFlags::INDEXED_FORM,
+    ));
 
     // ---------------------------------------------------------------- vector loads
     defs.push(load_vec("lxvw4x", "Load VSX Vector Word*4 Indexed", 780, 16, 2.62, true));
@@ -468,29 +977,173 @@ pub fn power_isa_v206b() -> Isa {
 
     // ---------------------------------------------------------------- fixed point stores
     defs.push(store_d("stb", "Store Byte", 38, 1, OperandWidth::W8, 1.25, InstrFlags::empty()));
-    defs.push(store_d("stbu", "Store Byte with Update", 39, 1, OperandWidth::W8, 1.90, InstrFlags::UPDATE_FORM));
-    defs.push(store_d("sth", "Store Halfword", 44, 2, OperandWidth::W16, 1.30, InstrFlags::empty()));
-    defs.push(store_d("sthu", "Store Halfword with Update", 45, 2, OperandWidth::W16, 1.95, InstrFlags::UPDATE_FORM));
+    defs.push(store_d(
+        "stbu",
+        "Store Byte with Update",
+        39,
+        1,
+        OperandWidth::W8,
+        1.90,
+        InstrFlags::UPDATE_FORM,
+    ));
+    defs.push(store_d(
+        "sth",
+        "Store Halfword",
+        44,
+        2,
+        OperandWidth::W16,
+        1.30,
+        InstrFlags::empty(),
+    ));
+    defs.push(store_d(
+        "sthu",
+        "Store Halfword with Update",
+        45,
+        2,
+        OperandWidth::W16,
+        1.95,
+        InstrFlags::UPDATE_FORM,
+    ));
     defs.push(store_d("stw", "Store Word", 36, 4, OperandWidth::W32, 1.40, InstrFlags::empty()));
-    defs.push(store_d("stwu", "Store Word with Update", 37, 4, OperandWidth::W32, 2.05, InstrFlags::UPDATE_FORM));
-    defs.push(store_d("std", "Store Doubleword", 62, 8, OperandWidth::W64, 1.50, InstrFlags::empty()));
-    defs.push(store_d("stdu", "Store Doubleword with Update", 62, 8, OperandWidth::W64, 2.15, InstrFlags::UPDATE_FORM));
-    defs.push(store_x("stbx", "Store Byte Indexed", 215, 1, OperandWidth::W8, 1.35, InstrFlags::empty()));
-    defs.push(store_x("sthx", "Store Halfword Indexed", 407, 2, OperandWidth::W16, 1.40, InstrFlags::empty()));
-    defs.push(store_x("stwx", "Store Word Indexed", 151, 4, OperandWidth::W32, 1.50, InstrFlags::empty()));
-    defs.push(store_x("stdx", "Store Doubleword Indexed", 149, 8, OperandWidth::W64, 1.60, InstrFlags::empty()));
-    defs.push(store_x("stwux", "Store Word with Update Indexed", 183, 4, OperandWidth::W32, 2.20, InstrFlags::UPDATE_FORM));
-    defs.push(store_x("stdux", "Store Doubleword with Update Indexed", 181, 8, OperandWidth::W64, 2.30, InstrFlags::UPDATE_FORM));
+    defs.push(store_d(
+        "stwu",
+        "Store Word with Update",
+        37,
+        4,
+        OperandWidth::W32,
+        2.05,
+        InstrFlags::UPDATE_FORM,
+    ));
+    defs.push(store_d(
+        "std",
+        "Store Doubleword",
+        62,
+        8,
+        OperandWidth::W64,
+        1.50,
+        InstrFlags::empty(),
+    ));
+    defs.push(store_d(
+        "stdu",
+        "Store Doubleword with Update",
+        62,
+        8,
+        OperandWidth::W64,
+        2.15,
+        InstrFlags::UPDATE_FORM,
+    ));
+    defs.push(store_x(
+        "stbx",
+        "Store Byte Indexed",
+        215,
+        1,
+        OperandWidth::W8,
+        1.35,
+        InstrFlags::empty(),
+    ));
+    defs.push(store_x(
+        "sthx",
+        "Store Halfword Indexed",
+        407,
+        2,
+        OperandWidth::W16,
+        1.40,
+        InstrFlags::empty(),
+    ));
+    defs.push(store_x(
+        "stwx",
+        "Store Word Indexed",
+        151,
+        4,
+        OperandWidth::W32,
+        1.50,
+        InstrFlags::empty(),
+    ));
+    defs.push(store_x(
+        "stdx",
+        "Store Doubleword Indexed",
+        149,
+        8,
+        OperandWidth::W64,
+        1.60,
+        InstrFlags::empty(),
+    ));
+    defs.push(store_x(
+        "stwux",
+        "Store Word with Update Indexed",
+        183,
+        4,
+        OperandWidth::W32,
+        2.20,
+        InstrFlags::UPDATE_FORM,
+    ));
+    defs.push(store_x(
+        "stdux",
+        "Store Doubleword with Update Indexed",
+        181,
+        8,
+        OperandWidth::W64,
+        2.30,
+        InstrFlags::UPDATE_FORM,
+    ));
 
     // ---------------------------------------------------------------- floating point stores
     defs.push(store_fp("stfs", "Store Floating-Point Single", 52, 0, 4, 2.35, InstrFlags::empty()));
-    defs.push(store_fp("stfsu", "Store Floating-Point Single with Update", 53, 0, 4, 3.55, InstrFlags::UPDATE_FORM));
+    defs.push(store_fp(
+        "stfsu",
+        "Store Floating-Point Single with Update",
+        53,
+        0,
+        4,
+        3.55,
+        InstrFlags::UPDATE_FORM,
+    ));
     defs.push(store_fp("stfd", "Store Floating-Point Double", 54, 0, 8, 2.60, InstrFlags::empty()));
-    defs.push(store_fp("stfdu", "Store Floating-Point Double with Update", 55, 0, 8, 3.70, InstrFlags::UPDATE_FORM));
-    defs.push(store_fp("stfsx", "Store Floating-Point Single Indexed", 31, 663, 4, 2.50, InstrFlags::INDEXED_FORM));
-    defs.push(store_fp("stfsux", "Store Floating-Point Single with Update Indexed", 31, 695, 4, 4.45, InstrFlags::UPDATE_FORM | InstrFlags::INDEXED_FORM));
-    defs.push(store_fp("stfdx", "Store Floating-Point Double Indexed", 31, 727, 8, 2.70, InstrFlags::INDEXED_FORM));
-    defs.push(store_fp("stfdux", "Store Floating-Point Double with Update Indexed", 31, 759, 8, 4.20, InstrFlags::UPDATE_FORM | InstrFlags::INDEXED_FORM));
+    defs.push(store_fp(
+        "stfdu",
+        "Store Floating-Point Double with Update",
+        55,
+        0,
+        8,
+        3.70,
+        InstrFlags::UPDATE_FORM,
+    ));
+    defs.push(store_fp(
+        "stfsx",
+        "Store Floating-Point Single Indexed",
+        31,
+        663,
+        4,
+        2.50,
+        InstrFlags::INDEXED_FORM,
+    ));
+    defs.push(store_fp(
+        "stfsux",
+        "Store Floating-Point Single with Update Indexed",
+        31,
+        695,
+        4,
+        4.45,
+        InstrFlags::UPDATE_FORM | InstrFlags::INDEXED_FORM,
+    ));
+    defs.push(store_fp(
+        "stfdx",
+        "Store Floating-Point Double Indexed",
+        31,
+        727,
+        8,
+        2.70,
+        InstrFlags::INDEXED_FORM,
+    ));
+    defs.push(store_fp(
+        "stfdux",
+        "Store Floating-Point Double with Update Indexed",
+        31,
+        759,
+        8,
+        4.20,
+        InstrFlags::UPDATE_FORM | InstrFlags::INDEXED_FORM,
+    ));
 
     // ---------------------------------------------------------------- vector stores
     defs.push(store_vec("stxvw4x", "Store VSX Vector Word*4 Indexed", 908, 16, 3.68, true));
@@ -501,79 +1154,615 @@ pub fn power_isa_v206b() -> Isa {
     defs.push(store_vec("stvewx", "Store Vector Element Word Indexed", 199, 4, 3.20, false));
 
     // ---------------------------------------------------------------- scalar floating point arithmetic
-    defs.push(fp_arith("fadd", "Floating Add", 21, 2, 1.80, LatencyClass::Medium, InstrFlags::empty()));
-    defs.push(fp_arith("fadds", "Floating Add Single", 21, 2, 1.70, LatencyClass::Medium, InstrFlags::empty()));
-    defs.push(fp_arith("fsub", "Floating Subtract", 20, 2, 1.82, LatencyClass::Medium, InstrFlags::empty()));
-    defs.push(fp_arith("fmul", "Floating Multiply", 25, 2, 2.20, LatencyClass::Medium, InstrFlags::MULTIPLY));
-    defs.push(fp_arith("fmuls", "Floating Multiply Single", 25, 2, 2.05, LatencyClass::Medium, InstrFlags::MULTIPLY));
-    defs.push(fp_arith("fdiv", "Floating Divide", 18, 2, 6.20, LatencyClass::Long, InstrFlags::DIVIDE));
-    defs.push(fp_arith("fsqrt", "Floating Square Root", 22, 1, 7.00, LatencyClass::Long, InstrFlags::SQRT));
-    defs.push(fp_arith("fmadd", "Floating Multiply-Add", 29, 3, 2.65, LatencyClass::Medium, InstrFlags::FMA | InstrFlags::MULTIPLY));
-    defs.push(fp_arith("fmsub", "Floating Multiply-Subtract", 28, 3, 2.66, LatencyClass::Medium, InstrFlags::FMA | InstrFlags::MULTIPLY));
-    defs.push(fp_arith("fnmadd", "Floating Negative Multiply-Add", 31, 3, 2.70, LatencyClass::Medium, InstrFlags::FMA | InstrFlags::MULTIPLY));
-    defs.push(fp_arith("fnmsub", "Floating Negative Multiply-Subtract", 30, 3, 2.72, LatencyClass::Medium, InstrFlags::FMA | InstrFlags::MULTIPLY));
-    defs.push(fp_arith("fabs", "Floating Absolute Value", 264, 1, 0.95, LatencyClass::Simple, InstrFlags::MOVE));
-    defs.push(fp_arith("fneg", "Floating Negate", 40, 1, 0.95, LatencyClass::Simple, InstrFlags::MOVE));
-    defs.push(fp_arith("fmr", "Floating Move Register", 72, 1, 0.90, LatencyClass::Simple, InstrFlags::MOVE));
-    defs.push(fp_arith("frsp", "Floating Round to Single Precision", 12, 1, 1.40, LatencyClass::Medium, InstrFlags::empty()));
-    defs.push(fp_arith("fctid", "Floating Convert to Integer Doubleword", 814, 1, 1.60, LatencyClass::Medium, InstrFlags::empty()));
-    defs.push(fp_arith("fcfid", "Floating Convert from Integer Doubleword", 846, 1, 1.62, LatencyClass::Medium, InstrFlags::empty()));
-    defs.push(fp_arith("fre", "Floating Reciprocal Estimate", 24, 1, 1.90, LatencyClass::Medium, InstrFlags::empty()));
-    defs.push(fp_arith("frsqrte", "Floating Reciprocal Square Root Estimate", 26, 1, 2.00, LatencyClass::Medium, InstrFlags::SQRT));
-    defs.push(fp_arith("fsel", "Floating Select", 23, 3, 1.30, LatencyClass::Simple, InstrFlags::CONDITIONAL));
+    defs.push(fp_arith(
+        "fadd",
+        "Floating Add",
+        21,
+        2,
+        1.80,
+        LatencyClass::Medium,
+        InstrFlags::empty(),
+    ));
+    defs.push(fp_arith(
+        "fadds",
+        "Floating Add Single",
+        21,
+        2,
+        1.70,
+        LatencyClass::Medium,
+        InstrFlags::empty(),
+    ));
+    defs.push(fp_arith(
+        "fsub",
+        "Floating Subtract",
+        20,
+        2,
+        1.82,
+        LatencyClass::Medium,
+        InstrFlags::empty(),
+    ));
+    defs.push(fp_arith(
+        "fmul",
+        "Floating Multiply",
+        25,
+        2,
+        2.20,
+        LatencyClass::Medium,
+        InstrFlags::MULTIPLY,
+    ));
+    defs.push(fp_arith(
+        "fmuls",
+        "Floating Multiply Single",
+        25,
+        2,
+        2.05,
+        LatencyClass::Medium,
+        InstrFlags::MULTIPLY,
+    ));
+    defs.push(fp_arith(
+        "fdiv",
+        "Floating Divide",
+        18,
+        2,
+        6.20,
+        LatencyClass::Long,
+        InstrFlags::DIVIDE,
+    ));
+    defs.push(fp_arith(
+        "fsqrt",
+        "Floating Square Root",
+        22,
+        1,
+        7.00,
+        LatencyClass::Long,
+        InstrFlags::SQRT,
+    ));
+    defs.push(fp_arith(
+        "fmadd",
+        "Floating Multiply-Add",
+        29,
+        3,
+        2.65,
+        LatencyClass::Medium,
+        InstrFlags::FMA | InstrFlags::MULTIPLY,
+    ));
+    defs.push(fp_arith(
+        "fmsub",
+        "Floating Multiply-Subtract",
+        28,
+        3,
+        2.66,
+        LatencyClass::Medium,
+        InstrFlags::FMA | InstrFlags::MULTIPLY,
+    ));
+    defs.push(fp_arith(
+        "fnmadd",
+        "Floating Negative Multiply-Add",
+        31,
+        3,
+        2.70,
+        LatencyClass::Medium,
+        InstrFlags::FMA | InstrFlags::MULTIPLY,
+    ));
+    defs.push(fp_arith(
+        "fnmsub",
+        "Floating Negative Multiply-Subtract",
+        30,
+        3,
+        2.72,
+        LatencyClass::Medium,
+        InstrFlags::FMA | InstrFlags::MULTIPLY,
+    ));
+    defs.push(fp_arith(
+        "fabs",
+        "Floating Absolute Value",
+        264,
+        1,
+        0.95,
+        LatencyClass::Simple,
+        InstrFlags::MOVE,
+    ));
+    defs.push(fp_arith(
+        "fneg",
+        "Floating Negate",
+        40,
+        1,
+        0.95,
+        LatencyClass::Simple,
+        InstrFlags::MOVE,
+    ));
+    defs.push(fp_arith(
+        "fmr",
+        "Floating Move Register",
+        72,
+        1,
+        0.90,
+        LatencyClass::Simple,
+        InstrFlags::MOVE,
+    ));
+    defs.push(fp_arith(
+        "frsp",
+        "Floating Round to Single Precision",
+        12,
+        1,
+        1.40,
+        LatencyClass::Medium,
+        InstrFlags::empty(),
+    ));
+    defs.push(fp_arith(
+        "fctid",
+        "Floating Convert to Integer Doubleword",
+        814,
+        1,
+        1.60,
+        LatencyClass::Medium,
+        InstrFlags::empty(),
+    ));
+    defs.push(fp_arith(
+        "fcfid",
+        "Floating Convert from Integer Doubleword",
+        846,
+        1,
+        1.62,
+        LatencyClass::Medium,
+        InstrFlags::empty(),
+    ));
+    defs.push(fp_arith(
+        "fre",
+        "Floating Reciprocal Estimate",
+        24,
+        1,
+        1.90,
+        LatencyClass::Medium,
+        InstrFlags::empty(),
+    ));
+    defs.push(fp_arith(
+        "frsqrte",
+        "Floating Reciprocal Square Root Estimate",
+        26,
+        1,
+        2.00,
+        LatencyClass::Medium,
+        InstrFlags::SQRT,
+    ));
+    defs.push(fp_arith(
+        "fsel",
+        "Floating Select",
+        23,
+        3,
+        1.30,
+        LatencyClass::Simple,
+        InstrFlags::CONDITIONAL,
+    ));
 
     // ---------------------------------------------------------------- VSX scalar arithmetic
-    defs.push(vsx_arith("xsadddp", "VSX Scalar Add DP", 32, 2, 1.85, LatencyClass::Medium, InstrFlags::empty()));
-    defs.push(vsx_arith("xssubdp", "VSX Scalar Subtract DP", 40, 2, 1.87, LatencyClass::Medium, InstrFlags::empty()));
-    defs.push(vsx_arith("xsmuldp", "VSX Scalar Multiply DP", 48, 2, 2.25, LatencyClass::Medium, InstrFlags::MULTIPLY));
-    defs.push(vsx_arith("xsdivdp", "VSX Scalar Divide DP", 56, 2, 6.30, LatencyClass::Long, InstrFlags::DIVIDE));
-    defs.push(vsx_arith("xssqrtdp", "VSX Scalar Square Root DP", 75, 1, 7.10, LatencyClass::Long, InstrFlags::SQRT));
-    defs.push(vsx_arith("xsmaddadp", "VSX Scalar Multiply-Add Type-A DP", 33, 3, 2.70, LatencyClass::Medium, InstrFlags::FMA | InstrFlags::MULTIPLY));
-    defs.push(vsx_arith("xsmsubadp", "VSX Scalar Multiply-Subtract Type-A DP", 49, 3, 2.72, LatencyClass::Medium, InstrFlags::FMA | InstrFlags::MULTIPLY));
-    defs.push(vsx_arith("xsnmaddadp", "VSX Scalar Negative Multiply-Add Type-A DP", 161, 3, 2.76, LatencyClass::Medium, InstrFlags::FMA | InstrFlags::MULTIPLY));
-    defs.push(vsx_arith("xstsqrtdp", "VSX Scalar Test for Square Root DP", 106, 1, 1.28, LatencyClass::Simple, InstrFlags::COMPARE));
-    defs.push(vsx_arith("xstdivdp", "VSX Scalar Test for Divide DP", 61, 2, 1.30, LatencyClass::Simple, InstrFlags::COMPARE));
-    defs.push(vsx_arith("xscmpudp", "VSX Scalar Compare Unordered DP", 35, 2, 1.25, LatencyClass::Simple, InstrFlags::COMPARE));
-    defs.push(vsx_arith("xsabsdp", "VSX Scalar Absolute Value DP", 345, 1, 1.00, LatencyClass::Simple, InstrFlags::MOVE));
-    defs.push(vsx_arith("xscvdpsp", "VSX Scalar Convert DP to SP", 265, 1, 1.55, LatencyClass::Medium, InstrFlags::empty()));
+    defs.push(vsx_arith(
+        "xsadddp",
+        "VSX Scalar Add DP",
+        32,
+        2,
+        1.85,
+        LatencyClass::Medium,
+        InstrFlags::empty(),
+    ));
+    defs.push(vsx_arith(
+        "xssubdp",
+        "VSX Scalar Subtract DP",
+        40,
+        2,
+        1.87,
+        LatencyClass::Medium,
+        InstrFlags::empty(),
+    ));
+    defs.push(vsx_arith(
+        "xsmuldp",
+        "VSX Scalar Multiply DP",
+        48,
+        2,
+        2.25,
+        LatencyClass::Medium,
+        InstrFlags::MULTIPLY,
+    ));
+    defs.push(vsx_arith(
+        "xsdivdp",
+        "VSX Scalar Divide DP",
+        56,
+        2,
+        6.30,
+        LatencyClass::Long,
+        InstrFlags::DIVIDE,
+    ));
+    defs.push(vsx_arith(
+        "xssqrtdp",
+        "VSX Scalar Square Root DP",
+        75,
+        1,
+        7.10,
+        LatencyClass::Long,
+        InstrFlags::SQRT,
+    ));
+    defs.push(vsx_arith(
+        "xsmaddadp",
+        "VSX Scalar Multiply-Add Type-A DP",
+        33,
+        3,
+        2.70,
+        LatencyClass::Medium,
+        InstrFlags::FMA | InstrFlags::MULTIPLY,
+    ));
+    defs.push(vsx_arith(
+        "xsmsubadp",
+        "VSX Scalar Multiply-Subtract Type-A DP",
+        49,
+        3,
+        2.72,
+        LatencyClass::Medium,
+        InstrFlags::FMA | InstrFlags::MULTIPLY,
+    ));
+    defs.push(vsx_arith(
+        "xsnmaddadp",
+        "VSX Scalar Negative Multiply-Add Type-A DP",
+        161,
+        3,
+        2.76,
+        LatencyClass::Medium,
+        InstrFlags::FMA | InstrFlags::MULTIPLY,
+    ));
+    defs.push(vsx_arith(
+        "xstsqrtdp",
+        "VSX Scalar Test for Square Root DP",
+        106,
+        1,
+        1.28,
+        LatencyClass::Simple,
+        InstrFlags::COMPARE,
+    ));
+    defs.push(vsx_arith(
+        "xstdivdp",
+        "VSX Scalar Test for Divide DP",
+        61,
+        2,
+        1.30,
+        LatencyClass::Simple,
+        InstrFlags::COMPARE,
+    ));
+    defs.push(vsx_arith(
+        "xscmpudp",
+        "VSX Scalar Compare Unordered DP",
+        35,
+        2,
+        1.25,
+        LatencyClass::Simple,
+        InstrFlags::COMPARE,
+    ));
+    defs.push(vsx_arith(
+        "xsabsdp",
+        "VSX Scalar Absolute Value DP",
+        345,
+        1,
+        1.00,
+        LatencyClass::Simple,
+        InstrFlags::MOVE,
+    ));
+    defs.push(vsx_arith(
+        "xscvdpsp",
+        "VSX Scalar Convert DP to SP",
+        265,
+        1,
+        1.55,
+        LatencyClass::Medium,
+        InstrFlags::empty(),
+    ));
 
     // ---------------------------------------------------------------- VSX vector arithmetic
-    defs.push(vsx_arith("xvadddp", "VSX Vector Add DP", 96, 2, 2.45, LatencyClass::Medium, InstrFlags::empty()));
-    defs.push(vsx_arith("xvsubdp", "VSX Vector Subtract DP", 104, 2, 2.47, LatencyClass::Medium, InstrFlags::empty()));
-    defs.push(vsx_arith("xvmuldp", "VSX Vector Multiply DP", 112, 2, 3.05, LatencyClass::Medium, InstrFlags::MULTIPLY));
-    defs.push(vsx_arith("xvdivdp", "VSX Vector Divide DP", 120, 2, 7.60, LatencyClass::Long, InstrFlags::DIVIDE));
-    defs.push(vsx_arith("xvsqrtdp", "VSX Vector Square Root DP", 203, 1, 8.00, LatencyClass::Long, InstrFlags::SQRT));
-    defs.push(vsx_arith("xvmaddadp", "VSX Vector Multiply-Add Type-A DP", 97, 3, 3.42, LatencyClass::Medium, InstrFlags::FMA | InstrFlags::MULTIPLY));
-    defs.push(vsx_arith("xvmaddmdp", "VSX Vector Multiply-Add Type-M DP", 105, 3, 3.38, LatencyClass::Medium, InstrFlags::FMA | InstrFlags::MULTIPLY));
-    defs.push(vsx_arith("xvmsubadp", "VSX Vector Multiply-Subtract Type-A DP", 113, 3, 3.40, LatencyClass::Medium, InstrFlags::FMA | InstrFlags::MULTIPLY));
-    defs.push(vsx_arith("xvnmsubadp", "VSX Vector Negative Multiply-Subtract Type-A DP", 241, 3, 3.44, LatencyClass::Medium, InstrFlags::FMA | InstrFlags::MULTIPLY));
-    defs.push(vsx_arith("xvnmsubmdp", "VSX Vector Negative Multiply-Subtract Type-M DP", 249, 3, 3.47, LatencyClass::Medium, InstrFlags::FMA | InstrFlags::MULTIPLY));
-    defs.push(vsx_arith("xvnmaddadp", "VSX Vector Negative Multiply-Add Type-A DP", 225, 3, 3.45, LatencyClass::Medium, InstrFlags::FMA | InstrFlags::MULTIPLY));
-    defs.push(vsx_arith("xvaddsp", "VSX Vector Add SP", 64, 2, 2.25, LatencyClass::Medium, InstrFlags::empty()));
-    defs.push(vsx_arith("xvmulsp", "VSX Vector Multiply SP", 80, 2, 2.80, LatencyClass::Medium, InstrFlags::MULTIPLY));
-    defs.push(vsx_arith("xvmaddasp", "VSX Vector Multiply-Add Type-A SP", 65, 3, 3.10, LatencyClass::Medium, InstrFlags::FMA | InstrFlags::MULTIPLY));
-    defs.push(vsx_arith("xvtsqrtdp", "VSX Vector Test for Square Root DP", 234, 1, 1.45, LatencyClass::Simple, InstrFlags::COMPARE));
-    defs.push(vsx_arith("xvcmpeqdp", "VSX Vector Compare Equal DP", 99, 2, 1.60, LatencyClass::Simple, InstrFlags::COMPARE));
-    defs.push(vsx_arith("xxlxor", "VSX Logical XOR", 154, 2, 1.20, LatencyClass::Simple, InstrFlags::LOGICAL));
-    defs.push(vsx_arith("xxland", "VSX Logical AND", 130, 2, 1.15, LatencyClass::Simple, InstrFlags::LOGICAL));
-    defs.push(vsx_arith("xxlor", "VSX Logical OR", 146, 2, 1.18, LatencyClass::Simple, InstrFlags::LOGICAL));
-    defs.push(vsx_arith("xxpermdi", "VSX Permute Doubleword Immediate", 10, 2, 1.35, LatencyClass::Simple, InstrFlags::MOVE));
+    defs.push(vsx_arith(
+        "xvadddp",
+        "VSX Vector Add DP",
+        96,
+        2,
+        2.45,
+        LatencyClass::Medium,
+        InstrFlags::empty(),
+    ));
+    defs.push(vsx_arith(
+        "xvsubdp",
+        "VSX Vector Subtract DP",
+        104,
+        2,
+        2.47,
+        LatencyClass::Medium,
+        InstrFlags::empty(),
+    ));
+    defs.push(vsx_arith(
+        "xvmuldp",
+        "VSX Vector Multiply DP",
+        112,
+        2,
+        3.05,
+        LatencyClass::Medium,
+        InstrFlags::MULTIPLY,
+    ));
+    defs.push(vsx_arith(
+        "xvdivdp",
+        "VSX Vector Divide DP",
+        120,
+        2,
+        7.60,
+        LatencyClass::Long,
+        InstrFlags::DIVIDE,
+    ));
+    defs.push(vsx_arith(
+        "xvsqrtdp",
+        "VSX Vector Square Root DP",
+        203,
+        1,
+        8.00,
+        LatencyClass::Long,
+        InstrFlags::SQRT,
+    ));
+    defs.push(vsx_arith(
+        "xvmaddadp",
+        "VSX Vector Multiply-Add Type-A DP",
+        97,
+        3,
+        3.42,
+        LatencyClass::Medium,
+        InstrFlags::FMA | InstrFlags::MULTIPLY,
+    ));
+    defs.push(vsx_arith(
+        "xvmaddmdp",
+        "VSX Vector Multiply-Add Type-M DP",
+        105,
+        3,
+        3.38,
+        LatencyClass::Medium,
+        InstrFlags::FMA | InstrFlags::MULTIPLY,
+    ));
+    defs.push(vsx_arith(
+        "xvmsubadp",
+        "VSX Vector Multiply-Subtract Type-A DP",
+        113,
+        3,
+        3.40,
+        LatencyClass::Medium,
+        InstrFlags::FMA | InstrFlags::MULTIPLY,
+    ));
+    defs.push(vsx_arith(
+        "xvnmsubadp",
+        "VSX Vector Negative Multiply-Subtract Type-A DP",
+        241,
+        3,
+        3.44,
+        LatencyClass::Medium,
+        InstrFlags::FMA | InstrFlags::MULTIPLY,
+    ));
+    defs.push(vsx_arith(
+        "xvnmsubmdp",
+        "VSX Vector Negative Multiply-Subtract Type-M DP",
+        249,
+        3,
+        3.47,
+        LatencyClass::Medium,
+        InstrFlags::FMA | InstrFlags::MULTIPLY,
+    ));
+    defs.push(vsx_arith(
+        "xvnmaddadp",
+        "VSX Vector Negative Multiply-Add Type-A DP",
+        225,
+        3,
+        3.45,
+        LatencyClass::Medium,
+        InstrFlags::FMA | InstrFlags::MULTIPLY,
+    ));
+    defs.push(vsx_arith(
+        "xvaddsp",
+        "VSX Vector Add SP",
+        64,
+        2,
+        2.25,
+        LatencyClass::Medium,
+        InstrFlags::empty(),
+    ));
+    defs.push(vsx_arith(
+        "xvmulsp",
+        "VSX Vector Multiply SP",
+        80,
+        2,
+        2.80,
+        LatencyClass::Medium,
+        InstrFlags::MULTIPLY,
+    ));
+    defs.push(vsx_arith(
+        "xvmaddasp",
+        "VSX Vector Multiply-Add Type-A SP",
+        65,
+        3,
+        3.10,
+        LatencyClass::Medium,
+        InstrFlags::FMA | InstrFlags::MULTIPLY,
+    ));
+    defs.push(vsx_arith(
+        "xvtsqrtdp",
+        "VSX Vector Test for Square Root DP",
+        234,
+        1,
+        1.45,
+        LatencyClass::Simple,
+        InstrFlags::COMPARE,
+    ));
+    defs.push(vsx_arith(
+        "xvcmpeqdp",
+        "VSX Vector Compare Equal DP",
+        99,
+        2,
+        1.60,
+        LatencyClass::Simple,
+        InstrFlags::COMPARE,
+    ));
+    defs.push(vsx_arith(
+        "xxlxor",
+        "VSX Logical XOR",
+        154,
+        2,
+        1.20,
+        LatencyClass::Simple,
+        InstrFlags::LOGICAL,
+    ));
+    defs.push(vsx_arith(
+        "xxland",
+        "VSX Logical AND",
+        130,
+        2,
+        1.15,
+        LatencyClass::Simple,
+        InstrFlags::LOGICAL,
+    ));
+    defs.push(vsx_arith(
+        "xxlor",
+        "VSX Logical OR",
+        146,
+        2,
+        1.18,
+        LatencyClass::Simple,
+        InstrFlags::LOGICAL,
+    ));
+    defs.push(vsx_arith(
+        "xxpermdi",
+        "VSX Permute Doubleword Immediate",
+        10,
+        2,
+        1.35,
+        LatencyClass::Simple,
+        InstrFlags::MOVE,
+    ));
 
     // ---------------------------------------------------------------- VMX integer vector arithmetic
-    defs.push(vmx_arith("vaddubm", "Vector Add Unsigned Byte Modulo", 0, 2, 1.80, LatencyClass::Simple, InstrFlags::INTEGER));
-    defs.push(vmx_arith("vadduwm", "Vector Add Unsigned Word Modulo", 128, 2, 1.85, LatencyClass::Simple, InstrFlags::INTEGER));
-    defs.push(vmx_arith("vaddudm", "Vector Add Unsigned Doubleword Modulo", 192, 2, 1.90, LatencyClass::Simple, InstrFlags::INTEGER));
-    defs.push(vmx_arith("vsubuwm", "Vector Subtract Unsigned Word Modulo", 1152, 2, 1.88, LatencyClass::Simple, InstrFlags::INTEGER));
-    defs.push(vmx_arith("vmuluwm", "Vector Multiply Unsigned Word Modulo", 137, 2, 2.90, LatencyClass::Medium, InstrFlags::INTEGER | InstrFlags::MULTIPLY));
-    defs.push(vmx_arith("vmsumuhm", "Vector Multiply-Sum Unsigned Halfword Modulo", 38, 3, 3.10, LatencyClass::Medium, InstrFlags::INTEGER | InstrFlags::MULTIPLY | InstrFlags::FMA));
-    defs.push(vmx_arith("vand", "Vector Logical AND", 1028, 2, 1.25, LatencyClass::Simple, InstrFlags::LOGICAL));
-    defs.push(vmx_arith("vor", "Vector Logical OR", 1156, 2, 1.28, LatencyClass::Simple, InstrFlags::LOGICAL));
-    defs.push(vmx_arith("vxor", "Vector Logical XOR", 1220, 2, 1.30, LatencyClass::Simple, InstrFlags::LOGICAL));
-    defs.push(vmx_arith("vperm", "Vector Permute", 43, 3, 1.70, LatencyClass::Simple, InstrFlags::MOVE));
-    defs.push(vmx_arith("vspltw", "Vector Splat Word", 652, 1, 1.40, LatencyClass::Simple, InstrFlags::MOVE));
-    defs.push(vmx_arith("vsldoi", "Vector Shift Left Double by Octet Immediate", 44, 2, 1.55, LatencyClass::Simple, InstrFlags::SHIFT));
-    defs.push(vmx_arith("vrlw", "Vector Rotate Left Word", 132, 2, 1.60, LatencyClass::Simple, InstrFlags::SHIFT));
-    defs.push(vmx_arith("vcmpequw", "Vector Compare Equal Unsigned Word", 134, 2, 1.50, LatencyClass::Simple, InstrFlags::COMPARE));
+    defs.push(vmx_arith(
+        "vaddubm",
+        "Vector Add Unsigned Byte Modulo",
+        0,
+        2,
+        1.80,
+        LatencyClass::Simple,
+        InstrFlags::INTEGER,
+    ));
+    defs.push(vmx_arith(
+        "vadduwm",
+        "Vector Add Unsigned Word Modulo",
+        128,
+        2,
+        1.85,
+        LatencyClass::Simple,
+        InstrFlags::INTEGER,
+    ));
+    defs.push(vmx_arith(
+        "vaddudm",
+        "Vector Add Unsigned Doubleword Modulo",
+        192,
+        2,
+        1.90,
+        LatencyClass::Simple,
+        InstrFlags::INTEGER,
+    ));
+    defs.push(vmx_arith(
+        "vsubuwm",
+        "Vector Subtract Unsigned Word Modulo",
+        1152,
+        2,
+        1.88,
+        LatencyClass::Simple,
+        InstrFlags::INTEGER,
+    ));
+    defs.push(vmx_arith(
+        "vmuluwm",
+        "Vector Multiply Unsigned Word Modulo",
+        137,
+        2,
+        2.90,
+        LatencyClass::Medium,
+        InstrFlags::INTEGER | InstrFlags::MULTIPLY,
+    ));
+    defs.push(vmx_arith(
+        "vmsumuhm",
+        "Vector Multiply-Sum Unsigned Halfword Modulo",
+        38,
+        3,
+        3.10,
+        LatencyClass::Medium,
+        InstrFlags::INTEGER | InstrFlags::MULTIPLY | InstrFlags::FMA,
+    ));
+    defs.push(vmx_arith(
+        "vand",
+        "Vector Logical AND",
+        1028,
+        2,
+        1.25,
+        LatencyClass::Simple,
+        InstrFlags::LOGICAL,
+    ));
+    defs.push(vmx_arith(
+        "vor",
+        "Vector Logical OR",
+        1156,
+        2,
+        1.28,
+        LatencyClass::Simple,
+        InstrFlags::LOGICAL,
+    ));
+    defs.push(vmx_arith(
+        "vxor",
+        "Vector Logical XOR",
+        1220,
+        2,
+        1.30,
+        LatencyClass::Simple,
+        InstrFlags::LOGICAL,
+    ));
+    defs.push(vmx_arith(
+        "vperm",
+        "Vector Permute",
+        43,
+        3,
+        1.70,
+        LatencyClass::Simple,
+        InstrFlags::MOVE,
+    ));
+    defs.push(vmx_arith(
+        "vspltw",
+        "Vector Splat Word",
+        652,
+        1,
+        1.40,
+        LatencyClass::Simple,
+        InstrFlags::MOVE,
+    ));
+    defs.push(vmx_arith(
+        "vsldoi",
+        "Vector Shift Left Double by Octet Immediate",
+        44,
+        2,
+        1.55,
+        LatencyClass::Simple,
+        InstrFlags::SHIFT,
+    ));
+    defs.push(vmx_arith(
+        "vrlw",
+        "Vector Rotate Left Word",
+        132,
+        2,
+        1.60,
+        LatencyClass::Simple,
+        InstrFlags::SHIFT,
+    ));
+    defs.push(vmx_arith(
+        "vcmpequw",
+        "Vector Compare Equal Unsigned Word",
+        134,
+        2,
+        1.50,
+        LatencyClass::Simple,
+        InstrFlags::COMPARE,
+    ));
 
     // ---------------------------------------------------------------- decimal floating point
     defs.push(dfp_arith("dadd", "DFP Add", 2, 4.20, LatencyClass::VeryLong));
@@ -602,7 +1791,10 @@ pub fn power_isa_v206b() -> Isa {
             .also_stresses(Unit::Ifu)
             .latency(LatencyClass::Control)
             .complexity(0.90)
-            .operands(&[OperandKind::CrField { access: RegAccess::Read }, OperandKind::BranchTarget { bits: 14 }])
+            .operands(&[
+                OperandKind::CrField { access: RegAccess::Read },
+                OperandKind::BranchTarget { bits: 14 },
+            ])
             .build(),
     );
     defs.push(
@@ -636,7 +1828,11 @@ pub fn power_isa_v206b() -> Isa {
             .latency(LatencyClass::Simple)
             .complexity(0.80)
             .xo(257)
-            .operands(&[CR_W, OperandKind::CrField { access: RegAccess::Read }, OperandKind::CrField { access: RegAccess::Read }])
+            .operands(&[
+                CR_W,
+                OperandKind::CrField { access: RegAccess::Read },
+                OperandKind::CrField { access: RegAccess::Read },
+            ])
             .build(),
     );
 
@@ -746,9 +1942,30 @@ mod tests {
     fn all_table3_instructions_are_defined() {
         let isa = power_isa_v206b();
         for m in [
-            "mulldo", "subf", "addic", "lxvw4x", "lvewx", "lbz", "xvnmsubmdp", "xvmaddadp",
-            "xstsqrtdp", "add", "nor", "and", "ldux", "lwax", "lfsu", "lhaux", "lwaux", "lhau",
-            "stxvw4x", "stxsdx", "stfd", "stfsux", "stfdux", "stfdu",
+            "mulldo",
+            "subf",
+            "addic",
+            "lxvw4x",
+            "lvewx",
+            "lbz",
+            "xvnmsubmdp",
+            "xvmaddadp",
+            "xstsqrtdp",
+            "add",
+            "nor",
+            "and",
+            "ldux",
+            "lwax",
+            "lfsu",
+            "lhaux",
+            "lwaux",
+            "lhau",
+            "stxvw4x",
+            "stxsdx",
+            "stfd",
+            "stfsux",
+            "stfdux",
+            "stfdu",
         ] {
             assert!(isa.get(m).is_some(), "Table 3 instruction `{m}` missing from the ISA");
         }

@@ -178,10 +178,9 @@ impl RegRef {
 impl fmt::Display for RegRef {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.file {
-            RegisterFile::Xer
-            | RegisterFile::Lr
-            | RegisterFile::Ctr
-            | RegisterFile::Fpscr => f.write_str(self.file.prefix()),
+            RegisterFile::Xer | RegisterFile::Lr | RegisterFile::Ctr | RegisterFile::Fpscr => {
+                f.write_str(self.file.prefix())
+            }
             _ => write!(f, "{}{}", self.file.prefix(), self.index),
         }
     }

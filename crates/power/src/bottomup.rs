@@ -50,9 +50,8 @@ impl BottomUpModel {
     /// applicable samples, or a regression error if a fit fails.
     pub fn train(training: &TrainingSet, idle_power: f64) -> Result<Self, ModelError> {
         // ---- Step 1: single hardware context (1 core, SMT1) dynamic model ----
-        let single_ctx = training.filtered(SampleKind::MicroArch, |c| {
-            c.cores == 1 && c.smt == SmtMode::Smt1
-        });
+        let single_ctx =
+            training.filtered(SampleKind::MicroArch, |c| c.cores == 1 && c.smt == SmtMode::Smt1);
         if single_ctx.is_empty() {
             return Err(ModelError::MissingTrainingData {
                 step: "step 1: 1-core SMT1 micro-architecture benchmarks".into(),
@@ -206,7 +205,11 @@ mod tests {
         let weights = [3.0, 5.0, 2.0, 0.8, 2.5, 6.0, 14.0];
         let mut rng = SmallRng::seed_from_u64(99);
         let mut set = TrainingSet::new();
-        let push = |set: &mut TrainingSet, cores: u32, smt_mode: SmtMode, kind: SampleKind, rng: &mut SmallRng| {
+        let push = |set: &mut TrainingSet,
+                    cores: u32,
+                    smt_mode: SmtMode,
+                    kind: SampleKind,
+                    rng: &mut SmallRng| {
             let a = ActivityVector {
                 fxu: rng.gen_range(0.0..2.0),
                 vsu: rng.gen_range(0.0..2.0),

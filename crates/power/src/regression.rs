@@ -19,7 +19,9 @@ impl fmt::Display for RegressionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RegressionError::Empty => write!(f, "no observations provided"),
-            RegressionError::InconsistentWidth => write!(f, "observations have differing feature counts"),
+            RegressionError::InconsistentWidth => {
+                write!(f, "observations have differing feature counts")
+            }
             RegressionError::Singular => write!(f, "normal equations are singular"),
         }
     }
@@ -149,8 +151,7 @@ impl LinearRegression {
     pub fn r_squared(&self, xs: &[Vec<f64>], ys: &[f64]) -> f64 {
         let mean = ys.iter().sum::<f64>() / ys.len() as f64;
         let ss_tot: f64 = ys.iter().map(|y| (y - mean).powi(2)).sum();
-        let ss_res: f64 =
-            xs.iter().zip(ys).map(|(x, y)| (y - self.predict(x)).powi(2)).sum();
+        let ss_res: f64 = xs.iter().zip(ys).map(|(x, y)| (y - self.predict(x)).powi(2)).sum();
         if ss_tot == 0.0 {
             1.0
         } else {
@@ -163,9 +164,8 @@ impl LinearRegression {
 fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
     let n = b.len();
     for col in 0..n {
-        let pivot = (col..n).max_by(|&i, &j| {
-            a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite")
-        })?;
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite"))?;
         if a[pivot][col].abs() < 1e-12 {
             return None;
         }
@@ -228,7 +228,8 @@ mod tests {
         // negatively.
         let xs: Vec<Vec<f64>> =
             (0..100).map(|_| vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]).collect();
-        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0] + 0.001 * rng.gen_range(-1.0..1.0)).collect();
+        let ys: Vec<f64> =
+            xs.iter().map(|x| 2.0 * x[0] + 0.001 * rng.gen_range(-1.0..1.0)).collect();
         let model = LinearRegression::fit_non_negative(&xs, &ys).unwrap();
         assert!(model.coefficients().iter().all(|c| *c >= 0.0));
         assert!((model.coefficients()[0] - 2.0).abs() < 0.05);

@@ -144,8 +144,7 @@ impl<'env> Scope<'env> {
                 }
                 self.pending.fetch_sub(1, Ordering::SeqCst);
                 self.wake.notify_all();
-            } else if self.closed.load(Ordering::SeqCst)
-                && self.pending.load(Ordering::SeqCst) == 0
+            } else if self.closed.load(Ordering::SeqCst) && self.pending.load(Ordering::SeqCst) == 0
             {
                 break;
             } else {

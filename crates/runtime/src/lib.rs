@@ -13,16 +13,21 @@
 //!    [`ExperimentPlan`] of measurement jobs, content-hashes each job, dedupes repeats
 //!    and memoizes [`Measurement`](mp_sim::Measurement)s across plan submissions, so
 //!    regenerating every figure (or running every test fixture) measures each unique
-//!    pair exactly once per process.
+//!    pair exactly once per process;
+//! 3. [`dse`] — a [`ParallelEvaluator`] bridging the core DSE search drivers onto the
+//!    executor, so exhaustive and genetic searches score whole candidate batches in
+//!    parallel with results identical to the serial path.
 //!
 //! `mp_bench::measure_benchmarks`, the experiment binaries, and the slow integration
 //! tests are all thin wrappers over these layers.
 
+pub mod dse;
 pub mod executor;
 pub mod session;
 
+pub use dse::ParallelEvaluator;
 pub use executor::{
-    default_workers, par_map, par_map_with_workers, scope, scope_with_workers, worker_index,
-    Scope, THREADS_ENV,
+    default_workers, par_map, par_map_with_workers, scope, scope_with_workers, worker_index, Scope,
+    THREADS_ENV,
 };
 pub use session::{ExperimentPlan, ExperimentSession, PlannedJob, SessionStats};

@@ -366,8 +366,7 @@ mod tests {
         let platform = SimPlatform::power7_fast();
         let benches: Vec<MicroBenchmark> =
             (0..4).map(|i| tiny_benchmark(&format!("b{i}"), i)).collect();
-        let configs =
-            [CmpSmtConfig::new(1, SmtMode::Smt1), CmpSmtConfig::new(2, SmtMode::Smt2)];
+        let configs = [CmpSmtConfig::new(1, SmtMode::Smt1), CmpSmtConfig::new(2, SmtMode::Smt2)];
 
         let mut plan = ExperimentPlan::new();
         for (i, bench) in benches.iter().enumerate() {
@@ -384,8 +383,7 @@ mod tests {
             .collect();
 
         for workers in [1usize, 3, 8] {
-            let session =
-                ExperimentSession::new(SimPlatform::power7_fast()).with_workers(workers);
+            let session = ExperimentSession::new(SimPlatform::power7_fast()).with_workers(workers);
             assert_eq!(session.run(&plan), reference, "workers={workers}");
         }
     }

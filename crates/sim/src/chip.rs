@@ -191,8 +191,7 @@ impl ChipSim {
         }
 
         let cycles = self.options.measure_cycles;
-        let per_thread: Vec<_> =
-            cores.iter().flat_map(|c| c.counters(cycles)).collect();
+        let per_thread: Vec<_> = cores.iter().flat_map(|c| c.counters(cycles)).collect();
         let trace = PowerTrace::new(samples, self.options.sample_cycles);
         let avg_power = self.add_noise(breakdown.total() / cycles as f64, &mut rng);
         Measurement::new(config, cycles, per_thread, avg_power, trace, breakdown.to_power(cycles))

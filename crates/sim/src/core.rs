@@ -5,7 +5,7 @@ use std::collections::{HashMap, VecDeque};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use mp_isa::{encoding, InstructionDef, IssueClass, Isa, RegRef, Unit};
+use mp_isa::{encoding, InstructionDef, Isa, IssueClass, RegRef, Unit};
 use mp_uarch::{CounterValues, MemLevel, MicroArchitecture};
 
 use crate::cache_sim::CoreCaches;
@@ -180,8 +180,7 @@ impl CoreSim {
                 break;
             }
             let tid = (start + i) % nthreads;
-            dispatch_left =
-                self.step_thread(tid, now, uarch, params, energy, dispatch_left);
+            dispatch_left = self.step_thread(tid, now, uarch, params, energy, dispatch_left);
         }
 
         // Clock-gating: every unit that woke up this cycle pays a fixed wake-up energy,
@@ -225,13 +224,11 @@ impl CoreSim {
             let ready = {
                 let thread = &self.threads[tid];
                 let reads = &thread.body_reads[entry.body_idx];
-                let times_ok = reads
-                    .iter()
-                    .all(|r| thread.reg_ready.get(r).copied().unwrap_or(0) <= now);
+                let times_ok =
+                    reads.iter().all(|r| thread.reg_ready.get(r).copied().unwrap_or(0) <= now);
                 let pending_producer = (0..w).any(|older| {
                     let e = thread.window[older];
-                    !e.issued
-                        && thread.body_writes[e.body_idx].iter().any(|wr| reads.contains(wr))
+                    !e.issued && thread.body_writes[e.body_idx].iter().any(|wr| reads.contains(wr))
                 });
                 times_ok && !pending_producer
             };
@@ -400,7 +397,11 @@ mod tests {
         .unwrap()
     }
 
-    fn run_core(uarch: &MicroArchitecture, kernel: Kernel, cycles: u64) -> (Vec<CounterValues>, EnergyBreakdown) {
+    fn run_core(
+        uarch: &MicroArchitecture,
+        kernel: Kernel,
+        cycles: u64,
+    ) -> (Vec<CounterValues>, EnergyBreakdown) {
         let mut core = CoreSim::new(uarch, vec![kernel], false, 1);
         let mut energy = EnergyBreakdown::default();
         let params = EnergyParams::power7();
@@ -457,7 +458,8 @@ mod tests {
     fn energy_scales_with_activity() {
         let uarch = power7();
         let isa = &uarch.isa;
-        let busy: Vec<Instruction> = (0..64).map(|i| rrr(isa, "add", (i % 8) as u16, 10, 11)).collect();
+        let busy: Vec<Instruction> =
+            (0..64).map(|i| rrr(isa, "add", (i % 8) as u16, 10, 11)).collect();
         let lazy: Vec<Instruction> = (0..64).map(|_| rrr(isa, "mulld", 3, 3, 3)).collect();
         let (_, e_busy) = run_core(&uarch, Kernel::new("busy", busy), 4000);
         let (_, e_lazy) = run_core(&uarch, Kernel::new("lazy", lazy), 4000);
@@ -468,7 +470,8 @@ mod tests {
     fn zero_data_reduces_energy() {
         let uarch = power7();
         let isa = &uarch.isa;
-        let body: Vec<Instruction> = (0..64).map(|i| rrr(isa, "xor", (i % 8) as u16, 10, 11)).collect();
+        let body: Vec<Instruction> =
+            (0..64).map(|i| rrr(isa, "xor", (i % 8) as u16, 10, 11)).collect();
         let random = Kernel::new("rand", body.clone()).with_data_profile(DataProfile::Random);
         let zeros = Kernel::new("zeros", body).with_data_profile(DataProfile::Zeros);
         let (_, e_rand) = run_core(&uarch, random, 4000);
@@ -516,13 +519,8 @@ mod tests {
         let mut body: Vec<Instruction> =
             (0..32).map(|i| rrr(isa, "add", (i % 8) as u16, 10, 11)).collect();
         body.push(
-            Instruction::new(
-                isa,
-                bc,
-                vec![Operand::CrField(0), Operand::BranchTarget(-32)],
-                None,
-            )
-            .unwrap(),
+            Instruction::new(isa, bc, vec![Operand::CrField(0), Operand::BranchTarget(-32)], None)
+                .unwrap(),
         );
         let clean = Kernel::new("clean", body.clone());
         let noisy = Kernel::new("noisy", body).with_mispredict_rate(0.5);

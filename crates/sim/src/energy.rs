@@ -81,20 +81,12 @@ impl EnergyParams {
 
     /// Base activation energy of a unit.
     pub fn unit_energy(&self, unit: Unit) -> f64 {
-        self.unit_base
-            .iter()
-            .find(|(u, _)| *u == unit)
-            .map(|(_, e)| *e)
-            .unwrap_or(0.30)
+        self.unit_base.iter().find(|(u, _)| *u == unit).map(|(_, e)| *e).unwrap_or(0.30)
     }
 
     /// Per-active-cycle wake-up energy of a unit.
     pub fn wake_energy(&self, unit: Unit) -> f64 {
-        self.unit_wake
-            .iter()
-            .find(|(u, _)| *u == unit)
-            .map(|(_, e)| *e)
-            .unwrap_or(0.0)
+        self.unit_wake.iter().find(|(u, _)| *u == unit).map(|(_, e)| *e).unwrap_or(0.0)
     }
 
     /// Access energy of a memory hierarchy level.

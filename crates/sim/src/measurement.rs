@@ -114,8 +114,7 @@ impl Measurement {
     /// Chip-wide aggregated counters.  `cycles` stays per-run (not multiplied by the
     /// thread count), so [`CounterValues::ipc`] on the result is the chip-wide IPC.
     pub fn chip_counters(&self) -> CounterValues {
-        let mut total =
-            self.per_thread.iter().fold(CounterValues::default(), |acc, c| acc + *c);
+        let mut total = self.per_thread.iter().fold(CounterValues::default(), |acc, c| acc + *c);
         total.cycles = self.cycles;
         total
     }
@@ -173,7 +172,12 @@ mod tests {
         let m = Measurement::new(
             config,
             1000,
-            vec![counters(500, 1000), counters(700, 1000), counters(300, 1000), counters(500, 1000)],
+            vec![
+                counters(500, 1000),
+                counters(700, 1000),
+                counters(300, 1000),
+                counters(500, 1000),
+            ],
             150.0,
             PowerTrace::default(),
             EnergyBreakdown::default(),

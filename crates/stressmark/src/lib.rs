@@ -13,16 +13,21 @@
 //!   (the paper's "MicroProbe" set — no expert knowledge required);
 //!
 //! [`search::StressmarkSearch`] evaluates candidate sequences on a
-//! [`Platform`](microprobe::platform::Platform) and [`report`] assembles the Figure 9
-//! normalised min/mean/max summary.
+//! [`Platform`](microprobe::platform::Platform) through a memoizing
+//! [`ExperimentSession`](mp_runtime::ExperimentSession) — whole candidate sets are
+//! measured as one parallel batch, and repeated candidates (across sets, exhaustive
+//! searches and genetic generations) are answered from the session cache — and
+//! [`report`] assembles the Figure 9 normalised min/mean/max summary.
 
 pub mod report;
 pub mod search;
 pub mod sets;
 
 pub use report::{Figure9Report, Figure9Row};
-pub use search::{SequenceCandidate, StressmarkResult, StressmarkSearch};
-pub use sets::{expert_dse_sequences, expert_manual_set, microprobe_sequences, select_ipc_epi_instructions};
+pub use search::{SequenceCandidate, SequenceSpace, StressmarkResult, StressmarkSearch};
+pub use sets::{
+    expert_dse_sequences, expert_manual_set, microprobe_sequences, select_ipc_epi_instructions,
+};
 
 #[cfg(test)]
 mod tests {

@@ -30,15 +30,7 @@ pub struct CorePipes {
 impl CorePipes {
     /// The POWER7 core resources.
     pub fn power7() -> Self {
-        Self {
-            dispatch_width: 6,
-            completion_width: 6,
-            fxu: 2,
-            lsu: 2,
-            vsu: 2,
-            dfu: 1,
-            bru: 1,
-        }
+        Self { dispatch_width: 6, completion_width: 6, fxu: 2, lsu: 2, vsu: 2, dfu: 1, bru: 1 }
     }
 
     /// Number of pipes for a functional unit (0 for units that are not execution pipes).

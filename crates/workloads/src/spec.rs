@@ -51,7 +51,11 @@ impl SpecProxy {
     ) -> Result<MicroBenchmark, PassError> {
         let isa = &arch.isa;
         let integers: Vec<OpcodeId> = isa.select(|d| {
-            d.is_integer() && !d.is_memory() && !d.is_branch() && !d.is_privileged() && !d.is_vector()
+            d.is_integer()
+                && !d.is_memory()
+                && !d.is_branch()
+                && !d.is_privileged()
+                && !d.is_vector()
         });
         let floats: Vec<OpcodeId> =
             isa.select(|d| d.issue_class() == IssueClass::Vsu && !d.is_vector() && !d.is_memory());
@@ -78,13 +82,17 @@ impl SpecProxy {
         synth.add_pass(MemoryPass::new(self.memory_behavior));
         synth.add_pass(InitRegistersPass::random());
         synth.add_pass(DependencyDistancePass::random(self.dependency.0, self.dependency.1));
-        synth.add_pass(BranchBehaviorPass::conditional_every(self.branch_period, self.mispredict_rate));
+        synth.add_pass(BranchBehaviorPass::conditional_every(
+            self.branch_period,
+            self.mispredict_rate,
+        ));
         synth.synthesize()
     }
 }
 
 fn hash_name(name: &str) -> u64 {
-    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3))
+    name.bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3))
 }
 
 /// The 28 SPEC CPU2006 proxies, in the order the paper plots them.
@@ -93,34 +101,314 @@ pub fn spec_proxies() -> Vec<SpecProxy> {
         HitDistribution::new(l1, l2, l3, mem).expect("profile distributions are valid")
     };
     vec![
-        SpecProxy { name: "perlbench", integer_weight: 0.62, float_weight: 0.02, vector_weight: 0.0, memory_weight: 0.36, memory_behavior: dist(0.92, 0.06, 0.02, 0.0), dependency: (1, 6), branch_period: 6, mispredict_rate: 0.04 },
-        SpecProxy { name: "bzip2", integer_weight: 0.60, float_weight: 0.0, vector_weight: 0.0, memory_weight: 0.40, memory_behavior: dist(0.85, 0.10, 0.04, 0.01), dependency: (1, 5), branch_period: 7, mispredict_rate: 0.06 },
-        SpecProxy { name: "gcc", integer_weight: 0.58, float_weight: 0.0, vector_weight: 0.0, memory_weight: 0.42, memory_behavior: dist(0.82, 0.10, 0.06, 0.02), dependency: (1, 5), branch_period: 5, mispredict_rate: 0.05 },
-        SpecProxy { name: "bwaves", integer_weight: 0.15, float_weight: 0.30, vector_weight: 0.20, memory_weight: 0.35, memory_behavior: dist(0.70, 0.15, 0.10, 0.05), dependency: (2, 10), branch_period: 24, mispredict_rate: 0.01 },
-        SpecProxy { name: "gamess", integer_weight: 0.20, float_weight: 0.50, vector_weight: 0.05, memory_weight: 0.25, memory_behavior: dist(0.95, 0.04, 0.01, 0.0), dependency: (2, 9), branch_period: 14, mispredict_rate: 0.02 },
-        SpecProxy { name: "mcf", integer_weight: 0.45, float_weight: 0.0, vector_weight: 0.0, memory_weight: 0.55, memory_behavior: dist(0.55, 0.15, 0.15, 0.15), dependency: (1, 3), branch_period: 6, mispredict_rate: 0.08 },
-        SpecProxy { name: "milc", integer_weight: 0.15, float_weight: 0.35, vector_weight: 0.15, memory_weight: 0.35, memory_behavior: dist(0.65, 0.15, 0.10, 0.10), dependency: (2, 8), branch_period: 20, mispredict_rate: 0.01 },
-        SpecProxy { name: "zeusmp", integer_weight: 0.18, float_weight: 0.40, vector_weight: 0.10, memory_weight: 0.32, memory_behavior: dist(0.78, 0.12, 0.07, 0.03), dependency: (2, 9), branch_period: 22, mispredict_rate: 0.01 },
-        SpecProxy { name: "gromacs", integer_weight: 0.22, float_weight: 0.45, vector_weight: 0.08, memory_weight: 0.25, memory_behavior: dist(0.90, 0.07, 0.03, 0.0), dependency: (2, 8), branch_period: 16, mispredict_rate: 0.02 },
-        SpecProxy { name: "cactusADM", integer_weight: 0.12, float_weight: 0.48, vector_weight: 0.10, memory_weight: 0.30, memory_behavior: dist(0.72, 0.15, 0.08, 0.05), dependency: (3, 12), branch_period: 30, mispredict_rate: 0.005 },
-        SpecProxy { name: "leslie3d", integer_weight: 0.15, float_weight: 0.42, vector_weight: 0.10, memory_weight: 0.33, memory_behavior: dist(0.70, 0.15, 0.10, 0.05), dependency: (2, 10), branch_period: 26, mispredict_rate: 0.01 },
-        SpecProxy { name: "namd", integer_weight: 0.20, float_weight: 0.52, vector_weight: 0.05, memory_weight: 0.23, memory_behavior: dist(0.94, 0.04, 0.02, 0.0), dependency: (2, 10), branch_period: 18, mispredict_rate: 0.01 },
-        SpecProxy { name: "gobmk", integer_weight: 0.62, float_weight: 0.0, vector_weight: 0.0, memory_weight: 0.38, memory_behavior: dist(0.90, 0.07, 0.03, 0.0), dependency: (1, 4), branch_period: 5, mispredict_rate: 0.09 },
-        SpecProxy { name: "dealII", integer_weight: 0.30, float_weight: 0.38, vector_weight: 0.04, memory_weight: 0.28, memory_behavior: dist(0.88, 0.08, 0.03, 0.01), dependency: (2, 7), branch_period: 10, mispredict_rate: 0.03 },
-        SpecProxy { name: "soplex", integer_weight: 0.35, float_weight: 0.25, vector_weight: 0.02, memory_weight: 0.38, memory_behavior: dist(0.75, 0.12, 0.08, 0.05), dependency: (1, 5), branch_period: 9, mispredict_rate: 0.04 },
-        SpecProxy { name: "povray", integer_weight: 0.30, float_weight: 0.45, vector_weight: 0.02, memory_weight: 0.23, memory_behavior: dist(0.96, 0.03, 0.01, 0.0), dependency: (1, 6), branch_period: 8, mispredict_rate: 0.03 },
-        SpecProxy { name: "calculix", integer_weight: 0.22, float_weight: 0.45, vector_weight: 0.06, memory_weight: 0.27, memory_behavior: dist(0.90, 0.06, 0.03, 0.01), dependency: (2, 9), branch_period: 15, mispredict_rate: 0.02 },
-        SpecProxy { name: "hmmer", integer_weight: 0.65, float_weight: 0.0, vector_weight: 0.0, memory_weight: 0.35, memory_behavior: dist(0.96, 0.03, 0.01, 0.0), dependency: (2, 8), branch_period: 12, mispredict_rate: 0.02 },
-        SpecProxy { name: "sjeng", integer_weight: 0.64, float_weight: 0.0, vector_weight: 0.0, memory_weight: 0.36, memory_behavior: dist(0.92, 0.05, 0.03, 0.0), dependency: (1, 4), branch_period: 5, mispredict_rate: 0.08 },
-        SpecProxy { name: "GemsFDTD", integer_weight: 0.15, float_weight: 0.40, vector_weight: 0.10, memory_weight: 0.35, memory_behavior: dist(0.65, 0.17, 0.10, 0.08), dependency: (2, 10), branch_period: 28, mispredict_rate: 0.01 },
-        SpecProxy { name: "libquantum", integer_weight: 0.40, float_weight: 0.05, vector_weight: 0.0, memory_weight: 0.55, memory_behavior: dist(0.50, 0.15, 0.15, 0.20), dependency: (3, 12), branch_period: 10, mispredict_rate: 0.01 },
-        SpecProxy { name: "h264ref", integer_weight: 0.55, float_weight: 0.02, vector_weight: 0.05, memory_weight: 0.38, memory_behavior: dist(0.93, 0.05, 0.02, 0.0), dependency: (1, 6), branch_period: 8, mispredict_rate: 0.03 },
-        SpecProxy { name: "tonto", integer_weight: 0.25, float_weight: 0.42, vector_weight: 0.05, memory_weight: 0.28, memory_behavior: dist(0.90, 0.06, 0.03, 0.01), dependency: (2, 8), branch_period: 12, mispredict_rate: 0.02 },
-        SpecProxy { name: "lbm", integer_weight: 0.12, float_weight: 0.35, vector_weight: 0.13, memory_weight: 0.40, memory_behavior: dist(0.55, 0.15, 0.12, 0.18), dependency: (3, 12), branch_period: 40, mispredict_rate: 0.005 },
-        SpecProxy { name: "omnetpp", integer_weight: 0.52, float_weight: 0.0, vector_weight: 0.0, memory_weight: 0.48, memory_behavior: dist(0.70, 0.14, 0.10, 0.06), dependency: (1, 4), branch_period: 6, mispredict_rate: 0.06 },
-        SpecProxy { name: "astar", integer_weight: 0.55, float_weight: 0.02, vector_weight: 0.0, memory_weight: 0.43, memory_behavior: dist(0.78, 0.12, 0.06, 0.04), dependency: (1, 4), branch_period: 7, mispredict_rate: 0.07 },
-        SpecProxy { name: "sphinx3", integer_weight: 0.30, float_weight: 0.35, vector_weight: 0.03, memory_weight: 0.32, memory_behavior: dist(0.80, 0.12, 0.05, 0.03), dependency: (2, 7), branch_period: 10, mispredict_rate: 0.03 },
-        SpecProxy { name: "xalancbmk", integer_weight: 0.56, float_weight: 0.0, vector_weight: 0.0, memory_weight: 0.44, memory_behavior: dist(0.80, 0.12, 0.05, 0.03), dependency: (1, 4), branch_period: 5, mispredict_rate: 0.05 },
+        SpecProxy {
+            name: "perlbench",
+            integer_weight: 0.62,
+            float_weight: 0.02,
+            vector_weight: 0.0,
+            memory_weight: 0.36,
+            memory_behavior: dist(0.92, 0.06, 0.02, 0.0),
+            dependency: (1, 6),
+            branch_period: 6,
+            mispredict_rate: 0.04,
+        },
+        SpecProxy {
+            name: "bzip2",
+            integer_weight: 0.60,
+            float_weight: 0.0,
+            vector_weight: 0.0,
+            memory_weight: 0.40,
+            memory_behavior: dist(0.85, 0.10, 0.04, 0.01),
+            dependency: (1, 5),
+            branch_period: 7,
+            mispredict_rate: 0.06,
+        },
+        SpecProxy {
+            name: "gcc",
+            integer_weight: 0.58,
+            float_weight: 0.0,
+            vector_weight: 0.0,
+            memory_weight: 0.42,
+            memory_behavior: dist(0.82, 0.10, 0.06, 0.02),
+            dependency: (1, 5),
+            branch_period: 5,
+            mispredict_rate: 0.05,
+        },
+        SpecProxy {
+            name: "bwaves",
+            integer_weight: 0.15,
+            float_weight: 0.30,
+            vector_weight: 0.20,
+            memory_weight: 0.35,
+            memory_behavior: dist(0.70, 0.15, 0.10, 0.05),
+            dependency: (2, 10),
+            branch_period: 24,
+            mispredict_rate: 0.01,
+        },
+        SpecProxy {
+            name: "gamess",
+            integer_weight: 0.20,
+            float_weight: 0.50,
+            vector_weight: 0.05,
+            memory_weight: 0.25,
+            memory_behavior: dist(0.95, 0.04, 0.01, 0.0),
+            dependency: (2, 9),
+            branch_period: 14,
+            mispredict_rate: 0.02,
+        },
+        SpecProxy {
+            name: "mcf",
+            integer_weight: 0.45,
+            float_weight: 0.0,
+            vector_weight: 0.0,
+            memory_weight: 0.55,
+            memory_behavior: dist(0.55, 0.15, 0.15, 0.15),
+            dependency: (1, 3),
+            branch_period: 6,
+            mispredict_rate: 0.08,
+        },
+        SpecProxy {
+            name: "milc",
+            integer_weight: 0.15,
+            float_weight: 0.35,
+            vector_weight: 0.15,
+            memory_weight: 0.35,
+            memory_behavior: dist(0.65, 0.15, 0.10, 0.10),
+            dependency: (2, 8),
+            branch_period: 20,
+            mispredict_rate: 0.01,
+        },
+        SpecProxy {
+            name: "zeusmp",
+            integer_weight: 0.18,
+            float_weight: 0.40,
+            vector_weight: 0.10,
+            memory_weight: 0.32,
+            memory_behavior: dist(0.78, 0.12, 0.07, 0.03),
+            dependency: (2, 9),
+            branch_period: 22,
+            mispredict_rate: 0.01,
+        },
+        SpecProxy {
+            name: "gromacs",
+            integer_weight: 0.22,
+            float_weight: 0.45,
+            vector_weight: 0.08,
+            memory_weight: 0.25,
+            memory_behavior: dist(0.90, 0.07, 0.03, 0.0),
+            dependency: (2, 8),
+            branch_period: 16,
+            mispredict_rate: 0.02,
+        },
+        SpecProxy {
+            name: "cactusADM",
+            integer_weight: 0.12,
+            float_weight: 0.48,
+            vector_weight: 0.10,
+            memory_weight: 0.30,
+            memory_behavior: dist(0.72, 0.15, 0.08, 0.05),
+            dependency: (3, 12),
+            branch_period: 30,
+            mispredict_rate: 0.005,
+        },
+        SpecProxy {
+            name: "leslie3d",
+            integer_weight: 0.15,
+            float_weight: 0.42,
+            vector_weight: 0.10,
+            memory_weight: 0.33,
+            memory_behavior: dist(0.70, 0.15, 0.10, 0.05),
+            dependency: (2, 10),
+            branch_period: 26,
+            mispredict_rate: 0.01,
+        },
+        SpecProxy {
+            name: "namd",
+            integer_weight: 0.20,
+            float_weight: 0.52,
+            vector_weight: 0.05,
+            memory_weight: 0.23,
+            memory_behavior: dist(0.94, 0.04, 0.02, 0.0),
+            dependency: (2, 10),
+            branch_period: 18,
+            mispredict_rate: 0.01,
+        },
+        SpecProxy {
+            name: "gobmk",
+            integer_weight: 0.62,
+            float_weight: 0.0,
+            vector_weight: 0.0,
+            memory_weight: 0.38,
+            memory_behavior: dist(0.90, 0.07, 0.03, 0.0),
+            dependency: (1, 4),
+            branch_period: 5,
+            mispredict_rate: 0.09,
+        },
+        SpecProxy {
+            name: "dealII",
+            integer_weight: 0.30,
+            float_weight: 0.38,
+            vector_weight: 0.04,
+            memory_weight: 0.28,
+            memory_behavior: dist(0.88, 0.08, 0.03, 0.01),
+            dependency: (2, 7),
+            branch_period: 10,
+            mispredict_rate: 0.03,
+        },
+        SpecProxy {
+            name: "soplex",
+            integer_weight: 0.35,
+            float_weight: 0.25,
+            vector_weight: 0.02,
+            memory_weight: 0.38,
+            memory_behavior: dist(0.75, 0.12, 0.08, 0.05),
+            dependency: (1, 5),
+            branch_period: 9,
+            mispredict_rate: 0.04,
+        },
+        SpecProxy {
+            name: "povray",
+            integer_weight: 0.30,
+            float_weight: 0.45,
+            vector_weight: 0.02,
+            memory_weight: 0.23,
+            memory_behavior: dist(0.96, 0.03, 0.01, 0.0),
+            dependency: (1, 6),
+            branch_period: 8,
+            mispredict_rate: 0.03,
+        },
+        SpecProxy {
+            name: "calculix",
+            integer_weight: 0.22,
+            float_weight: 0.45,
+            vector_weight: 0.06,
+            memory_weight: 0.27,
+            memory_behavior: dist(0.90, 0.06, 0.03, 0.01),
+            dependency: (2, 9),
+            branch_period: 15,
+            mispredict_rate: 0.02,
+        },
+        SpecProxy {
+            name: "hmmer",
+            integer_weight: 0.65,
+            float_weight: 0.0,
+            vector_weight: 0.0,
+            memory_weight: 0.35,
+            memory_behavior: dist(0.96, 0.03, 0.01, 0.0),
+            dependency: (2, 8),
+            branch_period: 12,
+            mispredict_rate: 0.02,
+        },
+        SpecProxy {
+            name: "sjeng",
+            integer_weight: 0.64,
+            float_weight: 0.0,
+            vector_weight: 0.0,
+            memory_weight: 0.36,
+            memory_behavior: dist(0.92, 0.05, 0.03, 0.0),
+            dependency: (1, 4),
+            branch_period: 5,
+            mispredict_rate: 0.08,
+        },
+        SpecProxy {
+            name: "GemsFDTD",
+            integer_weight: 0.15,
+            float_weight: 0.40,
+            vector_weight: 0.10,
+            memory_weight: 0.35,
+            memory_behavior: dist(0.65, 0.17, 0.10, 0.08),
+            dependency: (2, 10),
+            branch_period: 28,
+            mispredict_rate: 0.01,
+        },
+        SpecProxy {
+            name: "libquantum",
+            integer_weight: 0.40,
+            float_weight: 0.05,
+            vector_weight: 0.0,
+            memory_weight: 0.55,
+            memory_behavior: dist(0.50, 0.15, 0.15, 0.20),
+            dependency: (3, 12),
+            branch_period: 10,
+            mispredict_rate: 0.01,
+        },
+        SpecProxy {
+            name: "h264ref",
+            integer_weight: 0.55,
+            float_weight: 0.02,
+            vector_weight: 0.05,
+            memory_weight: 0.38,
+            memory_behavior: dist(0.93, 0.05, 0.02, 0.0),
+            dependency: (1, 6),
+            branch_period: 8,
+            mispredict_rate: 0.03,
+        },
+        SpecProxy {
+            name: "tonto",
+            integer_weight: 0.25,
+            float_weight: 0.42,
+            vector_weight: 0.05,
+            memory_weight: 0.28,
+            memory_behavior: dist(0.90, 0.06, 0.03, 0.01),
+            dependency: (2, 8),
+            branch_period: 12,
+            mispredict_rate: 0.02,
+        },
+        SpecProxy {
+            name: "lbm",
+            integer_weight: 0.12,
+            float_weight: 0.35,
+            vector_weight: 0.13,
+            memory_weight: 0.40,
+            memory_behavior: dist(0.55, 0.15, 0.12, 0.18),
+            dependency: (3, 12),
+            branch_period: 40,
+            mispredict_rate: 0.005,
+        },
+        SpecProxy {
+            name: "omnetpp",
+            integer_weight: 0.52,
+            float_weight: 0.0,
+            vector_weight: 0.0,
+            memory_weight: 0.48,
+            memory_behavior: dist(0.70, 0.14, 0.10, 0.06),
+            dependency: (1, 4),
+            branch_period: 6,
+            mispredict_rate: 0.06,
+        },
+        SpecProxy {
+            name: "astar",
+            integer_weight: 0.55,
+            float_weight: 0.02,
+            vector_weight: 0.0,
+            memory_weight: 0.43,
+            memory_behavior: dist(0.78, 0.12, 0.06, 0.04),
+            dependency: (1, 4),
+            branch_period: 7,
+            mispredict_rate: 0.07,
+        },
+        SpecProxy {
+            name: "sphinx3",
+            integer_weight: 0.30,
+            float_weight: 0.35,
+            vector_weight: 0.03,
+            memory_weight: 0.32,
+            memory_behavior: dist(0.80, 0.12, 0.05, 0.03),
+            dependency: (2, 7),
+            branch_period: 10,
+            mispredict_rate: 0.03,
+        },
+        SpecProxy {
+            name: "xalancbmk",
+            integer_weight: 0.56,
+            float_weight: 0.0,
+            vector_weight: 0.0,
+            memory_weight: 0.44,
+            memory_behavior: dist(0.80, 0.12, 0.05, 0.03),
+            dependency: (1, 4),
+            branch_period: 5,
+            mispredict_rate: 0.05,
+        },
     ]
 }
 
@@ -154,8 +442,10 @@ mod tests {
         let proxies = spec_proxies();
         let mcf = proxies.iter().find(|p| p.name == "mcf").unwrap();
         let povray = proxies.iter().find(|p| p.name == "povray").unwrap();
-        assert!(mcf.memory_behavior.fraction(mp_uarch::MemLevel::Mem)
-            > povray.memory_behavior.fraction(mp_uarch::MemLevel::Mem));
+        assert!(
+            mcf.memory_behavior.fraction(mp_uarch::MemLevel::Mem)
+                > povray.memory_behavior.fraction(mp_uarch::MemLevel::Mem)
+        );
         assert!(mcf.memory_weight > povray.memory_weight);
     }
 

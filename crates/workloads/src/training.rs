@@ -323,7 +323,10 @@ fn unit_population(arch: &MicroArchitecture, family: Family) -> Vec<OpcodeId> {
             d.issue_class() == IssueClass::FxuOrLsu && !d.is_memory() && !d.is_branch()
         }),
         Family::ComplexInteger => isa.select(|d| {
-            d.issue_class() == IssueClass::Fxu && d.is_integer() && !d.is_memory() && !d.is_privileged()
+            d.issue_class() == IssueClass::Fxu
+                && d.is_integer()
+                && !d.is_memory()
+                && !d.is_privileged()
         }),
         Family::Integer => isa.select(|d| {
             d.is_integer()
@@ -332,9 +335,9 @@ fn unit_population(arch: &MicroArchitecture, family: Family) -> Vec<OpcodeId> {
                 && !d.is_branch()
                 && !d.is_privileged()
         }),
-        Family::FloatVector => isa.select(|d| {
-            d.issue_class() == IssueClass::Vsu || d.issue_class() == IssueClass::Dfu
-        }),
+        Family::FloatVector => {
+            isa.select(|d| d.issue_class() == IssueClass::Vsu || d.issue_class() == IssueClass::Dfu)
+        }
         Family::UnitMix => isa.compute_instructions(),
         _ => Vec::new(),
     }
@@ -403,9 +406,8 @@ fn generate_family(
 /// and a touch of branching.
 fn add_random_passes(arch: &MicroArchitecture, synth: &mut Synthesizer, idx: usize) {
     let isa = &arch.isa;
-    let population = isa.select(|d| {
-        !d.is_privileged() && !d.is_branch() && !d.flags().contains(InstrFlags::SYNC)
-    });
+    let population = isa
+        .select(|d| !d.is_privileged() && !d.is_branch() && !d.flags().contains(InstrFlags::SYNC));
     synth.add_pass(InstructionMixPass::uniform(population));
     // The memory distribution, dependency window and branch density are all derived
     // (deterministically) from the benchmark index inside a custom pass, so every random

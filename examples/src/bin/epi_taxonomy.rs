@@ -9,8 +9,19 @@ use mp_runtime::ExperimentSession;
 fn main() {
     let session = ExperimentSession::new(example_platform());
     let instructions = [
-        "addic", "subf", "mulldo", "add", "nor", "and", "lbz", "lxvw4x", "xstsqrtdp",
-        "xvmaddadp", "xvnmsubmdp", "stfd", "stxvw4x",
+        "addic",
+        "subf",
+        "mulldo",
+        "add",
+        "nor",
+        "and",
+        "lbz",
+        "lxvw4x",
+        "xstsqrtdp",
+        "xvmaddadp",
+        "xvnmsubmdp",
+        "stfd",
+        "stxvw4x",
     ];
     let options = BootstrapOptions {
         loop_instructions: 128,
@@ -23,7 +34,10 @@ fn main() {
     records.sort_by(|a, b| b.epi.partial_cmp(&a.epi).expect("EPIs are finite"));
 
     let min_epi = records.iter().map(|r| r.epi).fold(f64::INFINITY, f64::min);
-    println!("{:<12} {:>8} {:>9} {:>10}  units", "instruction", "core IPC", "latency", "EPI (norm)");
+    println!(
+        "{:<12} {:>8} {:>9} {:>10}  units",
+        "instruction", "core IPC", "latency", "EPI (norm)"
+    );
     for r in &records {
         let units: Vec<&str> = r.units.iter().map(|u| u.name()).collect();
         println!(

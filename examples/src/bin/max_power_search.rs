@@ -1,9 +1,15 @@
 //! Searches for a max-power stressmark with the expert instruction set and compares it
 //! against a DAXPY baseline and a SPEC proxy.
+//!
+//! Everything runs on one memoizing session: the exhaustive and genetic searches dedupe
+//! against each other (and the baselines), and each candidate batch is measured in
+//! parallel (`MP_THREADS` controls the worker count).
 
+use microprobe::dse::GeneticSearch;
 use microprobe::platform::Platform;
 use mp_examples::example_platform;
-use mp_stressmark::{expert_dse_sequences, expert_manual_set, StressmarkSearch};
+use mp_runtime::ExperimentSession;
+use mp_stressmark::{expert_dse_sequences, expert_manual_set, sets, StressmarkSearch};
 use mp_uarch::{CmpSmtConfig, SmtMode};
 use mp_workloads::{daxpy_kernels, spec_proxies};
 
@@ -12,7 +18,8 @@ fn main() {
     let arch = platform.uarch().clone();
     let cores = 4;
 
-    let search = StressmarkSearch::new(&platform)
+    let session = ExperimentSession::new(&platform);
+    let search = StressmarkSearch::with_session(&session)
         .with_cores(cores)
         .with_loop_instructions(96)
         .with_smt_modes(vec![SmtMode::Smt4]);
@@ -20,13 +27,14 @@ fn main() {
     // Baselines: one DAXPY kernel and one compute-heavy SPEC proxy.
     let daxpy = &daxpy_kernels(&arch, 96).expect("daxpy generates")[0];
     let daxpy_power =
-        platform.run(daxpy, CmpSmtConfig::new(cores, SmtMode::Smt4)).average_power();
+        session.measure(daxpy, CmpSmtConfig::new(cores, SmtMode::Smt4)).average_power();
     let proxy = spec_proxies().into_iter().find(|p| p.name == "povray").expect("povray exists");
     let proxy_bench = proxy.generate(&arch, 96).expect("proxy generates");
     let proxy_power =
-        platform.run(&proxy_bench, CmpSmtConfig::new(cores, SmtMode::Smt4)).average_power();
+        session.measure(&proxy_bench, CmpSmtConfig::new(cores, SmtMode::Smt4)).average_power();
 
-    // Hand-crafted expert sequences, then a budget-limited exhaustive DSE.
+    // Hand-crafted expert sequences, then a budget-limited exhaustive DSE, then a
+    // genetic search over the same instruction pool (its revisits hit the memo cache).
     let manual_best = search
         .evaluate_set(&expert_manual_set(&arch))
         .expect("expert sequences run")
@@ -38,15 +46,29 @@ fn main() {
     let result = search.exhaustive(candidates, None);
     let best_seq: Vec<String> =
         result.best.iter().map(|op| arch.isa.def(*op).mnemonic().to_owned()).collect();
+    let ga = GeneticSearch::new(8, 4).with_seed(7);
+    let ga_result = search.genetic(&ga, &sets::expert_instructions(&arch));
 
     println!("powers on {cores} cores, SMT4 (normalized units):");
     println!("  SPEC proxy (povray) : {proxy_power:.1}");
     println!("  DAXPY               : {daxpy_power:.1}");
     println!("  expert manual best  : {manual_best:.1}");
-    println!("  DSE best            : {:.1}  ({} evaluations)", result.best_score, result.evaluations);
+    println!(
+        "  DSE best            : {:.1}  ({} evaluations)",
+        result.best_score, result.evaluations
+    );
     println!("  DSE best sequence   : {}", best_seq.join(" "));
+    println!(
+        "  GA best             : {:.1}  ({} evaluations, {} failed builds)",
+        ga_result.best_score, ga_result.evaluations, ga_result.failures
+    );
     println!(
         "  DSE best vs SPEC    : {:+.1}%",
         100.0 * (result.best_score - proxy_power) / proxy_power
+    );
+    let stats = session.stats();
+    println!(
+        "  session             : {} jobs, {} unique runs, {} memoized hits",
+        stats.submitted, stats.misses, stats.hits
     );
 }

@@ -35,7 +35,12 @@ fn main() {
     // 2. Train the bottom-up model.
     let model = BottomUpModel::train(&training, session.platform().idle_power())
         .expect("training succeeds");
-    println!("fitted SMT effect {:.2}, CMP effect {:.2}, uncore {:.2}", model.smt_effect(), model.cmp_effect(), model.uncore());
+    println!(
+        "fitted SMT effect {:.2}, CMP effect {:.2}, uncore {:.2}",
+        model.smt_effect(),
+        model.cmp_effect(),
+        model.uncore()
+    );
 
     // 3. Predict and decompose one SPEC proxy on a configuration.
     let proxy = &spec_proxies()[5]; // mcf
@@ -47,8 +52,14 @@ fn main() {
 
     println!("\n{} on {config}:", proxy.name);
     println!("  measured power : {:.1}", sample.power);
-    println!("  predicted power: {:.1}  ({:+.1}% error)", model.predict(&sample), 100.0 * (model.predict(&sample) - sample.power) / sample.power);
-    for (name, pct) in mp_power::PowerBreakdownEstimate::COMPONENT_NAMES.iter().zip(breakdown.percentages()) {
+    println!(
+        "  predicted power: {:.1}  ({:+.1}% error)",
+        model.predict(&sample),
+        100.0 * (model.predict(&sample) - sample.power) / sample.power
+    );
+    for (name, pct) in
+        mp_power::PowerBreakdownEstimate::COMPONENT_NAMES.iter().zip(breakdown.percentages())
+    {
         println!("  {name:<22} {pct:>5.1}%");
     }
 }

@@ -27,7 +27,11 @@ fn main() -> Result<(), PassError> {
 
     // Generate the 10 micro-benchmarks (lines 31-33).
     let benchmarks = synth.synthesize_many(10)?;
-    println!("generated {} micro-benchmarks of {} instructions each", benchmarks.len(), benchmarks[0].kernel().len());
+    println!(
+        "generated {} micro-benchmarks of {} instructions each",
+        benchmarks.len(),
+        benchmarks[0].kernel().len()
+    );
 
     // Show the first few lines of the generated assembly.
     let listing = benchmarks[0].to_asm(&arch.isa);

@@ -52,7 +52,10 @@ fn zero_data_lowers_power_for_the_same_activity() {
     let (ipc_zero, p_zero) = run(DataProfile::Zeros);
     let (ipc_rand, p_rand) = run(DataProfile::Random);
     assert!((ipc_zero - ipc_rand).abs() < 0.1, "activity must be comparable");
-    assert!(p_zero < p_rand, "zero data ({p_zero:.1}) must draw less power than random ({p_rand:.1})");
+    assert!(
+        p_zero < p_rand,
+        "zero data ({p_zero:.1}) must draw less power than random ({p_rand:.1})"
+    );
 }
 
 proptest! {

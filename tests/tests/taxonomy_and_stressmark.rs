@@ -3,23 +3,58 @@
 //!
 //! The bootstrap fixture runs once per process through the shared memoizing
 //! [`mp_integration::session`] (parallel characterisation loops, results identical to
-//! the serial driver); the test cases consuming it share the measured records.
+//! the serial driver); the test cases consuming it share the measured records.  The
+//! stressmark searches run on the same session, so every test case evaluating the
+//! expert candidate set — directly, exhaustively or genetically — pays for each unique
+//! candidate × SMT mode measurement once per process.
 
 use std::sync::OnceLock;
 
 use microprobe::bootstrap::{BootstrapOptions, BootstrapRecord};
-use microprobe::platform::Platform;
+use microprobe::dse::GeneticSearch;
+use microprobe::platform::{Platform, SimPlatform};
 use mp_bench::Table3;
 use mp_integration::session;
 use mp_stressmark::{
-    expert_manual_set, microprobe_sequences, select_ipc_epi_instructions, StressmarkSearch,
+    expert_manual_set, microprobe_sequences, select_ipc_epi_instructions, sets, StressmarkResult,
+    StressmarkSearch,
 };
 use mp_uarch::{CmpSmtConfig, SmtMode};
 use mp_workloads::daxpy_kernels;
 
+/// The stressmark harness every test case shares: searches on the process-wide session
+/// with one common loop length/core count/SMT mode, so their measurements dedupe.
+fn stressmark_search() -> StressmarkSearch<'static, SimPlatform> {
+    StressmarkSearch::with_session(session())
+        .with_cores(2)
+        .with_loop_instructions(48)
+        .with_smt_modes(vec![SmtMode::Smt4])
+}
+
+/// The expert manual set's results, measured once per process.
+fn expert_manual_results() -> &'static Vec<StressmarkResult> {
+    static FIXTURE: OnceLock<Vec<StressmarkResult>> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let arch = session().platform().uarch().clone();
+        stressmark_search().evaluate_set(&expert_manual_set(&arch)).expect("expert set runs")
+    })
+}
+
 const TAXONOMY_INSTRUCTIONS: [&str; 14] = [
-    "addic", "subf", "mulldo", "add", "nor", "and", "lbz", "lxvw4x", "xstsqrtdp", "xvmaddadp",
-    "xvnmsubmdp", "stfd", "stxvw4x", "mullw",
+    "addic",
+    "subf",
+    "mulldo",
+    "add",
+    "nor",
+    "and",
+    "lbz",
+    "lxvw4x",
+    "xstsqrtdp",
+    "xvmaddadp",
+    "xvnmsubmdp",
+    "stfd",
+    "stxvw4x",
+    "mullw",
 ];
 
 fn bootstrap() -> &'static (mp_uarch::InstrPropsTable, Vec<BootstrapRecord>) {
@@ -78,18 +113,11 @@ fn ipc_epi_heuristic_selects_energetic_busy_instructions() {
 fn stressmarks_draw_more_power_than_daxpy() {
     let session = session();
     let arch = session.platform().uarch().clone();
-    let cores = 2;
-    let smt = SmtMode::Smt4;
 
     let daxpy = &daxpy_kernels(&arch, 48).expect("daxpy generates")[0];
-    let daxpy_power =
-        session.measure(daxpy, CmpSmtConfig::new(cores, smt)).average_power();
+    let daxpy_power = session.measure(daxpy, CmpSmtConfig::new(2, SmtMode::Smt4)).average_power();
 
-    let search = StressmarkSearch::new(session.platform())
-        .with_cores(cores)
-        .with_loop_instructions(48)
-        .with_smt_modes(vec![smt]);
-    let results = search.evaluate_set(&expert_manual_set(&arch)).expect("expert set runs");
+    let results = expert_manual_results();
     let best = results.iter().map(|r| r.power).fold(f64::NEG_INFINITY, f64::max);
     let worst = results.iter().map(|r| r.power).fold(f64::INFINITY, f64::min);
 
@@ -100,4 +128,46 @@ fn stressmarks_draw_more_power_than_daxpy() {
     // Same instruction distribution, different order: power differs (the paper reports
     // differences of up to 17%).
     assert!(best / worst > 1.001, "instruction order should influence power");
+}
+
+#[test]
+fn exhaustive_search_over_the_expert_set_is_memoized() {
+    let results = expert_manual_results();
+    let arch = session().platform().uarch().clone();
+
+    // Every candidate of this search was (or will be) measured by the evaluate_set
+    // fixture on the same shared session, so this search costs one cache hit per
+    // candidate, not a re-simulation.
+    let outcome = stressmark_search().exhaustive(expert_manual_set(&arch), None);
+    let max_power = results.iter().map(|r| r.power).fold(f64::NEG_INFINITY, f64::max);
+    assert_eq!(outcome.best_score, max_power, "search and set evaluation must agree");
+    assert_eq!(outcome.evaluations, results.len());
+    assert_eq!(outcome.failures, 0, "every expert candidate builds");
+    assert_eq!(outcome.history.len(), results.len());
+    for pair in outcome.history.windows(2) {
+        assert!(pair[1] >= pair[0], "search history is monotonic");
+    }
+}
+
+#[test]
+fn genetic_search_finds_a_sequence_at_least_as_good_as_the_manual_set_mean() {
+    let arch = session().platform().uarch().clone();
+    let pool = sets::expert_instructions(&arch);
+
+    // A deliberately tiny GA: its generations are measured as memoized batches on the
+    // shared session, and revisited sequences are answered from the cache.
+    let driver = GeneticSearch::new(4, 2).with_seed(0x5ea);
+    let outcome = stressmark_search().genetic(&driver, &pool);
+
+    assert_eq!(outcome.evaluations, driver.budget());
+    assert_eq!(outcome.failures, 0, "sequences over the expert pool always build");
+    assert_eq!(outcome.best.len(), sets::SEQUENCE_LENGTH);
+    assert!(outcome.best.iter().all(|op| pool.contains(op)));
+    let results = expert_manual_results();
+    let mean = results.iter().map(|r| r.power).sum::<f64>() / results.len() as f64;
+    assert!(
+        outcome.best_score > 0.8 * mean,
+        "GA best ({:.1}) should be in the same power range as the manual set (mean {mean:.1})",
+        outcome.best_score
+    );
 }

@@ -215,15 +215,13 @@ macro_rules! prop_assert_eq {
     ($left:expr, $right:expr $(,)?) => {{
         let (__l, __r) = ($left, $right);
         if !(__l == __r) {
-            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
-                format!(
-                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
-                    stringify!($left),
-                    stringify!($right),
-                    __l,
-                    __r
-                ),
-            ));
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            )));
         }
     }};
 }

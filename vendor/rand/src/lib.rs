@@ -208,7 +208,8 @@ pub mod uniform {
         /// Uniform draw from `[low, high)`.  Panics if the range is empty.
         fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
         /// Uniform draw from `[low, high]`.  Panics if `high < low`.
-        fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+        fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R)
+            -> Self;
     }
 
     // Unbiased enough for simulation purposes: scale a 64-bit draw into the span with a
@@ -317,10 +318,7 @@ pub mod rngs {
         }
 
         fn next_u64(&mut self) -> u64 {
-            let result = self.s[0]
-                .wrapping_add(self.s[3])
-                .rotate_left(23)
-                .wrapping_add(self.s[0]);
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
             let t = self.s[1] << 17;
             self.s[2] ^= self.s[0];
             self.s[3] ^= self.s[1];
