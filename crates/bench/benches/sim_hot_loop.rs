@@ -1,0 +1,54 @@
+//! Throughput of the `ChipSim` per-cycle hot loop, in simulated cycles per second.
+//!
+//! Unlike `benches/simulator.rs` (which times whole platform runs of synthesized
+//! micro-benchmarks), this target pins down the issue-loop cost itself: fixed
+//! hand-built kernels (compute-bound, memory-bound, branchy — the same reference set
+//! the golden-measurement test uses), one core, SMT1/2/4.  The reported throughput is
+//! simulated chip cycles per wall-clock second, the number the pre-decode layer is
+//! meant to multiply.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use mp_sim::fixtures::{branchy, compute_bound, memory_bound};
+use mp_sim::{ChipSim, Kernel, SimOptions};
+use mp_uarch::{power7, CmpSmtConfig, SmtMode};
+
+/// One measured run simulates this many chip cycles (warm-up + window).
+const WARMUP_CYCLES: u64 = 2_000;
+const MEASURE_CYCLES: u64 = 10_000;
+
+fn hot_loop_sim() -> ChipSim {
+    ChipSim::new(power7()).with_options(SimOptions {
+        warmup_cycles: WARMUP_CYCLES,
+        measure_cycles: MEASURE_CYCLES,
+        sample_cycles: 1_000,
+        noise_fraction: 0.0025,
+        prefetch_enabled: true,
+        seed: 0x5eed_0401,
+    })
+}
+
+fn bench_hot_loop(c: &mut Criterion) {
+    let sim = hot_loop_sim();
+    let isa = &sim.uarch().isa;
+    let kernels: [(&str, Kernel); 3] =
+        [("compute", compute_bound(isa)), ("memory", memory_bound(isa)), ("branchy", branchy(isa))];
+
+    let mut group = c.benchmark_group("sim_hot_loop");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(WARMUP_CYCLES + MEASURE_CYCLES));
+    for (name, kernel) in &kernels {
+        for smt in [SmtMode::Smt1, SmtMode::Smt2, SmtMode::Smt4] {
+            let config = CmpSmtConfig::new(1, smt);
+            group.bench_with_input(
+                BenchmarkId::new(*name, format!("{}thread", smt.threads_per_core())),
+                &config,
+                |b, config| b.iter(|| sim.run(kernel, *config)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hot_loop);
+criterion_main!(benches);

@@ -43,7 +43,7 @@ pub use flags::InstrFlags;
 pub use instruction::{Instruction, MemAccess};
 pub use isa::{Isa, IsaError, OpcodeId};
 pub use operand::{Operand, OperandKind};
-pub use register::{RegAccess, RegRef, RegisterFile};
+pub use register::{RegAccess, RegDenseMap, RegRef, RegisterFile};
 
 #[cfg(test)]
 mod tests {

@@ -186,6 +186,52 @@ impl fmt::Display for RegRef {
     }
 }
 
+/// Assigns small dense indices (`0, 1, 2, …` in first-seen order) to the register
+/// references of one instruction sequence.
+///
+/// A kernel body references a handful of architectural registers out of the ~1200 the
+/// ISA defines; pre-decoders intern each reference once and then represent register
+/// read/write sets as bitmasks over the dense index and ready-times as flat arrays —
+/// the representations cycle-level hot loops need.
+#[derive(Debug, Clone, Default)]
+pub struct RegDenseMap {
+    ids: std::collections::HashMap<RegRef, u16>,
+}
+
+impl RegDenseMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the dense index of `reg`, assigning the next free one on first sight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u16::MAX` distinct registers are interned (more than the
+    /// whole ISA defines).
+    pub fn intern(&mut self, reg: RegRef) -> u16 {
+        let next =
+            u16::try_from(self.ids.len()).expect("more dense registers than the ISA defines");
+        *self.ids.entry(reg).or_insert(next)
+    }
+
+    /// The dense index of `reg`, if it has been interned.
+    pub fn get(&self, reg: RegRef) -> Option<u16> {
+        self.ids.get(&reg).copied()
+    }
+
+    /// Number of distinct registers interned.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Returns `true` if nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,6 +265,18 @@ mod tests {
         assert!(RegAccess::ReadWrite.reads());
         assert!(RegAccess::ReadWrite.writes());
         assert!(RegAccess::Write.writes());
+    }
+
+    #[test]
+    fn dense_map_assigns_first_seen_indices() {
+        let mut map = RegDenseMap::new();
+        assert!(map.is_empty());
+        assert_eq!(map.intern(RegRef::gpr(7)), 0);
+        assert_eq!(map.intern(RegRef::fpr(7)), 1, "same index in another file is distinct");
+        assert_eq!(map.intern(RegRef::gpr(7)), 0, "re-interning returns the same id");
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.get(RegRef::gpr(7)), Some(0));
+        assert_eq!(map.get(RegRef::gpr(8)), None);
     }
 
     #[test]

@@ -20,13 +20,25 @@ pub struct SetAssocCache {
     /// `sets[set]` holds `(tag, last_use_stamp)` pairs, at most `ways` of them.
     sets: Vec<Vec<(u64, u64)>>,
     stamp: u64,
+    // Set/tag extraction pre-resolved from the geometry: `set_of`/`tag_of` divide by
+    // `num_sets()` on every call, which is measurable at one demand access per issue.
+    offset_bits: u32,
+    set_mask: u64,
+    tag_shift: u32,
 }
 
 impl SetAssocCache {
     /// Creates an empty cache with the given geometry.
     pub fn new(geometry: CacheGeometry) -> Self {
         let sets = vec![Vec::with_capacity(geometry.ways as usize); geometry.num_sets() as usize];
-        Self { geometry, sets, stamp: 0 }
+        Self {
+            sets,
+            stamp: 0,
+            offset_bits: geometry.offset_bits(),
+            set_mask: geometry.num_sets() - 1,
+            tag_shift: geometry.offset_bits() + geometry.index_bits(),
+            geometry,
+        }
     }
 
     /// The cache geometry.
@@ -34,11 +46,14 @@ impl SetAssocCache {
         &self.geometry
     }
 
+    fn set_and_tag(&self, address: u64) -> (usize, u64) {
+        (((address >> self.offset_bits) & self.set_mask) as usize, address >> self.tag_shift)
+    }
+
     /// Looks up an address; on hit the LRU stamp is refreshed.  Returns `true` on hit.
     pub fn access(&mut self, address: u64) -> bool {
         self.stamp += 1;
-        let set = self.geometry.set_of(address) as usize;
-        let tag = self.geometry.tag_of(address);
+        let (set, tag) = self.set_and_tag(address);
         if let Some(entry) = self.sets[set].iter_mut().find(|(t, _)| *t == tag) {
             entry.1 = self.stamp;
             return true;
@@ -49,8 +64,7 @@ impl SetAssocCache {
     /// Inserts the line containing `address`, evicting the LRU line of the set if needed.
     pub fn fill(&mut self, address: u64) {
         self.stamp += 1;
-        let set = self.geometry.set_of(address) as usize;
-        let tag = self.geometry.tag_of(address);
+        let (set, tag) = self.set_and_tag(address);
         let lines = &mut self.sets[set];
         if let Some(entry) = lines.iter_mut().find(|(t, _)| *t == tag) {
             entry.1 = self.stamp;
@@ -70,8 +84,7 @@ impl SetAssocCache {
 
     /// Returns `true` if the line containing `address` is currently resident.
     pub fn contains(&self, address: u64) -> bool {
-        let set = self.geometry.set_of(address) as usize;
-        let tag = self.geometry.tag_of(address);
+        let (set, tag) = self.set_and_tag(address);
         self.sets[set].iter().any(|(t, _)| *t == tag)
     }
 
@@ -102,7 +115,8 @@ pub struct CoreCaches {
     mem_latency: u32,
     prefetch_enabled: bool,
     last_line: Option<u64>,
-    line_bytes: u64,
+    /// `log2(line_bytes)`; the line size is asserted to be a power of two.
+    line_shift: u32,
     prefetches_issued: u64,
 }
 
@@ -116,7 +130,7 @@ impl CoreCaches {
             mem_latency: hierarchy.mem_latency_cycles,
             prefetch_enabled,
             last_line: None,
-            line_bytes: hierarchy.line_bytes(),
+            line_shift: hierarchy.line_bytes().trailing_zeros(),
             prefetches_issued: 0,
         }
     }
@@ -142,11 +156,11 @@ impl CoreCaches {
         // Next-line stride prefetcher: on two consecutive accesses to adjacent lines,
         // pull the following line into the L1.  Randomised access plans defeat it.
         let mut prefetched = false;
-        let line = address / self.line_bytes;
+        let line = address >> self.line_shift;
         if self.prefetch_enabled {
             if let Some(prev) = self.last_line {
                 if line == prev + 1 {
-                    let next = (line + 1) * self.line_bytes;
+                    let next = (line + 1) << self.line_shift;
                     if !self.l1.contains(next) {
                         self.l1.fill(next);
                         self.l2.fill(next);

@@ -6,6 +6,7 @@ use rand::{Rng, SeedableRng};
 use mp_uarch::{CmpSmtConfig, MicroArchitecture};
 
 use crate::core::CoreSim;
+use crate::decoded::DecodedBody;
 use crate::energy::{EnergyBreakdown, EnergyParams};
 use crate::kernel::Kernel;
 use crate::measurement::{Measurement, PowerTrace};
@@ -81,13 +82,17 @@ pub struct ChipSim {
     uarch: MicroArchitecture,
     params: EnergyParams,
     options: SimOptions,
+    /// `OpcodeId`-indexed property snapshot, built once here — the machine description
+    /// is immutable after construction, and kernel pre-decoding reads it on every run.
+    props: mp_uarch::OpcodePropsTable,
 }
 
 impl ChipSim {
     /// Creates a simulator for a machine description with default energy parameters and
     /// run options.
     pub fn new(uarch: MicroArchitecture) -> Self {
-        Self { uarch, params: EnergyParams::power7(), options: SimOptions::default() }
+        let props = uarch.opcode_props();
+        Self { uarch, params: EnergyParams::power7(), options: SimOptions::default(), props }
     }
 
     /// Replaces the run options.
@@ -115,8 +120,8 @@ impl ChipSim {
     /// Runs `kernel` with one copy pinned to every hardware thread context of `config`,
     /// the deployment methodology of the paper (Section 3).
     pub fn run(&self, kernel: &Kernel, config: CmpSmtConfig) -> Measurement {
-        let kernels: Vec<Kernel> = vec![kernel.clone(); config.threads() as usize];
-        self.run_heterogeneous(&kernels, config)
+        let body = DecodedBody::decode(kernel, &self.uarch, &self.props);
+        self.run_bodies(vec![body; config.threads() as usize], config)
     }
 
     /// Runs one (possibly different) kernel per hardware thread context.
@@ -126,19 +131,37 @@ impl ChipSim {
     /// Panics if the number of kernels does not match `config.threads()`, or if the
     /// configuration exceeds the chip's core count.
     pub fn run_heterogeneous(&self, kernels: &[Kernel], config: CmpSmtConfig) -> Measurement {
+        // Decode each *distinct* kernel once; repeated kernels reuse the decoded body.
+        let mut seen: Vec<(&Kernel, DecodedBody)> = Vec::new();
+        let bodies: Vec<DecodedBody> = kernels
+            .iter()
+            .map(|kernel| {
+                if let Some((_, body)) = seen.iter().find(|(k, _)| *k == kernel) {
+                    return body.clone();
+                }
+                let body = DecodedBody::decode(kernel, &self.uarch, &self.props);
+                seen.push((kernel, body.clone()));
+                body
+            })
+            .collect();
+        self.run_bodies(bodies, config)
+    }
+
+    /// Runs one pre-decoded kernel body per hardware thread context.
+    fn run_bodies(&self, bodies: Vec<DecodedBody>, config: CmpSmtConfig) -> Measurement {
         assert!(
             config.cores <= self.uarch.max_cores,
             "configuration {config} exceeds the chip's {} cores",
             self.uarch.max_cores
         );
         assert_eq!(
-            kernels.len(),
+            bodies.len(),
             config.threads() as usize,
             "one kernel per hardware thread context is required"
         );
 
         let tpc = config.smt.threads_per_core() as usize;
-        let mut cores: Vec<CoreSim> = kernels
+        let mut cores: Vec<CoreSim> = bodies
             .chunks(tpc)
             .enumerate()
             .map(|(core_idx, chunk)| {
@@ -155,7 +178,7 @@ impl ChipSim {
         // Warm-up: caches fill, pipes reach steady state; energy is discarded.
         for now in 0..self.options.warmup_cycles {
             for core in &mut cores {
-                core.step(now, &self.uarch, &self.params, &mut breakdown);
+                core.step(now, &self.params, &mut breakdown);
             }
         }
         for core in &mut cores {
@@ -171,7 +194,7 @@ impl ChipSim {
         let end = start + self.options.measure_cycles;
         for now in start..end {
             for core in &mut cores {
-                core.step(now, &self.uarch, &self.params, &mut breakdown);
+                core.step(now, &self.params, &mut breakdown);
             }
             self.accrue_static(&mut breakdown, config);
 
@@ -332,33 +355,8 @@ mod tests {
     /// Builds a kernel of `n` copies of `mnemonic` with operands materialised from the
     /// definition's operand slots (registers rotated to avoid dependence chains).
     fn generic_kernel(uarch: &MicroArchitecture, mnemonic: &str, n: usize) -> Kernel {
-        use mp_isa::OperandKind;
-        let isa = &uarch.isa;
-        let (id, def) = isa.get(mnemonic).unwrap();
-        let insts: Vec<Instruction> = (0..n)
-            .map(|i| {
-                let ops: Vec<Operand> = def
-                    .operands()
-                    .iter()
-                    .enumerate()
-                    .map(|(slot, kind)| match *kind {
-                        OperandKind::Reg { file, access } => {
-                            let idx = if access.writes() {
-                                (i % 8) as u16
-                            } else {
-                                (10 + slot as u16) % file.count()
-                            };
-                            Operand::Reg(mp_isa::RegRef::new(file, idx))
-                        }
-                        OperandKind::Imm { .. } => Operand::Imm(1),
-                        OperandKind::Displacement { .. } => Operand::Displacement(0),
-                        OperandKind::BranchTarget { .. } => Operand::BranchTarget(0),
-                        OperandKind::CrField { .. } => Operand::CrField(0),
-                    })
-                    .collect();
-                Instruction::new(isa, id, ops, None).unwrap()
-            })
-            .collect();
+        let insts: Vec<Instruction> =
+            (0..n).map(|i| crate::fixtures::materialise(&uarch.isa, mnemonic, i, None)).collect();
         Kernel::new(mnemonic, insts)
     }
 

@@ -1,16 +1,20 @@
 //! One SMT core: thread contexts, issue logic, execution pipes.
+//!
+//! The issue loop runs entirely over the pre-decoded kernel representation
+//! ([`DecodedBody`]): per issue it does flat-array loads, one bitmask dependency scan
+//! and one scoreboard update — no allocation, no hashing, no re-encoding.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use mp_isa::{encoding, InstructionDef, Isa, IssueClass, RegRef, Unit};
+use mp_isa::{IssueClass, Unit};
 use mp_uarch::{CounterValues, MemLevel, MicroArchitecture};
 
 use crate::cache_sim::CoreCaches;
+use crate::decoded::{for_each_reg, masks_intersect, regs_ready, DecodedBody};
 use crate::energy::{EnergyBreakdown, EnergyParams};
-use crate::kernel::Kernel;
 
 /// Number of in-flight instructions a thread can look ahead over when issuing — a small
 /// out-of-order window standing in for POWER7's much larger out-of-order engine.
@@ -35,30 +39,25 @@ struct Pipe {
 /// Architectural state and issue window of one hardware thread.
 #[derive(Debug)]
 struct ThreadContext {
-    kernel: Kernel,
-    /// Registers read by each body instruction (precomputed for the issue logic).
-    body_reads: Vec<Vec<RegRef>>,
-    /// Registers written by each body instruction (precomputed for the issue logic).
-    body_writes: Vec<Vec<RegRef>>,
+    /// The thread's kernel, compiled to the dense hot-loop representation.
+    body: DecodedBody,
     window: VecDeque<WindowEntry>,
     next_fetch: usize,
-    reg_ready: HashMap<RegRef, u64>,
+    /// Ready time of every register, indexed by the kernel's dense register id.
+    reg_ready: Vec<u64>,
     stall_until: u64,
     counters: CounterValues,
     rng: SmallRng,
 }
 
 impl ThreadContext {
-    fn new(kernel: Kernel, isa: &Isa, seed: u64) -> Self {
-        let body_reads = kernel.body().iter().map(|i| i.reads(isa)).collect();
-        let body_writes = kernel.body().iter().map(|i| i.writes(isa)).collect();
+    fn new(body: DecodedBody, seed: u64) -> Self {
+        let reg_ready = vec![0; body.dense_regs()];
         Self {
-            kernel,
-            body_reads,
-            body_writes,
+            body,
             window: VecDeque::with_capacity(ISSUE_WINDOW),
             next_fetch: 0,
-            reg_ready: HashMap::new(),
+            reg_ready,
             stall_until: 0,
             counters: CounterValues::default(),
             rng: SmallRng::seed_from_u64(seed),
@@ -68,7 +67,7 @@ impl ThreadContext {
     fn refill_window(&mut self) {
         while self.window.len() < ISSUE_WINDOW {
             self.window.push_back(WindowEntry { body_idx: self.next_fetch, issued: false });
-            self.next_fetch = (self.next_fetch + 1) % self.kernel.len();
+            self.next_fetch = (self.next_fetch + 1) % self.body.len();
         }
     }
 
@@ -79,16 +78,51 @@ impl ThreadContext {
     }
 }
 
-/// One simulated SMT core.
+/// The per-unit execution pipes of one core.
 #[derive(Debug)]
-pub(crate) struct CoreSim {
-    threads: Vec<ThreadContext>,
-    caches: CoreCaches,
+struct Pipes {
     fxu: Vec<Pipe>,
     lsu: Vec<Pipe>,
     vsu: Vec<Pipe>,
     dfu: Vec<Pipe>,
     bru: Vec<Pipe>,
+}
+
+impl Pipes {
+    /// Picks an execution pipe of `issue`'s class that frees up during cycle `now`.
+    fn select(&self, issue: IssueClass, now: u64) -> Option<(Unit, usize)> {
+        let deadline = (now + 1) as f64 - 1e-9;
+        let free = |pipes: &[Pipe]| pipes.iter().position(|p| p.busy_until <= deadline);
+        match issue {
+            IssueClass::Fxu => free(&self.fxu).map(|i| (Unit::Fxu, i)),
+            IssueClass::Lsu => free(&self.lsu).map(|i| (Unit::Lsu, i)),
+            IssueClass::Vsu => free(&self.vsu).map(|i| (Unit::Vsu, i)),
+            IssueClass::Dfu => free(&self.dfu).map(|i| (Unit::Dfu, i)),
+            IssueClass::Bru => free(&self.bru).map(|i| (Unit::Bru, i)),
+            IssueClass::FxuOrLsu => free(&self.fxu)
+                .map(|i| (Unit::Fxu, i))
+                .or_else(|| free(&self.lsu).map(|i| (Unit::Lsu, i))),
+        }
+    }
+
+    fn get_mut(&mut self, unit: Unit, idx: usize) -> &mut Pipe {
+        match unit {
+            Unit::Fxu => &mut self.fxu[idx],
+            Unit::Lsu => &mut self.lsu[idx],
+            Unit::Vsu => &mut self.vsu[idx],
+            Unit::Dfu => &mut self.dfu[idx],
+            Unit::Bru => &mut self.bru[idx],
+            Unit::Ifu | Unit::Isu => unreachable!("IFU/ISU are not execution pipes"),
+        }
+    }
+}
+
+/// One simulated SMT core.
+#[derive(Debug)]
+pub(crate) struct CoreSim {
+    threads: Vec<ThreadContext>,
+    caches: CoreCaches,
+    pipes: Pipes,
     dispatch_width: u32,
     prefetch_counted: u64,
     /// Units that issued at least one instruction in the current cycle
@@ -110,27 +144,32 @@ fn unit_slot(unit: Unit) -> Option<usize> {
 const UNIT_SLOTS: [Unit; 5] = [Unit::Fxu, Unit::Lsu, Unit::Vsu, Unit::Dfu, Unit::Bru];
 
 impl CoreSim {
-    /// Creates a core running one kernel per hardware thread.
+    /// Creates a core running one pre-decoded kernel body per hardware thread.  The
+    /// caller decodes each distinct kernel once (see `ChipSim::run_heterogeneous`) and
+    /// clones the bodies across threads; the per-cycle loop never sees an
+    /// `Instruction` again.
     pub(crate) fn new(
         uarch: &MicroArchitecture,
-        kernels: Vec<Kernel>,
+        bodies: Vec<DecodedBody>,
         prefetch_enabled: bool,
         seed: u64,
     ) -> Self {
-        let threads = kernels
+        let threads = bodies
             .into_iter()
             .enumerate()
-            .map(|(i, k)| ThreadContext::new(k, &uarch.isa, seed.wrapping_add(i as u64 * 7919)))
+            .map(|(i, b)| ThreadContext::new(b, seed.wrapping_add(i as u64 * 7919)))
             .collect();
         let pipes = |n: u32| vec![Pipe::default(); n as usize];
         Self {
             threads,
             caches: CoreCaches::new(&uarch.hierarchy, prefetch_enabled),
-            fxu: pipes(uarch.pipes.fxu),
-            lsu: pipes(uarch.pipes.lsu),
-            vsu: pipes(uarch.pipes.vsu),
-            dfu: pipes(uarch.pipes.dfu),
-            bru: pipes(uarch.pipes.bru),
+            pipes: Pipes {
+                fxu: pipes(uarch.pipes.fxu),
+                lsu: pipes(uarch.pipes.lsu),
+                vsu: pipes(uarch.pipes.vsu),
+                dfu: pipes(uarch.pipes.dfu),
+                bru: pipes(uarch.pipes.bru),
+            },
             dispatch_width: uarch.pipes.dispatch_width,
             prefetch_counted: 0,
             cycle_units: [false; 5],
@@ -160,13 +199,7 @@ impl CoreSim {
 
     /// Advances the core by one cycle, issuing instructions and accruing dynamic energy
     /// into `energy`.
-    pub(crate) fn step(
-        &mut self,
-        now: u64,
-        uarch: &MicroArchitecture,
-        params: &EnergyParams,
-        energy: &mut EnergyBreakdown,
-    ) {
+    pub(crate) fn step(&mut self, now: u64, params: &EnergyParams, energy: &mut EnergyBreakdown) {
         let nthreads = self.threads.len();
         if nthreads == 0 {
             return;
@@ -180,7 +213,7 @@ impl CoreSim {
                 break;
             }
             let tid = (start + i) % nthreads;
-            dispatch_left = self.step_thread(tid, now, uarch, params, energy, dispatch_left);
+            dispatch_left = self.step_thread(tid, now, params, energy, dispatch_left);
         }
 
         // Clock-gating: every unit that woke up this cycle pays a fixed wake-up energy,
@@ -197,173 +230,139 @@ impl CoreSim {
         &mut self,
         tid: usize,
         now: u64,
-        uarch: &MicroArchitecture,
         params: &EnergyParams,
         energy: &mut EnergyBreakdown,
         mut dispatch_left: u32,
     ) -> u32 {
-        let isa = &uarch.isa;
-        if self.threads[tid].stall_until > now {
+        let Self { threads, caches, pipes, cycle_units, .. } = self;
+        let thread = &mut threads[tid];
+        if thread.stall_until > now {
             return dispatch_left;
         }
-        self.threads[tid].refill_window();
+        thread.refill_window();
+        let ThreadContext { body, window, reg_ready, stall_until, counters, rng, .. } =
+            &mut *thread;
+        let window = window.make_contiguous();
 
-        for w in 0..self.threads[tid].window.len() {
+        for w in 0..window.len() {
             if dispatch_left == 0 {
                 break;
             }
-            let entry = self.threads[tid].window[w];
+            let entry = window[w];
             if entry.issued {
                 continue;
             }
-            let inst = self.threads[tid].kernel.body()[entry.body_idx].clone();
-            let def = isa.def(inst.opcode());
+            let idx = entry.body_idx;
 
             // Register dependencies: every source must have been produced (its writer
             // already issued) and its value must be available by this cycle.
             let ready = {
-                let thread = &self.threads[tid];
-                let reads = &thread.body_reads[entry.body_idx];
-                let times_ok =
-                    reads.iter().all(|r| thread.reg_ready.get(r).copied().unwrap_or(0) <= now);
-                let pending_producer = (0..w).any(|older| {
-                    let e = thread.window[older];
-                    !e.issued && thread.body_writes[e.body_idx].iter().any(|wr| reads.contains(wr))
-                });
-                times_ok && !pending_producer
+                let reads = body.reads_mask(idx);
+                regs_ready(reads, reg_ready, now)
+                    && !window[..w]
+                        .iter()
+                        .any(|e| !e.issued && masks_intersect(body.writes_mask(e.body_idx), reads))
             };
             if !ready {
                 continue;
             }
 
             // Execution pipe of the right class must be free.
-            let Some((unit, pipe_idx)) = self.select_pipe(def, now) else {
+            let Some((unit, pipe_idx)) = pipes.select(body.issue_class(idx), now) else {
                 continue;
             };
 
             // ---- issue ----
             dispatch_left -= 1;
-            self.threads[tid].window[w].issued = true;
+            window[w].issued = true;
             if let Some(slot) = unit_slot(unit) {
-                self.cycle_units[slot] = true;
+                cycle_units[slot] = true;
             }
 
-            let props = uarch.props(def.mnemonic());
-            let mut total_latency = u64::from(props.latency_cycles);
+            let flags = body.flags(idx);
+            let mut total_latency = body.latency(idx);
 
             // Memory access (demand or prefetch).
             let mut mem_energy = 0.0;
-            if let Some(mem) = inst.mem() {
-                if def.is_prefetch() {
-                    self.caches.prefetch(mem.address);
-                    self.threads[tid].counters.prefetches += 1;
+            if let Some(mem) = body.mem(idx) {
+                if flags.is_prefetch() {
+                    caches.prefetch(mem.address);
+                    counters.prefetches += 1;
                     mem_energy += params.prefetch_energy;
                 } else {
-                    let outcome = self.caches.access(mem.address);
+                    let outcome = caches.access(mem.address);
                     total_latency += u64::from(outcome.latency);
                     mem_energy += params.access_energy(outcome.level);
                     if outcome.prefetched {
                         mem_energy += params.prefetch_energy;
-                        self.threads[tid].counters.prefetches += 1;
+                        counters.prefetches += 1;
                     }
-                    let c = &mut self.threads[tid].counters;
                     if mem.is_store {
-                        c.stores += 1;
+                        counters.stores += 1;
                     } else {
-                        c.loads += 1;
+                        counters.loads += 1;
                     }
                     match outcome.level {
-                        MemLevel::L1 => c.l1_hits += 1,
-                        MemLevel::L2 => c.l2_hits += 1,
-                        MemLevel::L3 => c.l3_hits += 1,
-                        MemLevel::Mem => c.mem_accesses += 1,
+                        MemLevel::L1 => counters.l1_hits += 1,
+                        MemLevel::L2 => counters.l2_hits += 1,
+                        MemLevel::L3 => counters.l3_hits += 1,
+                        MemLevel::Mem => counters.mem_accesses += 1,
                     }
                 }
             }
 
             // Destination registers become ready after the full latency.
-            let writes = self.threads[tid].body_writes[entry.body_idx].clone();
-            for dst in writes {
-                self.threads[tid].reg_ready.insert(dst, now + total_latency);
-            }
+            for_each_reg(body.writes_mask(idx), |reg| reg_ready[reg] = now + total_latency);
 
             // Occupy the pipe for the instruction's reciprocal throughput and charge the
             // order-dependent switching energy against the previous instruction executed
             // on the same physical pipe.
-            let enc = encoding::encode(isa, &inst);
-            let pipe = self.pipe_mut(unit, pipe_idx);
+            let enc = body.encoding(idx);
+            let pipe = pipes.get_mut(unit, pipe_idx);
             let switch_bits = (enc ^ pipe.last_encoding).count_ones();
             // Accumulate the fractional occupancy so that non-integer reciprocal
             // throughputs (e.g. 1.14 cycles) are honoured in the long-run average.
-            pipe.busy_until = pipe.busy_until.max(now as f64) + props.recip_throughput;
+            pipe.busy_until = pipe.busy_until.max(now as f64) + body.recip_throughput(idx);
             pipe.last_encoding = enc;
 
-            let data_factor = self.threads[tid].kernel.data_profile().switching_factor();
             energy.dynamic_compute += params.instruction_energy(
                 unit,
-                def.complexity(),
-                def.operand_width(),
+                body.complexity(idx),
+                body.width(idx),
                 switch_bits,
-                data_factor,
+                body.switching_factor(),
             );
             energy.dynamic_memory += mem_energy;
 
             // Branches: conditional ones may mispredict and flush the thread.
-            if def.is_branch() {
-                self.threads[tid].counters.bru_ops += 1;
-                if def.is_conditional() {
-                    let rate = self.threads[tid].kernel.mispredict_rate();
-                    if rate > 0.0 && self.threads[tid].rng.gen::<f64>() < rate {
-                        self.threads[tid].stall_until = now + MISPREDICT_PENALTY;
+            if flags.is_branch() {
+                counters.bru_ops += 1;
+                if flags.is_conditional() {
+                    let rate = body.mispredict_rate();
+                    if rate > 0.0 && rng.gen::<f64>() < rate {
+                        *stall_until = now + MISPREDICT_PENALTY;
                         energy.dynamic_compute += params.flush_energy;
                     }
                 }
             } else {
                 match unit {
-                    Unit::Fxu => self.threads[tid].counters.fxu_ops += 1,
-                    Unit::Lsu => self.threads[tid].counters.lsu_ops += 1,
-                    Unit::Vsu => self.threads[tid].counters.vsu_ops += 1,
-                    Unit::Dfu => self.threads[tid].counters.dfu_ops += 1,
-                    Unit::Bru => self.threads[tid].counters.bru_ops += 1,
+                    Unit::Fxu => counters.fxu_ops += 1,
+                    Unit::Lsu => counters.lsu_ops += 1,
+                    Unit::Vsu => counters.vsu_ops += 1,
+                    Unit::Dfu => counters.dfu_ops += 1,
+                    Unit::Bru => counters.bru_ops += 1,
                     Unit::Ifu | Unit::Isu => {}
                 }
             }
-            self.threads[tid].counters.instr_completed += 1;
+            counters.instr_completed += 1;
 
-            if self.threads[tid].stall_until > now {
+            if *stall_until > now {
                 break;
             }
         }
 
-        self.threads[tid].retire_issued_head();
+        thread.retire_issued_head();
         dispatch_left
-    }
-
-    /// Picks an execution pipe able to execute `def` that frees up during cycle `now`.
-    fn select_pipe(&self, def: &InstructionDef, now: u64) -> Option<(Unit, usize)> {
-        let deadline = (now + 1) as f64 - 1e-9;
-        let free = |pipes: &[Pipe]| pipes.iter().position(|p| p.busy_until <= deadline);
-        match def.issue_class() {
-            IssueClass::Fxu => free(&self.fxu).map(|i| (Unit::Fxu, i)),
-            IssueClass::Lsu => free(&self.lsu).map(|i| (Unit::Lsu, i)),
-            IssueClass::Vsu => free(&self.vsu).map(|i| (Unit::Vsu, i)),
-            IssueClass::Dfu => free(&self.dfu).map(|i| (Unit::Dfu, i)),
-            IssueClass::Bru => free(&self.bru).map(|i| (Unit::Bru, i)),
-            IssueClass::FxuOrLsu => free(&self.fxu)
-                .map(|i| (Unit::Fxu, i))
-                .or_else(|| free(&self.lsu).map(|i| (Unit::Lsu, i))),
-        }
-    }
-
-    fn pipe_mut(&mut self, unit: Unit, idx: usize) -> &mut Pipe {
-        match unit {
-            Unit::Fxu => &mut self.fxu[idx],
-            Unit::Lsu => &mut self.lsu[idx],
-            Unit::Vsu => &mut self.vsu[idx],
-            Unit::Dfu => &mut self.dfu[idx],
-            Unit::Bru => &mut self.bru[idx],
-            Unit::Ifu | Unit::Isu => unreachable!("IFU/ISU are not execution pipes"),
-        }
     }
 
     /// Exposes the ISA needed to rebuild instruction info in tests.
@@ -373,13 +372,10 @@ impl CoreSim {
     }
 }
 
-#[allow(dead_code)]
-fn _assert_isa_usable(_isa: &Isa) {}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mp_isa::{Instruction, Operand, RegRef};
+    use mp_isa::{Instruction, Isa, Operand, RegRef};
     use mp_uarch::power7;
 
     fn rrr(isa: &Isa, m: &str, d: u16, a: u16, b: u16) -> Instruction {
@@ -397,22 +393,27 @@ mod tests {
         .unwrap()
     }
 
+    fn decode_all(uarch: &MicroArchitecture, kernels: &[Kernel]) -> Vec<DecodedBody> {
+        let props = uarch.opcode_props();
+        kernels.iter().map(|k| DecodedBody::decode(k, uarch, &props)).collect()
+    }
+
     fn run_core(
         uarch: &MicroArchitecture,
         kernel: Kernel,
         cycles: u64,
     ) -> (Vec<CounterValues>, EnergyBreakdown) {
-        let mut core = CoreSim::new(uarch, vec![kernel], false, 1);
+        let mut core = CoreSim::new(uarch, decode_all(uarch, &[kernel]), false, 1);
         let mut energy = EnergyBreakdown::default();
         let params = EnergyParams::power7();
         // Warm up then measure.
         for now in 0..1000u64 {
-            core.step(now, uarch, &params, &mut energy);
+            core.step(now, &params, &mut energy);
         }
         core.reset_counters();
         let mut energy = EnergyBreakdown::default();
         for now in 1000..1000 + cycles {
-            core.step(now, uarch, &params, &mut energy);
+            core.step(now, &params, &mut energy);
         }
         (core.counters(cycles), energy)
     }
@@ -479,7 +480,7 @@ mod tests {
         assert!(e_zero.dynamic_compute < e_rand.dynamic_compute);
     }
 
-    use crate::kernel::DataProfile;
+    use crate::kernel::{DataProfile, Kernel};
 
     #[test]
     fn smt_threads_share_core_resources() {
@@ -491,14 +492,15 @@ mod tests {
         let params = EnergyParams::power7();
 
         let ipc_for = |n: usize| {
-            let mut core = CoreSim::new(&uarch, vec![kernel.clone(); n], false, 3);
+            let mut core =
+                CoreSim::new(&uarch, decode_all(&uarch, &vec![kernel.clone(); n]), false, 3);
             let mut e = EnergyBreakdown::default();
             for now in 0..3000u64 {
-                core.step(now, &uarch, &params, &mut e);
+                core.step(now, &params, &mut e);
             }
             core.reset_counters();
             for now in 3000..6000u64 {
-                core.step(now, &uarch, &params, &mut e);
+                core.step(now, &params, &mut e);
             }
             let total: u64 = core.counters(3000).iter().map(|c| c.instr_completed).sum();
             total as f64 / 3000.0
@@ -535,7 +537,8 @@ mod tests {
         let uarch = power7();
         let isa = &uarch.isa;
         let body: Vec<Instruction> = vec![rrr(isa, "add", 1, 2, 3)];
-        let core = CoreSim::new(&uarch, vec![Kernel::new("k", body); 4], false, 0);
+        let core =
+            CoreSim::new(&uarch, decode_all(&uarch, &vec![Kernel::new("k", body); 4]), false, 0);
         assert_eq!(core.thread_count(), 4);
         assert_eq!(core.counters(10).len(), 4);
     }

@@ -1,0 +1,132 @@
+//! Deterministic reference kernels shared by the `sim_hot_loop` bench and the
+//! golden-measurement regression test.
+//!
+//! Every kernel is constructed instruction-by-instruction from the ISA definition —
+//! no synthesizer passes, no RNG — so the exact same instruction stream (operands,
+//! resolved addresses, data profile, misprediction rate) is reproduced on every build
+//! of every revision.  The golden hashes checked in by the regression test depend on
+//! it.
+
+use mp_isa::{Instruction, Isa, MemAccess, Operand, OperandKind, RegRef};
+
+use crate::kernel::{DataProfile, Kernel};
+
+/// Materialises one instruction of `mnemonic` with operands derived from the
+/// definition's operand slots: written registers rotate with `i` (avoiding dependence
+/// chains), read registers are fixed per slot, immediates are small constants.
+///
+/// # Panics
+///
+/// Panics if the ISA does not define `mnemonic` — the fixtures only reference
+/// mnemonics of the Power ISA subset this repository ships.
+pub fn materialise(isa: &Isa, mnemonic: &str, i: usize, address: Option<u64>) -> Instruction {
+    let (id, def) = isa.get(mnemonic).unwrap_or_else(|| panic!("undefined mnemonic {mnemonic}"));
+    let ops: Vec<Operand> = def
+        .operands()
+        .iter()
+        .enumerate()
+        .map(|(slot, kind)| match *kind {
+            OperandKind::Reg { file, access } => {
+                let idx = if access.writes() {
+                    (i % 8) as u16
+                } else {
+                    (10 + slot as u16) % file.count()
+                };
+                Operand::Reg(RegRef::new(file, idx))
+            }
+            OperandKind::Imm { .. } => Operand::Imm(1),
+            OperandKind::Displacement { .. } => Operand::Displacement(0),
+            OperandKind::BranchTarget { .. } => Operand::BranchTarget(-(i as i64 % 16) - 1),
+            OperandKind::CrField { .. } => Operand::CrField((i % 8) as u8),
+        })
+        .collect();
+    let mem = if def.is_memory() {
+        address.map(|a| MemAccess {
+            address: a,
+            bytes: def.mem_bytes().max(1),
+            is_store: def.is_store(),
+        })
+    } else {
+        None
+    };
+    Instruction::new(isa, id, ops, mem).expect("fixture operands match the definition")
+}
+
+/// A compute-bound kernel: a 256-instruction mix over the FXU and VSU datapaths with
+/// rotating destination registers (no chains longer than 8 instructions).
+pub fn compute_bound(isa: &Isa) -> Kernel {
+    const MIX: [&str; 8] = ["add", "subf", "xor", "mulld", "fadd", "xvmaddadp", "fmul", "and"];
+    let body: Vec<Instruction> =
+        (0..256).map(|i| materialise(isa, MIX[i % MIX.len()], i, None)).collect();
+    Kernel::new("fix_compute", body)
+}
+
+/// A memory-bound kernel: 256 loads/stores with resolved effective addresses striding
+/// 128-byte lines over footprints sized to hit every cache level (L1 walk, L2 walk,
+/// L3 walk, memory scatter), plus software prefetches.
+pub fn memory_bound(isa: &Isa) -> Kernel {
+    const MIX: [&str; 8] = ["lwz", "ld", "lfd", "stw", "lbz", "std", "dcbt", "lxvd2x"];
+    let body: Vec<Instruction> = (0..256)
+        .map(|i| {
+            // Four interleaved address walks: 16 KB (L1 resident), 192 KB (L2), 2 MB
+            // (L3) and a 48 MB scatter (memory).  Line size is 128 bytes.
+            let address = match i % 4 {
+                0 => (i as u64 / 4) * 128 % (16 << 10),
+                1 => (i as u64 / 4) * 3 * 128 % (192 << 10) + (1 << 20),
+                2 => (i as u64 / 4) * 31 * 128 % (2 << 20) + (8 << 20),
+                _ => (i as u64 * 7919 * 128) % (48 << 20) + (64 << 20),
+            };
+            materialise(isa, MIX[i % MIX.len()], i, Some(address))
+        })
+        .collect();
+    Kernel::new("fix_memory", body)
+}
+
+/// A branchy kernel: short basic blocks of simple integer work separated by
+/// conditional branches, with a 15% misprediction rate and reduced-switching data.
+pub fn branchy(isa: &Isa) -> Kernel {
+    let body: Vec<Instruction> = (0..64)
+        .map(|i| {
+            if i % 8 == 7 {
+                materialise(isa, "bc", i, None)
+            } else {
+                materialise(isa, ["add", "subf", "cmpd", "and"][i % 4], i, None)
+            }
+        })
+        .collect();
+    Kernel::new("fix_branchy", body)
+        .with_mispredict_rate(0.15)
+        .with_data_profile(DataProfile::Constant)
+}
+
+/// The full reference kernel set, in a stable order.
+pub fn reference_kernels(isa: &Isa) -> Vec<Kernel> {
+    vec![compute_bound(isa), memory_bound(isa), branchy(isa)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_isa::power_isa::power_isa_v206b;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        let isa = power_isa_v206b();
+        for (a, b) in reference_kernels(&isa).iter().zip(reference_kernels(&isa).iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn fixture_shapes() {
+        let isa = power_isa_v206b();
+        let compute = compute_bound(&isa);
+        assert_eq!(compute.len(), 256);
+        assert!(compute.body().iter().all(|i| i.mem().is_none()));
+        let memory = memory_bound(&isa);
+        assert!(memory.body().iter().all(|i| i.mem().is_some()));
+        let branchy = branchy(&isa);
+        assert!(branchy.body().iter().any(|i| i.def(&isa).is_branch()));
+        assert!(branchy.mispredict_rate() > 0.0);
+    }
+}

@@ -25,7 +25,9 @@
 pub mod cache_sim;
 pub mod chip;
 pub mod core;
+pub(crate) mod decoded;
 pub mod energy;
+pub mod fixtures;
 pub mod kernel;
 pub mod measurement;
 

@@ -39,7 +39,11 @@ impl PowerTrace {
 
     /// Maximum sample (0 if the trace is empty).
     pub fn max(&self) -> f64 {
-        self.samples.iter().copied().fold(0.0, f64::max)
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        }
     }
 
     /// Minimum sample (0 if the trace is empty).
@@ -164,6 +168,18 @@ mod tests {
         assert!((t.max() - 3.0).abs() < 1e-12);
         assert!((t.min() - 1.0).abs() < 1e-12);
         assert_eq!(PowerTrace::default().average(), 0.0);
+    }
+
+    #[test]
+    fn trace_extrema_of_negative_samples_and_empty_traces() {
+        // Sub-zero samples can arise from sensor noise around zero dynamic power; the
+        // maximum used to fold from 0.0 and report a value the trace never contained.
+        let t = PowerTrace::new(vec![-3.0, -1.0, -2.0], 100);
+        assert!((t.max() - -1.0).abs() < 1e-12);
+        assert!((t.min() - -3.0).abs() < 1e-12);
+        let empty = PowerTrace::default();
+        assert_eq!(empty.max(), 0.0);
+        assert_eq!(empty.min(), 0.0);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use mp_isa::Unit;
+use mp_isa::{Isa, OpcodeId, Unit};
 
 /// Implementation properties of one instruction on the target micro-architecture.
 ///
@@ -119,6 +119,59 @@ impl InstrPropsTable {
     }
 }
 
+/// [`OpcodeId`]-indexed view of an [`InstrPropsTable`]: a dense `Vec` lookup instead of
+/// a `&str`-keyed hash, for per-issue hot paths (the simulator's pre-decoder).
+///
+/// The view snapshots the table at build time; bootstrap updates to the measured
+/// fields of the underlying mnemonic-keyed table (which stays the source of truth and
+/// the string API for existing callers) are not reflected in views built earlier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpcodePropsTable {
+    props: Vec<InstrProps>,
+}
+
+impl OpcodePropsTable {
+    /// Builds the dense view for `isa`, one entry per [`OpcodeId`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table does not describe some instruction of `isa` — machine
+    /// descriptions guarantee full coverage, so a hole is a construction bug.
+    pub fn build(isa: &Isa, table: &InstrPropsTable) -> Self {
+        let props = isa
+            .instructions()
+            .map(|def| {
+                table
+                    .get(def.mnemonic())
+                    .unwrap_or_else(|| {
+                        panic!("no micro-architecture properties for `{}`", def.mnemonic())
+                    })
+                    .clone()
+            })
+            .collect();
+        Self { props }
+    }
+
+    /// Properties of the instruction definition identified by `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to the ISA the view was built from.
+    pub fn get(&self, id: OpcodeId) -> &InstrProps {
+        &self.props[id.index()]
+    }
+
+    /// Number of instructions described.
+    pub fn len(&self) -> usize {
+        self.props.len()
+    }
+
+    /// Returns `true` if the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.props.is_empty()
+    }
+}
+
 impl FromIterator<InstrProps> for InstrPropsTable {
     fn from_iter<T: IntoIterator<Item = InstrProps>>(iter: T) -> Self {
         let mut table = Self::new();
@@ -178,5 +231,23 @@ mod tests {
     #[should_panic(expected = "must be positive")]
     fn zero_throughput_is_rejected() {
         let _ = InstrProps::new("bad", 1, 0.0, vec![Unit::Fxu]);
+    }
+
+    #[test]
+    fn opcode_view_agrees_with_mnemonic_lookup() {
+        let m = crate::power7();
+        let dense = OpcodePropsTable::build(&m.isa, &m.iprops);
+        assert_eq!(dense.len(), m.isa.len());
+        assert!(!dense.is_empty());
+        for (id, def) in m.isa.entries() {
+            assert_eq!(dense.get(id), m.props(def.mnemonic()), "{}", def.mnemonic());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no micro-architecture properties")]
+    fn opcode_view_requires_full_coverage() {
+        let m = crate::power7();
+        let _ = OpcodePropsTable::build(&m.isa, &InstrPropsTable::new());
     }
 }

@@ -29,7 +29,7 @@ pub mod units;
 pub use cache::{CacheGeometry, MemLevel, MemoryHierarchy};
 pub use config::{CmpSmtConfig, SmtMode};
 pub use counters::{CounterId, CounterValues};
-pub use iprops::{InstrProps, InstrPropsTable};
+pub use iprops::{InstrProps, InstrPropsTable, OpcodePropsTable};
 pub use power7::{power7, MicroArchitecture};
 pub use units::{CorePipes, FloorplanEntry};
 

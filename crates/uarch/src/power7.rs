@@ -5,7 +5,7 @@ use mp_isa::{InstrFlags, InstructionDef, Isa, LatencyClass};
 
 use crate::cache::MemoryHierarchy;
 use crate::config::CmpSmtConfig;
-use crate::iprops::{InstrProps, InstrPropsTable};
+use crate::iprops::{InstrProps, InstrPropsTable, OpcodePropsTable};
 use crate::units::{power7_floorplan, CorePipes, FloorplanEntry};
 
 /// A complete micro-architecture description: the ISA plus every implementation-specific
@@ -45,6 +45,13 @@ impl MicroArchitecture {
         self.iprops
             .get(mnemonic)
             .unwrap_or_else(|| panic!("no micro-architecture properties for `{mnemonic}`"))
+    }
+
+    /// Builds the [`OpcodeId`](mp_isa::OpcodeId)-indexed snapshot of the instruction
+    /// properties, for hot paths that must not hash mnemonic strings (pre-decoders
+    /// call this once per kernel, never per issue).
+    pub fn opcode_props(&self) -> OpcodePropsTable {
+        OpcodePropsTable::build(&self.isa, &self.iprops)
     }
 
     /// All CMP-SMT configurations supported by the chip.

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Runs the workspace's criterion bench targets and records the results as a
+# machine-readable snapshot `BENCH_<rev>.json`, so the performance trajectory of the
+# simulator (and everything built on it) has data points across revisions.
+#
+# The vendored criterion stub appends one JSON object per benchmark (JSON-lines) to
+# the file named by MP_BENCH_JSON; this script wraps those lines into a single JSON
+# document carrying the revision and timestamp.
+#
+# Usage:
+#   scripts/bench_json.sh [output-dir] [extra cargo bench args...]
+#
+# Examples:
+#   scripts/bench_json.sh                      # all bench targets -> ./BENCH_<rev>.json
+#   scripts/bench_json.sh artifacts --bench sim_hot_loop
+#   MP_BENCH_SAMPLES=3 scripts/bench_json.sh   # quick smoke numbers
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+out_dir="${1:-.}"
+shift || true
+
+rev="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+dirty=""
+if ! git diff --quiet HEAD 2>/dev/null; then
+    dirty="-dirty"
+fi
+out_file="${out_dir}/BENCH_${rev}${dirty}.json"
+lines_file="$(mktemp)"
+trap 'rm -f "$lines_file"' EXIT
+
+mkdir -p "$out_dir"
+MP_BENCH_JSON="$lines_file" cargo bench --workspace "$@"
+
+{
+    printf '{\n'
+    printf '  "rev": "%s%s",\n' "$rev" "$dirty"
+    printf '  "recorded_utc": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    printf '  "samples_env": "%s",\n' "${MP_BENCH_SAMPLES:-default}"
+    printf '  "results": [\n'
+    # Join the JSON lines with commas.
+    sed '$!s/$/,/' "$lines_file" | sed 's/^/    /'
+    printf '  ]\n'
+    printf '}\n'
+} > "$out_file"
+
+echo "wrote $out_file ($(wc -l < "$lines_file") benchmarks)"

@@ -1,0 +1,134 @@
+//! Golden-measurement regression test: the simulator's observable results are pinned
+//! bit-for-bit.
+//!
+//! The pre-decode rewrite (and any future simulator performance work) must not change
+//! any measurable output: counters, power trace, energy breakdowns and the RNG-driven
+//! branch/noise streams all feed figures and trained models, so even a last-bit f64
+//! difference silently shifts every downstream number.  This test runs the fixed
+//! reference kernel set through `ChipSim` across CMP/SMT configurations and compares a
+//! fingerprint of every `Measurement` field against checked-in golden hashes.
+//!
+//! If a change *intends* to alter simulator results, regenerate the table by running
+//! the test and copying the printed `actual` values — and say so in the PR.
+
+use mp_sim::fixtures::reference_kernels;
+use mp_sim::{ChipSim, Kernel, Measurement, SimOptions};
+use mp_uarch::{power7, CmpSmtConfig, SmtMode};
+
+/// FNV-1a 64-bit over a byte stream, driven field-by-field below.
+struct Fingerprint(u64);
+
+impl Fingerprint {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+}
+
+/// Hashes every observable field of a measurement, in a stable order.
+fn fingerprint(m: &Measurement) -> u64 {
+    let mut h = Fingerprint::new();
+    h.u64(u64::from(m.config().cores));
+    h.u64(u64::from(m.config().smt.threads_per_core()));
+    h.u64(m.cycles());
+    for c in m.per_thread() {
+        for id in mp_uarch::CounterId::ALL {
+            h.u64(c.get(id));
+        }
+    }
+    h.f64(m.average_power());
+    h.u64(m.trace().cycles_per_sample());
+    for &s in m.trace().samples() {
+        h.f64(s);
+    }
+    let gt = m.ground_truth();
+    for v in [gt.idle, gt.uncore, gt.cmp, gt.smt, gt.dynamic_compute, gt.dynamic_memory] {
+        h.f64(v);
+    }
+    h.0
+}
+
+/// Options pinned forever — the golden hashes depend on every field.
+fn golden_sim() -> ChipSim {
+    ChipSim::new(power7()).with_options(SimOptions {
+        warmup_cycles: 1_500,
+        measure_cycles: 4_000,
+        sample_cycles: 500,
+        noise_fraction: 0.0025,
+        prefetch_enabled: true,
+        seed: 0x0060_1de2,
+    })
+}
+
+fn golden_runs() -> Vec<(String, u64)> {
+    let sim = golden_sim();
+    let kernels = reference_kernels(&sim.uarch().isa);
+    let configs = [
+        CmpSmtConfig::new(1, SmtMode::Smt1),
+        CmpSmtConfig::new(1, SmtMode::Smt4),
+        CmpSmtConfig::new(2, SmtMode::Smt2),
+    ];
+    let mut out = Vec::new();
+    for kernel in &kernels {
+        for config in configs {
+            let m = sim.run(kernel, config);
+            out.push((format!("{}/{}", kernel.name(), config.label()), fingerprint(&m)));
+        }
+    }
+    // A heterogeneous deployment exercises per-thread kernel state (distinct bodies,
+    // data profiles and misprediction rates sharing one core's pipes).
+    let config = CmpSmtConfig::new(1, SmtMode::Smt4);
+    let mix: Vec<Kernel> =
+        vec![kernels[0].clone(), kernels[1].clone(), kernels[2].clone(), kernels[0].clone()];
+    let m = sim.run_heterogeneous(&mix, config);
+    out.push(("heterogeneous/1-4".to_owned(), fingerprint(&m)));
+    out
+}
+
+const GOLDEN: [(&str, u64); 10] = [
+    ("fix_compute/1-1", 0xc49715601ab61677),
+    ("fix_compute/1-4", 0x7e3bd8a2c7dbfad9),
+    ("fix_compute/2-2", 0x7a68d4aa210102ae),
+    ("fix_memory/1-1", 0x9300859501889d14),
+    ("fix_memory/1-4", 0xc1babfab1bb344e6),
+    ("fix_memory/2-2", 0xd72109b67268b21f),
+    ("fix_branchy/1-1", 0x615d4b9092408763),
+    ("fix_branchy/1-4", 0xd457df3fdc4be690),
+    ("fix_branchy/2-2", 0x0afb1539944ccc3a),
+    ("heterogeneous/1-4", 0x6dcca0887ba54bba),
+];
+
+#[test]
+fn measurements_match_golden_hashes() {
+    let actual = golden_runs();
+    let expected: Vec<(String, u64)> =
+        GOLDEN.iter().map(|(label, hash)| ((*label).to_owned(), *hash)).collect();
+    if actual != expected {
+        for (label, hash) in &actual {
+            eprintln!("    (\"{label}\", {hash:#018x}),");
+        }
+        panic!(
+            "simulator measurements diverged from the golden table; if the change is \
+             intentional, replace GOLDEN with the values printed above"
+        );
+    }
+}
+
+#[test]
+fn golden_runs_are_reproducible_within_a_process() {
+    assert_eq!(golden_runs(), golden_runs());
+}

@@ -14,6 +14,7 @@
 //! analysis, HTML report or saved baseline; output goes to stdout only.
 
 use std::fmt::Display;
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -24,6 +25,31 @@ const DEFAULT_SAMPLE_SIZE: usize = 20;
 
 /// Environment variable overriding the default sample count (minimum 2).
 pub const SAMPLES_ENV: &str = "MP_BENCH_SAMPLES";
+
+/// Environment variable naming a file to which one JSON object per benchmark is
+/// appended (JSON-lines), consumed by `scripts/bench_json.sh` to build `BENCH_*.json`
+/// snapshots.
+pub const JSON_ENV: &str = "MP_BENCH_JSON";
+
+/// The per-iteration amount of work a benchmark processes, used to report a rate
+/// alongside the raw times (upstream-criterion compatible subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Number of abstract elements processed per iteration (reported as `elem/s`).
+    Elements(u64),
+    /// Number of bytes processed per iteration (reported as `B/s`).
+    Bytes(u64),
+}
+
+impl Throughput {
+    /// The per-iteration work count and its rate unit.
+    fn count_and_unit(self) -> (u64, &'static str) {
+        match self {
+            Throughput::Elements(n) => (n, "elem/s"),
+            Throughput::Bytes(n) => (n, "B/s"),
+        }
+    }
+}
 
 /// Wall-clock budget targeted per sample.
 const SAMPLE_BUDGET: Duration = Duration::from_millis(25);
@@ -63,14 +89,14 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_benchmark(id, self.sample_size, &mut f);
+        run_benchmark(id, self.sample_size, None, &mut f);
         self
     }
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let sample_size = self.sample_size;
-        BenchmarkGroup { _criterion: self, name: name.into(), sample_size }
+        BenchmarkGroup { _criterion: self, name: name.into(), sample_size, throughput: None }
     }
 }
 
@@ -79,6 +105,7 @@ pub struct BenchmarkGroup<'a> {
     _criterion: &'a mut Criterion,
     name: String,
     sample_size: usize,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -89,13 +116,20 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Declares the per-iteration work of subsequent benchmarks in this group; their
+    /// report lines gain a derived rate (e.g. elements per second).
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
     /// Runs a benchmark in this group.
     pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{}", self.name, id.into_benchmark_id());
-        run_benchmark(&full, self.sample_size, &mut f);
+        run_benchmark(&full, self.sample_size, self.throughput, &mut f);
         self
     }
 
@@ -110,7 +144,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let full = format!("{}/{}", self.name, id.into_benchmark_id());
-        run_benchmark(&full, self.sample_size, &mut |b: &mut Bencher| f(b, input));
+        run_benchmark(&full, self.sample_size, self.throughput, &mut |b: &mut Bencher| f(b, input));
         self
     }
 
@@ -186,7 +220,12 @@ impl Bencher {
     }
 }
 
-fn run_benchmark(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+fn run_benchmark(
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
     // Warm-up and calibration: one iteration, then scale to the per-sample budget.
     let mut calib = Bencher { iters: 1, elapsed: Duration::ZERO };
     f(&mut calib);
@@ -205,8 +244,16 @@ fn run_benchmark(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) 
     let min = samples_ns[0];
     let median = samples_ns[samples_ns.len() / 2];
     let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+    let thrpt = throughput.map(|t| {
+        let (count, unit) = t.count_and_unit();
+        (count as f64 * 1e9 / median, unit)
+    });
+    let thrpt_col = match thrpt {
+        Some((rate, unit)) => format!("  thrpt {:>14}", fmt_rate(rate, unit)),
+        None => String::new(),
+    };
     println!(
-        "{id:<60} min {:>12} med {:>12} mean {:>12}  ({} samples x {} iters, {} outliers)",
+        "{id:<60} min {:>12} med {:>12} mean {:>12}{thrpt_col}  ({} samples x {} iters, {} outliers)",
         fmt_ns(min),
         fmt_ns(median),
         fmt_ns(mean),
@@ -214,6 +261,97 @@ fn run_benchmark(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) 
         iters_per_sample,
         rejected
     );
+    if let Ok(path) = std::env::var(JSON_ENV) {
+        if !path.is_empty() {
+            let line = json_line(
+                id,
+                min,
+                median,
+                mean,
+                sample_size,
+                iters_per_sample,
+                rejected,
+                throughput,
+            );
+            if let Err(e) = append_line(&path, &line) {
+                eprintln!("warning: cannot append to {JSON_ENV}={path}: {e}");
+            }
+        }
+    }
+}
+
+/// Renders one benchmark result as a single-line JSON object (JSON-lines format).
+#[allow(clippy::too_many_arguments)]
+fn json_line(
+    id: &str,
+    min_ns: f64,
+    median_ns: f64,
+    mean_ns: f64,
+    samples: usize,
+    iters: u64,
+    outliers: usize,
+    throughput: Option<Throughput>,
+) -> String {
+    let (thrpt_count, thrpt_unit, thrpt_rate) = match throughput {
+        Some(t) => {
+            let (count, unit) = t.count_and_unit();
+            (
+                count.to_string(),
+                format!("\"{unit}\""),
+                format!("{:.3}", count as f64 * 1e9 / median_ns),
+            )
+        }
+        None => ("null".to_owned(), "null".to_owned(), "null".to_owned()),
+    };
+    format!(
+        concat!(
+            "{{\"id\":\"{}\",\"min_ns\":{:.3},\"median_ns\":{:.3},\"mean_ns\":{:.3},",
+            "\"samples\":{},\"iters\":{},\"outliers\":{},",
+            "\"throughput_count\":{},\"throughput_unit\":{},\"per_sec\":{}}}"
+        ),
+        json_escape(id),
+        min_ns,
+        median_ns,
+        mean_ns,
+        samples,
+        iters,
+        outliers,
+        thrpt_count,
+        thrpt_unit,
+        thrpt_rate
+    )
+}
+
+/// Escapes the characters JSON string literals cannot contain verbatim.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn append_line(path: &str, line: &str) -> std::io::Result<()> {
+    let mut file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    writeln!(file, "{line}")
+}
+
+/// Formats a rate with SI prefixes (`12.3 Melem/s`).
+fn fmt_rate(rate: f64, unit: &str) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} G{unit}", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M{unit}", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} K{unit}", rate / 1e3)
+    } else {
+        format!("{rate:.1} {unit}")
+    }
 }
 
 /// Removes samples outside Tukey's fences (`[Q1 - 1.5·IQR, Q3 + 1.5·IQR]`) from a
@@ -345,6 +483,48 @@ mod tests {
         let mut flat = vec![5.0; 12];
         assert_eq!(reject_outliers(&mut flat), 0, "a zero-IQR distribution rejects nothing");
         assert_eq!(flat.len(), 12);
+    }
+
+    #[test]
+    fn throughput_group_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("thrpt");
+        group.throughput(Throughput::Elements(1000));
+        group.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        group.finish();
+    }
+
+    #[test]
+    fn rate_formatting_uses_si_prefixes() {
+        assert_eq!(fmt_rate(12.0, "elem/s"), "12.0 elem/s");
+        assert_eq!(fmt_rate(12_500.0, "elem/s"), "12.50 Kelem/s");
+        assert_eq!(fmt_rate(3.2e6, "elem/s"), "3.20 Melem/s");
+        assert_eq!(fmt_rate(4.5e9, "B/s"), "4.50 GB/s");
+    }
+
+    #[test]
+    fn json_line_is_well_formed() {
+        let with = json_line("g/bench", 10.0, 20.0, 30.0, 5, 7, 1, Some(Throughput::Elements(40)));
+        assert_eq!(
+            with,
+            "{\"id\":\"g/bench\",\"min_ns\":10.000,\"median_ns\":20.000,\"mean_ns\":30.000,\
+             \"samples\":5,\"iters\":7,\"outliers\":1,\
+             \"throughput_count\":40,\"throughput_unit\":\"elem/s\",\"per_sec\":2000000000.000}"
+        );
+        let bytes = json_line("io", 10.0, 20.0, 30.0, 5, 7, 1, Some(Throughput::Bytes(80)));
+        assert!(bytes.contains("\"throughput_unit\":\"B/s\""));
+        assert!(bytes.contains("\"throughput_count\":80"));
+        let without = json_line("plain", 1.0, 2.0, 3.0, 2, 1, 0, None);
+        assert!(without.contains("\"throughput_count\":null"));
+        assert!(without.contains("\"throughput_unit\":null"));
+        assert!(without.contains("\"per_sec\":null"));
+    }
+
+    #[test]
+    fn json_escape_handles_special_characters() {
+        assert_eq!(json_escape("a/b_c-1"), "a/b_c-1");
+        assert_eq!(json_escape("q\"w\\e"), "q\\\"w\\\\e");
+        assert_eq!(json_escape("tab\there"), "tab\\u0009here");
     }
 
     #[test]
