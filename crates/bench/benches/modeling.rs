@@ -26,6 +26,7 @@ fn synthetic_training(samples: usize) -> TrainingSet {
             l2: rng.gen_range(0.0..0.5),
             l3: rng.gen_range(0.0..0.2),
             mem: rng.gen_range(0.0..0.1),
+            ..Default::default()
         };
         let power = 140.0 + 10.0 * f64::from(cores) + 3.0 * a.fxu + 5.0 * a.vsu + 13.0 * a.mem;
         let kind = if i % 3 == 0 { SampleKind::Random } else { SampleKind::MicroArch };

@@ -25,6 +25,7 @@ fn hot_loop_sim() -> ChipSim {
         noise_fraction: 0.0025,
         prefetch_enabled: true,
         seed: 0x5eed_0401,
+        uncore_mode: mp_sim::UncoreMode::Private,
     })
 }
 

@@ -1,0 +1,55 @@
+//! Cost of the shared-uncore subsystem: simulated cycles per second for solo and
+//! co-scheduled contention workloads, in private vs shared uncore mode.
+//!
+//! The shared path adds an admission probe and the shared-L3/port bookkeeping to every
+//! demand access; this target tracks what that costs on the issue loop, and how much a
+//! thrashing contention pair pays on top.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use mp_sim::fixtures::{uncore_contention_pair, uncore_mem_chain};
+use mp_sim::{ChipSim, SimOptions, UncoreMode};
+use mp_uarch::{power7, CmpSmtConfig, SmtMode};
+
+const WARMUP_CYCLES: u64 = 2_000;
+const MEASURE_CYCLES: u64 = 10_000;
+
+fn contention_sim(mode: UncoreMode) -> ChipSim {
+    ChipSim::new(power7()).with_options(SimOptions {
+        warmup_cycles: WARMUP_CYCLES,
+        measure_cycles: MEASURE_CYCLES,
+        sample_cycles: 1_000,
+        noise_fraction: 0.0025,
+        prefetch_enabled: true,
+        seed: 0x5eed_0501,
+        uncore_mode: mode,
+    })
+}
+
+fn bench_uncore_contention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uncore_contention");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(WARMUP_CYCLES + MEASURE_CYCLES));
+
+    for (mode, label) in [(UncoreMode::Private, "private"), (UncoreMode::Shared, "shared")] {
+        let sim = contention_sim(mode);
+        let isa = &sim.uarch().isa;
+        let (a, b) = uncore_contention_pair(isa);
+        let chain = uncore_mem_chain(isa);
+
+        group.bench_with_input(BenchmarkId::new("solo", label), &a, |bench, kernel| {
+            bench.iter(|| sim.run(kernel, CmpSmtConfig::new(1, SmtMode::Smt1)))
+        });
+        let pair = [a.clone(), b.clone()];
+        group.bench_with_input(BenchmarkId::new("pair", label), &pair, |bench, pair| {
+            bench.iter(|| sim.run_heterogeneous(pair, CmpSmtConfig::new(2, SmtMode::Smt1)))
+        });
+        group.bench_with_input(BenchmarkId::new("memchain", label), &chain, |bench, kernel| {
+            bench.iter(|| sim.run(kernel, CmpSmtConfig::new(4, SmtMode::Smt1)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_uncore_contention);
+criterion_main!(benches);

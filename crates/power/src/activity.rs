@@ -3,8 +3,9 @@
 use mp_sim::Measurement;
 use mp_uarch::{CmpSmtConfig, CounterValues};
 
-/// Per-cycle activity rates of the seven power components the bottom-up model uses
-/// (FXU, VSU, LSU ops and per-level memory accesses), aggregated chip-wide.
+/// Per-cycle activity rates of the power components the bottom-up model uses
+/// (FXU, VSU, LSU ops, per-level memory accesses and the uncore events),
+/// aggregated chip-wide.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ActivityVector {
     /// FXU operations per cycle.
@@ -21,14 +22,20 @@ pub struct ActivityVector {
     pub l3: f64,
     /// Main memory accesses per cycle.
     pub mem: f64,
+    /// L3 misses (memory line transfers) per cycle — the uncore traffic counter.
+    pub l3_miss: f64,
+    /// Memory-bandwidth stall cycles per cycle — the uncore contention counter
+    /// (non-zero only on a shared-uncore platform).
+    pub bw_stall: f64,
 }
 
 impl ActivityVector {
     /// Number of features.
-    pub const WIDTH: usize = 7;
+    pub const WIDTH: usize = 9;
 
     /// Feature names, in the order produced by [`to_vec`](Self::to_vec).
-    pub const NAMES: [&'static str; Self::WIDTH] = ["FXU", "VSU", "LSU", "L1", "L2", "L3", "MEM"];
+    pub const NAMES: [&'static str; Self::WIDTH] =
+        ["FXU", "VSU", "LSU", "L1", "L2", "L3", "MEM", "L3MISS", "BWSTALL"];
 
     /// Extracts chip-aggregate per-cycle rates from counter readings.
     pub fn from_counters(counters: &CounterValues) -> Self {
@@ -41,12 +48,24 @@ impl ActivityVector {
             l2: counters.l2_hits as f64 / cycles,
             l3: counters.l3_hits as f64 / cycles,
             mem: counters.mem_accesses as f64 / cycles,
+            l3_miss: counters.l3_misses as f64 / cycles,
+            bw_stall: counters.bw_stalls as f64 / cycles,
         }
     }
 
     /// The feature vector in [`NAMES`](Self::NAMES) order.
     pub fn to_vec(&self) -> Vec<f64> {
-        vec![self.fxu, self.vsu, self.lsu, self.l1, self.l2, self.l3, self.mem]
+        vec![
+            self.fxu,
+            self.vsu,
+            self.lsu,
+            self.l1,
+            self.l2,
+            self.l3,
+            self.mem,
+            self.l3_miss,
+            self.bw_stall,
+        ]
     }
 }
 
@@ -185,12 +204,16 @@ mod tests {
             l2_hits: 60,
             l3_hits: 30,
             mem_accesses: 10,
+            l3_misses: 10,
+            bw_stalls: 200,
             ..Default::default()
         };
         let a = ActivityVector::from_counters(&c);
         assert!((a.fxu - 1.5).abs() < 1e-12);
         assert!((a.vsu - 0.5).abs() < 1e-12, "DFU ops fold into the VSU component");
         assert!((a.l1 - 0.6).abs() < 1e-12);
+        assert!((a.l3_miss - 0.01).abs() < 1e-12);
+        assert!((a.bw_stall - 0.2).abs() < 1e-12);
         assert_eq!(a.to_vec().len(), ActivityVector::WIDTH);
     }
 
@@ -199,10 +222,10 @@ mod tests {
         let s = sample(4, SmtMode::Smt4, 1.0, 100.0);
         let f = s.topdown_features();
         assert_eq!(f.len(), ActivityVector::WIDTH + 2);
-        assert_eq!(f[7], 4.0);
-        assert_eq!(f[8], 1.0);
+        assert_eq!(f[ActivityVector::WIDTH], 4.0);
+        assert_eq!(f[ActivityVector::WIDTH + 1], 1.0);
         let s1 = sample(2, SmtMode::Smt1, 1.0, 100.0);
-        assert_eq!(s1.topdown_features()[8], 0.0);
+        assert_eq!(s1.topdown_features()[ActivityVector::WIDTH + 1], 0.0);
     }
 
     #[test]

@@ -218,6 +218,7 @@ mod tests {
                 l2: rng.gen_range(0.0..0.3),
                 l3: rng.gen_range(0.0..0.2),
                 mem: rng.gen_range(0.0..0.05),
+                ..Default::default()
             };
             let scale = f64::from(cores * smt_mode.threads_per_core()) / 2.0;
             let a = ActivityVector {
@@ -228,6 +229,7 @@ mod tests {
                 l2: a.l2 * scale,
                 l3: a.l3 * scale,
                 mem: a.mem * scale,
+                ..Default::default()
             };
             let dynamic: f64 = weights.iter().zip(a.to_vec()).map(|(w, x)| w * x).sum();
             let power = idle

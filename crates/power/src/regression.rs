@@ -148,14 +148,23 @@ impl LinearRegression {
     }
 
     /// Coefficient of determination on a data set.
-    pub fn r_squared(&self, xs: &[Vec<f64>], ys: &[f64]) -> f64 {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegressionError::Empty`] for an empty or length-mismatched data set
+    /// (the mean of zero observations would otherwise poison the result with NaN),
+    /// mirroring the validation [`fit`](Self::fit) applies.
+    pub fn r_squared(&self, xs: &[Vec<f64>], ys: &[f64]) -> Result<f64, RegressionError> {
+        if xs.is_empty() || ys.is_empty() || xs.len() != ys.len() {
+            return Err(RegressionError::Empty);
+        }
         let mean = ys.iter().sum::<f64>() / ys.len() as f64;
         let ss_tot: f64 = ys.iter().map(|y| (y - mean).powi(2)).sum();
         let ss_res: f64 = xs.iter().zip(ys).map(|(x, y)| (y - self.predict(x)).powi(2)).sum();
         if ss_tot == 0.0 {
-            1.0
+            Ok(1.0)
         } else {
-            1.0 - ss_res / ss_tot
+            Ok(1.0 - ss_res / ss_tot)
         }
     }
 }
@@ -208,7 +217,7 @@ mod tests {
         assert!((model.intercept() - 5.0).abs() < 1e-6);
         assert!((model.coefficients()[0] - 2.5).abs() < 1e-6);
         assert!((model.coefficients()[1] - 0.75).abs() < 1e-6);
-        assert!(model.r_squared(&xs, &ys) > 0.999);
+        assert!(model.r_squared(&xs, &ys).expect("non-empty data") > 0.999);
     }
 
     #[test]
@@ -243,6 +252,17 @@ mod tests {
             LinearRegression::fit(&ragged, &[1.0, 2.0]),
             Err(RegressionError::InconsistentWidth)
         );
+    }
+
+    #[test]
+    fn r_squared_rejects_empty_and_mismatched_data() {
+        let model = LinearRegression::fit(&[vec![1.0], vec![2.0]], &[1.0, 2.0]).unwrap();
+        assert_eq!(model.r_squared(&[], &[]), Err(RegressionError::Empty));
+        assert_eq!(model.r_squared(&[vec![1.0]], &[]), Err(RegressionError::Empty));
+        assert_eq!(model.r_squared(&[], &[1.0]), Err(RegressionError::Empty));
+        // A constant target is explained perfectly by definition.
+        let constant = model.r_squared(&[vec![1.0], vec![1.0]], &[3.0, 3.0]).unwrap();
+        assert!(constant.is_finite());
     }
 
     #[test]

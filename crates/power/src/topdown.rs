@@ -75,6 +75,7 @@ mod tests {
                     l2: rng.gen_range(0.0..0.5),
                     l3: rng.gen_range(0.0..0.2),
                     mem: rng.gen_range(0.0..0.1),
+                    ..Default::default()
                 };
                 let power = 140.0
                     + 10.0 * f64::from(cores)

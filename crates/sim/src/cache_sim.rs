@@ -2,6 +2,9 @@
 
 use mp_uarch::{CacheGeometry, MemLevel, MemoryHierarchy};
 
+use crate::energy::EnergyParams;
+use crate::uncore::UncoreSim;
+
 /// Outcome of a demand access: which level served it and its load-to-use latency.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AccessOutcome {
@@ -11,6 +14,8 @@ pub struct AccessOutcome {
     pub latency: u32,
     /// Whether the hardware prefetcher issued a prefetch alongside this access.
     pub prefetched: bool,
+    /// Cycles the access waited for the shared memory port (0 with a private uncore).
+    pub bw_stall: u32,
 }
 
 /// One set-associative cache level with true-LRU replacement.
@@ -111,7 +116,8 @@ impl SetAssocCache {
 pub struct CoreCaches {
     l1: SetAssocCache,
     l2: SetAssocCache,
-    l3: SetAssocCache,
+    /// The private L3 slice; `None` when the core's L3 lives behind the shared uncore.
+    l3: Option<SetAssocCache>,
     mem_latency: u32,
     prefetch_enabled: bool,
     last_line: Option<u64>,
@@ -121,12 +127,23 @@ pub struct CoreCaches {
 }
 
 impl CoreCaches {
-    /// Creates the cache hierarchy of one core.
+    /// Creates the cache hierarchy of one core, with a private L3 slice.
     pub fn new(hierarchy: &MemoryHierarchy, prefetch_enabled: bool) -> Self {
+        Self::build(hierarchy, prefetch_enabled, true)
+    }
+
+    /// Creates the hierarchy for a core whose L3 lives behind the chip's shared
+    /// uncore: only L1 and L2 are allocated (the private slice would never be
+    /// touched).  Such a hierarchy must be driven through the `*_shared` accessors.
+    pub fn new_shared(hierarchy: &MemoryHierarchy, prefetch_enabled: bool) -> Self {
+        Self::build(hierarchy, prefetch_enabled, false)
+    }
+
+    fn build(hierarchy: &MemoryHierarchy, prefetch_enabled: bool, private_l3: bool) -> Self {
         Self {
             l1: SetAssocCache::new(hierarchy.l1),
             l2: SetAssocCache::new(hierarchy.l2),
-            l3: SetAssocCache::new(hierarchy.l3),
+            l3: private_l3.then(|| SetAssocCache::new(hierarchy.l3)),
             mem_latency: hierarchy.mem_latency_cycles,
             prefetch_enabled,
             last_line: None,
@@ -135,26 +152,15 @@ impl CoreCaches {
         }
     }
 
-    /// Performs a demand access (load or store treated alike for residence purposes).
-    pub fn access(&mut self, address: u64) -> AccessOutcome {
-        let (level, latency) = if self.l1.access(address) {
-            (MemLevel::L1, self.l1.geometry().hit_latency_cycles)
-        } else if self.l2.access(address) {
-            self.l1.fill(address);
-            (MemLevel::L2, self.l2.geometry().hit_latency_cycles)
-        } else if self.l3.access(address) {
-            self.l2.fill(address);
-            self.l1.fill(address);
-            (MemLevel::L3, self.l3.geometry().hit_latency_cycles)
-        } else {
-            self.l3.fill(address);
-            self.l2.fill(address);
-            self.l1.fill(address);
-            (MemLevel::Mem, self.mem_latency)
-        };
+    fn private_l3(&mut self) -> &mut SetAssocCache {
+        self.l3.as_mut().expect("private-mode access on a shared-uncore hierarchy")
+    }
 
-        // Next-line stride prefetcher: on two consecutive accesses to adjacent lines,
-        // pull the following line into the L1.  Randomised access plans defeat it.
+    /// The next-line stride prefetcher, shared by the private and shared access
+    /// paths: on two consecutive accesses to adjacent lines, pull the following line
+    /// into the whole hierarchy (the L3 backend differs by mode).  Randomised access
+    /// plans defeat it.  Returns whether a prefetch was issued.
+    fn next_line_prefetch(&mut self, address: u64, uncore: Option<&mut UncoreSim>) -> bool {
         let mut prefetched = false;
         let line = address >> self.line_shift;
         if self.prefetch_enabled {
@@ -164,7 +170,10 @@ impl CoreCaches {
                     if !self.l1.contains(next) {
                         self.l1.fill(next);
                         self.l2.fill(next);
-                        self.l3.fill(next);
+                        match uncore {
+                            Some(uncore) => uncore.fill(next),
+                            None => self.private_l3().fill(next),
+                        }
                         self.prefetches_issued += 1;
                         prefetched = true;
                     }
@@ -172,14 +181,91 @@ impl CoreCaches {
             }
         }
         self.last_line = Some(line);
+        prefetched
+    }
 
-        AccessOutcome { level, latency, prefetched }
+    /// Performs a demand access (load or store treated alike for residence purposes).
+    pub fn access(&mut self, address: u64) -> AccessOutcome {
+        let (level, latency) = if self.l1.access(address) {
+            (MemLevel::L1, self.l1.geometry().hit_latency_cycles)
+        } else if self.l2.access(address) {
+            self.l1.fill(address);
+            (MemLevel::L2, self.l2.geometry().hit_latency_cycles)
+        } else if self.private_l3().access(address) {
+            self.l2.fill(address);
+            self.l1.fill(address);
+            (MemLevel::L3, self.l3.as_ref().expect("private L3").geometry().hit_latency_cycles)
+        } else {
+            self.private_l3().fill(address);
+            self.l2.fill(address);
+            self.l1.fill(address);
+            (MemLevel::Mem, self.mem_latency)
+        };
+
+        let prefetched = self.next_line_prefetch(address, None);
+        AccessOutcome { level, latency, prefetched, bw_stall: 0 }
+    }
+
+    /// Performs a demand access with the L3 and memory behind the chip's shared uncore:
+    /// L1 and L2 stay private, L2 misses contend for the shared L3 and the memory port.
+    ///
+    /// Returns the outcome plus the ground-truth uncore energy of the event (0 for
+    /// accesses served by the private L1/L2), which the caller accrues into the uncore
+    /// component of the energy breakdown.
+    pub fn access_shared(
+        &mut self,
+        address: u64,
+        now: u64,
+        uncore: &mut UncoreSim,
+        params: &EnergyParams,
+    ) -> (AccessOutcome, f64) {
+        let (level, latency, bw_stall, uncore_energy) = if self.l1.access(address) {
+            (MemLevel::L1, self.l1.geometry().hit_latency_cycles, 0, 0.0)
+        } else if self.l2.access(address) {
+            self.l1.fill(address);
+            (MemLevel::L2, self.l2.geometry().hit_latency_cycles, 0, 0.0)
+        } else {
+            let outcome = uncore.access(address, now, params);
+            self.l2.fill(address);
+            self.l1.fill(address);
+            (outcome.level, outcome.latency, outcome.queue_wait, outcome.energy)
+        };
+
+        // Prefetch fills go to the shared L3 and do not model port bandwidth.
+        let prefetched = self.next_line_prefetch(address, Some(uncore));
+        (AccessOutcome { level, latency, prefetched, bw_stall }, uncore_energy)
+    }
+
+    /// Returns `true` if a demand access to `address` may proceed at `now`: it is
+    /// resident somewhere (private L1/L2, or the shared L3), or the shared memory port
+    /// can accept another transfer.  Always `true` with a private uncore.
+    ///
+    /// The probe is read-only — LRU state is not touched — so callers can gate issue on
+    /// it and retry the same access later.
+    pub fn admits(&self, address: u64, now: u64, uncore: &UncoreSim) -> bool {
+        if !uncore.is_shared() {
+            return true;
+        }
+        // Queue-has-room first: it is a single compare and true in the uncongested
+        // common case, short-circuiting the three associative residency walks.
+        uncore.can_accept(now)
+            || self.l1.contains(address)
+            || self.l2.contains(address)
+            || uncore.contains(address)
     }
 
     /// Explicit software prefetch (e.g. `dcbt`): fills the hierarchy without a demand
     /// latency.
     pub fn prefetch(&mut self, address: u64) {
-        self.l3.fill(address);
+        self.private_l3().fill(address);
+        self.l2.fill(address);
+        self.l1.fill(address);
+        self.prefetches_issued += 1;
+    }
+
+    /// Software prefetch with the L3 behind the shared uncore.
+    pub fn prefetch_shared(&mut self, address: u64, uncore: &mut UncoreSim) {
+        uncore.fill(address);
         self.l2.fill(address);
         self.l1.fill(address);
         self.prefetches_issued += 1;
@@ -194,7 +280,9 @@ impl CoreCaches {
     pub fn clear(&mut self) {
         self.l1.clear();
         self.l2.clear();
-        self.l3.clear();
+        if let Some(l3) = &mut self.l3 {
+            l3.clear();
+        }
         self.last_line = None;
         self.prefetches_issued = 0;
     }
@@ -285,6 +373,55 @@ mod tests {
         c.access(0x4000);
         c.clear();
         assert_eq!(c.access(0x4000).level, MemLevel::Mem);
+    }
+
+    #[test]
+    fn shared_path_serves_l2_misses_from_the_shared_l3() {
+        use crate::uncore::{UncoreMode, UncoreSim};
+        let uarch = mp_uarch::power7();
+        let params = EnergyParams::power7();
+        let mut a = CoreCaches::new(&uarch.hierarchy, false);
+        let mut b = CoreCaches::new(&uarch.hierarchy, false);
+        let mut uncore = UncoreSim::new(&uarch, UncoreMode::Shared);
+
+        // Core A misses everywhere: the line lands in the shared L3.
+        let (miss, energy) = a.access_shared(0x10_0000, 0, &mut uncore, &params);
+        assert_eq!(miss.level, MemLevel::Mem);
+        assert!(energy > params.uncore_mem_energy);
+        // Core B (cold private caches) now hits the *shared* L3 — cross-core reuse that
+        // is impossible with private hierarchies.
+        let (hit, energy) = b.access_shared(0x10_0000, 10, &mut uncore, &params);
+        assert_eq!(hit.level, MemLevel::L3);
+        assert_eq!(hit.bw_stall, 0);
+        assert!((energy - params.uncore_l3_energy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn admission_probe_is_read_only_and_gates_on_the_queue() {
+        use crate::uncore::{UncoreMode, UncoreSim};
+        let uarch = mp_uarch::power7();
+        let params = EnergyParams::power7();
+        let mut c = CoreCaches::new(&uarch.hierarchy, false);
+        let mut uncore = UncoreSim::new(&uarch, UncoreMode::Shared);
+        // Resident lines are always admitted.
+        let _ = c.access_shared(0x2000, 0, &mut uncore, &params);
+        assert!(c.admits(0x2000, 0, &uncore));
+        // Fill the memory-port queue with misses to distinct lines.
+        for i in 1..=u64::from(uarch.uncore.mem_queue_depth) {
+            let _ = c.access_shared(i << 30, 0, &mut uncore, &params);
+        }
+        assert!(!c.admits(63 << 30, 0, &uncore), "non-resident line must wait for the port");
+        assert!(c.admits(0x2000, 0, &uncore), "resident lines bypass the port");
+        assert!(c.admits(63 << 30, uarch.uncore.queue_limit_cycles(), &uncore));
+    }
+
+    #[test]
+    fn private_mode_admits_everything() {
+        use crate::uncore::{UncoreMode, UncoreSim};
+        let uarch = mp_uarch::power7();
+        let c = CoreCaches::new(&uarch.hierarchy, false);
+        let uncore = UncoreSim::new(&uarch, UncoreMode::Private);
+        assert!(c.admits(0xdead_0000, 0, &uncore));
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! The chip-level simulator: cores + uncore + power sensor sampling.
 
+use std::collections::HashMap;
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -10,6 +12,7 @@ use crate::decoded::DecodedBody;
 use crate::energy::{EnergyBreakdown, EnergyParams};
 use crate::kernel::Kernel;
 use crate::measurement::{Measurement, PowerTrace};
+use crate::uncore::{UncoreMode, UncoreSim};
 
 /// Options controlling a simulation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,12 +30,34 @@ pub struct SimOptions {
     pub prefetch_enabled: bool,
     /// Seed for all pseudo-random behaviour (sensor noise, branch outcomes).
     pub seed: u64,
+    /// Whether cores own private cache hierarchies (legacy) or share the chip-level
+    /// L3 and memory port (see [`UncoreSim`](crate::uncore::UncoreSim)).
+    pub uncore_mode: UncoreMode,
 }
 
 impl SimOptions {
     /// Fast options for the large experiment sweeps (shorter measurement window).
     pub fn fast() -> Self {
         Self { warmup_cycles: 2_000, measure_cycles: 6_000, ..Self::default() }
+    }
+
+    /// Checks that the options describe a runnable measurement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `measure_cycles` is zero (the average power of an empty window is
+    /// 0/0) or `sample_cycles` is zero (the sensor's sample windows divide by it).
+    pub fn validate(&self) {
+        assert!(
+            self.measure_cycles > 0,
+            "SimOptions::measure_cycles must be positive: a zero-cycle measurement \
+             window has no average power"
+        );
+        assert!(
+            self.sample_cycles > 0,
+            "SimOptions::sample_cycles must be positive: the power sensor aggregates \
+             samples over sample_cycles-sized windows"
+        );
     }
 }
 
@@ -45,6 +70,7 @@ impl Default for SimOptions {
             noise_fraction: 0.0025,
             prefetch_enabled: true,
             seed: 0x0b5e_55ed,
+            uncore_mode: UncoreMode::Private,
         }
     }
 }
@@ -132,14 +158,20 @@ impl ChipSim {
     /// configuration exceeds the chip's core count.
     pub fn run_heterogeneous(&self, kernels: &[Kernel], config: CmpSmtConfig) -> Measurement {
         // Decode each *distinct* kernel once; repeated kernels reuse the decoded body.
+        // Kernels are bucketed by content hash so a 32-thread deployment does O(n)
+        // hash lookups instead of O(n²) deep `Kernel` comparisons; equality inside a
+        // bucket guards against hash collisions.
         let mut seen: Vec<(&Kernel, DecodedBody)> = Vec::new();
+        let mut by_hash: HashMap<u64, Vec<usize>> = HashMap::new();
         let bodies: Vec<DecodedBody> = kernels
             .iter()
             .map(|kernel| {
-                if let Some((_, body)) = seen.iter().find(|(k, _)| *k == kernel) {
-                    return body.clone();
+                let bucket = by_hash.entry(kernel.content_hash()).or_default();
+                if let Some(&i) = bucket.iter().find(|&&i| seen[i].0 == kernel) {
+                    return seen[i].1.clone();
                 }
                 let body = DecodedBody::decode(kernel, &self.uarch, &self.props);
+                bucket.push(seen.len());
                 seen.push((kernel, body.clone()));
                 body
             })
@@ -149,6 +181,7 @@ impl ChipSim {
 
     /// Runs one pre-decoded kernel body per hardware thread context.
     fn run_bodies(&self, bodies: Vec<DecodedBody>, config: CmpSmtConfig) -> Measurement {
+        self.options.validate();
         assert!(
             config.cores <= self.uarch.max_cores,
             "configuration {config} exceeds the chip's {} cores",
@@ -170,15 +203,17 @@ impl ChipSim {
                     chunk.to_vec(),
                     self.options.prefetch_enabled,
                     self.options.seed ^ (core_idx as u64) << 32,
+                    self.options.uncore_mode,
                 )
             })
             .collect();
 
+        let mut uncore = UncoreSim::new(&self.uarch, self.options.uncore_mode);
         let mut breakdown = EnergyBreakdown::default();
         // Warm-up: caches fill, pipes reach steady state; energy is discarded.
         for now in 0..self.options.warmup_cycles {
             for core in &mut cores {
-                core.step(now, &self.params, &mut breakdown);
+                core.step(now, &self.params, &mut breakdown, &mut uncore);
             }
         }
         for core in &mut cores {
@@ -194,7 +229,7 @@ impl ChipSim {
         let end = start + self.options.measure_cycles;
         for now in start..end {
             for core in &mut cores {
-                core.step(now, &self.params, &mut breakdown);
+                core.step(now, &self.params, &mut breakdown, &mut uncore);
             }
             self.accrue_static(&mut breakdown, config);
 
@@ -230,7 +265,12 @@ impl ChipSim {
     /// Adds the static (non-instruction-driven) energy of one cycle.
     fn accrue_static(&self, breakdown: &mut EnergyBreakdown, config: CmpSmtConfig) {
         breakdown.idle += self.params.idle_power;
-        breakdown.uncore += self.params.uncore_power;
+        // With a private uncore the paper's constant uncore power applies; in shared
+        // mode the uncore component is fully dynamic (accrued per L3 access, memory
+        // transfer and bandwidth stall by `UncoreSim`/`CoreSim`).
+        if self.options.uncore_mode == UncoreMode::Private {
+            breakdown.uncore += self.params.uncore_power;
+        }
         breakdown.cmp += self.params.per_core_power * f64::from(config.cores);
         if config.smt.smt_enabled() {
             breakdown.smt += self.params.smt_power * f64::from(config.cores);
@@ -283,7 +323,14 @@ mod tests {
             noise_fraction: 0.0,
             prefetch_enabled: true,
             seed: 1,
+            uncore_mode: UncoreMode::Private,
         })
+    }
+
+    fn fast_shared_sim() -> ChipSim {
+        let mut options = fast_sim().options().clone();
+        options.uncore_mode = UncoreMode::Shared;
+        ChipSim::new(power7()).with_options(options)
     }
 
     #[test]
@@ -382,6 +429,64 @@ mod tests {
         let uarch = power7();
         let k = kernel_of(&uarch, "add", 8);
         let _ = sim.run(&k, CmpSmtConfig::new(9, SmtMode::Smt1));
+    }
+
+    #[test]
+    #[should_panic(expected = "sample_cycles must be positive")]
+    fn zero_sample_cycles_is_rejected() {
+        let mut options = fast_sim().options().clone();
+        options.sample_cycles = 0;
+        let uarch = power7();
+        let k = kernel_of(&uarch, "add", 8);
+        let _ = ChipSim::new(power7())
+            .with_options(options)
+            .run(&k, CmpSmtConfig::new(1, SmtMode::Smt1));
+    }
+
+    #[test]
+    #[should_panic(expected = "measure_cycles must be positive")]
+    fn zero_measure_cycles_is_rejected() {
+        let mut options = fast_sim().options().clone();
+        options.measure_cycles = 0;
+        let uarch = power7();
+        let k = kernel_of(&uarch, "add", 8);
+        let _ = ChipSim::new(power7())
+            .with_options(options)
+            .run(&k, CmpSmtConfig::new(1, SmtMode::Smt1));
+    }
+
+    #[test]
+    fn shared_uncore_energy_is_dynamic_not_constant() {
+        let sim = fast_shared_sim();
+        let uarch = power7();
+        // No memory activity at all: the shared-mode uncore component must be zero.
+        let compute = kernel_of(&uarch, "subf", 64);
+        let m = sim.run(&compute, CmpSmtConfig::new(1, SmtMode::Smt1));
+        assert!(
+            m.ground_truth().uncore.abs() < 1e-12,
+            "uncore power without memory traffic: {}",
+            m.ground_truth().uncore
+        );
+        // A kernel whose loads miss the private L1/L2 accrues uncore energy per event.
+        let memory = crate::fixtures::uncore_contender(&uarch.isa, 0);
+        let m = sim.run(&memory, CmpSmtConfig::new(1, SmtMode::Smt1));
+        assert!(m.ground_truth().uncore > 0.0);
+        let chip = m.chip_counters();
+        assert!(chip.l3_accesses > 0, "L2 misses must reach the shared L3");
+        assert!(chip.l3_accesses >= chip.l3_misses);
+    }
+
+    #[test]
+    fn private_mode_reports_derived_uncore_counters() {
+        let sim = fast_sim();
+        let uarch = power7();
+        let memory = crate::fixtures::uncore_contender(&uarch.isa, 0);
+        let m = sim.run(&memory, CmpSmtConfig::new(1, SmtMode::Smt1));
+        let chip = m.chip_counters();
+        assert!(chip.l3_accesses > 0, "contender loads must miss the private L1/L2");
+        assert_eq!(chip.l3_accesses, chip.l3_hits + chip.mem_accesses);
+        assert_eq!(chip.l3_misses, chip.mem_accesses);
+        assert_eq!(chip.bw_stalls, 0, "private hierarchies never stall on bandwidth");
     }
 
     #[test]

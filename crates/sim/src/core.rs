@@ -15,6 +15,7 @@ use mp_uarch::{CounterValues, MemLevel, MicroArchitecture};
 use crate::cache_sim::CoreCaches;
 use crate::decoded::{for_each_reg, masks_intersect, regs_ready, DecodedBody};
 use crate::energy::{EnergyBreakdown, EnergyParams};
+use crate::uncore::{UncoreMode, UncoreSim};
 
 /// Number of in-flight instructions a thread can look ahead over when issuing — a small
 /// out-of-order window standing in for POWER7's much larger out-of-order engine.
@@ -153,6 +154,7 @@ impl CoreSim {
         bodies: Vec<DecodedBody>,
         prefetch_enabled: bool,
         seed: u64,
+        uncore_mode: UncoreMode,
     ) -> Self {
         let threads = bodies
             .into_iter()
@@ -160,9 +162,14 @@ impl CoreSim {
             .map(|(i, b)| ThreadContext::new(b, seed.wrapping_add(i as u64 * 7919)))
             .collect();
         let pipes = |n: u32| vec![Pipe::default(); n as usize];
+        let caches = match uncore_mode {
+            // Shared mode: the private L3 slice would never be touched, skip it.
+            UncoreMode::Private => CoreCaches::new(&uarch.hierarchy, prefetch_enabled),
+            UncoreMode::Shared => CoreCaches::new_shared(&uarch.hierarchy, prefetch_enabled),
+        };
         Self {
             threads,
-            caches: CoreCaches::new(&uarch.hierarchy, prefetch_enabled),
+            caches,
             pipes: Pipes {
                 fxu: pipes(uarch.pipes.fxu),
                 lsu: pipes(uarch.pipes.lsu),
@@ -198,8 +205,15 @@ impl CoreSim {
     }
 
     /// Advances the core by one cycle, issuing instructions and accruing dynamic energy
-    /// into `energy`.
-    pub(crate) fn step(&mut self, now: u64, params: &EnergyParams, energy: &mut EnergyBreakdown) {
+    /// into `energy`.  Memory accesses beyond the private L2 go through `uncore` (the
+    /// local L3 slice in private mode, the chip-shared L3 + memory port in shared mode).
+    pub(crate) fn step(
+        &mut self,
+        now: u64,
+        params: &EnergyParams,
+        energy: &mut EnergyBreakdown,
+        uncore: &mut UncoreSim,
+    ) {
         let nthreads = self.threads.len();
         if nthreads == 0 {
             return;
@@ -213,7 +227,7 @@ impl CoreSim {
                 break;
             }
             let tid = (start + i) % nthreads;
-            dispatch_left = self.step_thread(tid, now, params, energy, dispatch_left);
+            dispatch_left = self.step_thread(tid, now, params, energy, uncore, dispatch_left);
         }
 
         // Clock-gating: every unit that woke up this cycle pays a fixed wake-up energy,
@@ -232,6 +246,7 @@ impl CoreSim {
         now: u64,
         params: &EnergyParams,
         energy: &mut EnergyBreakdown,
+        uncore: &mut UncoreSim,
         mut dispatch_left: u32,
     ) -> u32 {
         let Self { threads, caches, pipes, cycle_units, .. } = self;
@@ -272,6 +287,19 @@ impl CoreSim {
                 continue;
             };
 
+            // Shared-uncore back-pressure: a demand access that would need a memory
+            // line transfer cannot issue while the port queue is full.  The thread
+            // stalls for the cycle (an LSU reject/replay) and retries; the held-off
+            // request keeps the queue logic powered, which is the bandwidth-stall
+            // uncore energy term.
+            if let Some(mem) = body.mem(idx) {
+                if !body.flags(idx).is_prefetch() && !caches.admits(mem.address, now, uncore) {
+                    counters.bw_stalls += 1;
+                    energy.uncore += params.uncore_stall_energy;
+                    break;
+                }
+            }
+
             // ---- issue ----
             dispatch_left -= 1;
             window[w].issued = true;
@@ -284,15 +312,33 @@ impl CoreSim {
 
             // Memory access (demand or prefetch).
             let mut mem_energy = 0.0;
+            let mut uncore_energy = 0.0;
             if let Some(mem) = body.mem(idx) {
                 if flags.is_prefetch() {
-                    caches.prefetch(mem.address);
+                    if uncore.is_shared() {
+                        caches.prefetch_shared(mem.address, uncore);
+                    } else {
+                        caches.prefetch(mem.address);
+                    }
                     counters.prefetches += 1;
                     mem_energy += params.prefetch_energy;
                 } else {
-                    let outcome = caches.access(mem.address);
+                    let outcome = if uncore.is_shared() {
+                        // L1/L2 stay core-side energy; the shared L3 and memory port
+                        // accrue *uncore* energy, returned alongside the outcome.
+                        let (outcome, event_energy) =
+                            caches.access_shared(mem.address, now, uncore, params);
+                        uncore_energy += event_energy;
+                        if matches!(outcome.level, MemLevel::L1 | MemLevel::L2) {
+                            mem_energy += params.access_energy(outcome.level);
+                        }
+                        outcome
+                    } else {
+                        let outcome = caches.access(mem.address);
+                        mem_energy += params.access_energy(outcome.level);
+                        outcome
+                    };
                     total_latency += u64::from(outcome.latency);
-                    mem_energy += params.access_energy(outcome.level);
                     if outcome.prefetched {
                         mem_energy += params.prefetch_energy;
                         counters.prefetches += 1;
@@ -305,9 +351,17 @@ impl CoreSim {
                     match outcome.level {
                         MemLevel::L1 => counters.l1_hits += 1,
                         MemLevel::L2 => counters.l2_hits += 1,
-                        MemLevel::L3 => counters.l3_hits += 1,
-                        MemLevel::Mem => counters.mem_accesses += 1,
+                        MemLevel::L3 => {
+                            counters.l3_hits += 1;
+                            counters.l3_accesses += 1;
+                        }
+                        MemLevel::Mem => {
+                            counters.mem_accesses += 1;
+                            counters.l3_accesses += 1;
+                            counters.l3_misses += 1;
+                        }
                     }
+                    counters.bw_stalls += u64::from(outcome.bw_stall);
                 }
             }
 
@@ -333,6 +387,7 @@ impl CoreSim {
                 body.switching_factor(),
             );
             energy.dynamic_memory += mem_energy;
+            energy.uncore += uncore_energy;
 
             // Branches: conditional ones may mispredict and flush the thread.
             if flags.is_branch() {
@@ -403,17 +458,19 @@ mod tests {
         kernel: Kernel,
         cycles: u64,
     ) -> (Vec<CounterValues>, EnergyBreakdown) {
-        let mut core = CoreSim::new(uarch, decode_all(uarch, &[kernel]), false, 1);
+        let mut core =
+            CoreSim::new(uarch, decode_all(uarch, &[kernel]), false, 1, UncoreMode::Private);
+        let mut uncore = UncoreSim::new(uarch, UncoreMode::Private);
         let mut energy = EnergyBreakdown::default();
         let params = EnergyParams::power7();
         // Warm up then measure.
         for now in 0..1000u64 {
-            core.step(now, &params, &mut energy);
+            core.step(now, &params, &mut energy, &mut uncore);
         }
         core.reset_counters();
         let mut energy = EnergyBreakdown::default();
         for now in 1000..1000 + cycles {
-            core.step(now, &params, &mut energy);
+            core.step(now, &params, &mut energy, &mut uncore);
         }
         (core.counters(cycles), energy)
     }
@@ -492,15 +549,21 @@ mod tests {
         let params = EnergyParams::power7();
 
         let ipc_for = |n: usize| {
-            let mut core =
-                CoreSim::new(&uarch, decode_all(&uarch, &vec![kernel.clone(); n]), false, 3);
+            let mut core = CoreSim::new(
+                &uarch,
+                decode_all(&uarch, &vec![kernel.clone(); n]),
+                false,
+                3,
+                UncoreMode::Private,
+            );
+            let mut uncore = UncoreSim::new(&uarch, UncoreMode::Private);
             let mut e = EnergyBreakdown::default();
             for now in 0..3000u64 {
-                core.step(now, &params, &mut e);
+                core.step(now, &params, &mut e, &mut uncore);
             }
             core.reset_counters();
             for now in 3000..6000u64 {
-                core.step(now, &params, &mut e);
+                core.step(now, &params, &mut e, &mut uncore);
             }
             let total: u64 = core.counters(3000).iter().map(|c| c.instr_completed).sum();
             total as f64 / 3000.0
@@ -537,8 +600,13 @@ mod tests {
         let uarch = power7();
         let isa = &uarch.isa;
         let body: Vec<Instruction> = vec![rrr(isa, "add", 1, 2, 3)];
-        let core =
-            CoreSim::new(&uarch, decode_all(&uarch, &vec![Kernel::new("k", body); 4]), false, 0);
+        let core = CoreSim::new(
+            &uarch,
+            decode_all(&uarch, &vec![Kernel::new("k", body); 4]),
+            false,
+            0,
+            UncoreMode::Private,
+        );
         assert_eq!(core.thread_count(), 4);
         assert_eq!(core.counters(10).len(), 4);
     }

@@ -18,7 +18,18 @@ pub struct EnergyParams {
     /// Workload-independent power (consumed even with no activity): leakage, PLLs, ...
     pub idle_power: f64,
     /// Constant uncore power while the chip is executing (fabric, memory controllers).
+    /// Only charged in private-uncore mode; shared mode accrues uncore energy per event.
     pub uncore_power: f64,
+    /// Shared-uncore mode: energy per demand access reaching the shared L3 (hit or the
+    /// tag probe of a miss).
+    pub uncore_l3_energy: f64,
+    /// Shared-uncore mode: energy per line transferred through the memory port.
+    pub uncore_mem_energy: f64,
+    /// Shared-uncore mode: energy per bandwidth-stall cycle — a transfer waiting in
+    /// the memory-port queue, or a hardware thread held off the full queue (queue
+    /// occupancy and retry power).  Charged once per `PM_MEM_BW_STALL_CYC` count, so
+    /// the ground truth is exactly linear in that counter.
+    pub uncore_stall_energy: f64,
     /// Per enabled core constant power (core clock grid, private L3 slice active).
     pub per_core_power: f64,
     /// Extra per-core power when the SMT logic is enabled (independent of SMT width).
@@ -50,6 +61,9 @@ impl EnergyParams {
         Self {
             idle_power: 100.0,
             uncore_power: 40.0,
+            uncore_l3_energy: 1.5,
+            uncore_mem_energy: 13.0,
+            uncore_stall_energy: 0.4,
             per_core_power: 10.0,
             smt_power: 2.0,
             unit_base: [

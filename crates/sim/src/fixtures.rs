@@ -104,6 +104,85 @@ pub fn reference_kernels(isa: &Isa) -> Vec<Kernel> {
     vec![compute_bound(isa), memory_bound(isa), branchy(isa)]
 }
 
+/// Number of shared-L3 tag-group slots [`uncore_contender`] supports.
+pub const CONTENDER_GROUPS: usize = 4;
+
+/// Distinct shared-L3 sets each contender walks.
+const CONTENDER_SETS: usize = 12;
+
+/// Lines per walked set (tags within one L3 set owned by one contender).
+const CONTENDER_TAGS: usize = 5;
+
+/// A shared-L3 contention kernel: independent 8-byte loads whose addresses are laid
+/// out against the POWER7 geometry so that the private L1/L2 always miss while the
+/// footprint fits a *fraction* of the shared L3's associativity.
+///
+/// Every address is a multiple of 32 KB (private L1 and L2 set 0 — 60 lines cycling
+/// through 8 ways always miss) spread over [`CONTENDER_SETS`] distinct shared-L3 sets
+/// with [`CONTENDER_TAGS`] tags each.  Tags are disjoint between `group`s: run alone,
+/// a contender's 5 tags fit the 8-way shared L3 and every access is an L3 hit; run
+/// against a contender of another group, the combined 10 tags per set thrash the LRU
+/// and most accesses become memory transfers that queue on the chip's memory port —
+/// per-thread IPC drops and uncore energy rises superlinearly, the contention
+/// signature the shared-uncore power model has to learn.
+///
+/// # Panics
+///
+/// Panics if `group >= CONTENDER_GROUPS`.
+pub fn uncore_contender(isa: &Isa, group: usize) -> Kernel {
+    assert!(group < CONTENDER_GROUPS, "contender group {group} out of range");
+    let body: Vec<Instruction> = (0..CONTENDER_SETS * CONTENDER_TAGS)
+        .map(|i| {
+            let set = (i % CONTENDER_SETS) as u64 + 1;
+            let tag = (group * CONTENDER_TAGS + i / CONTENDER_SETS) as u64;
+            // Bit 15+ selects the shared-L3 set (32768 sets × 128-byte lines), bit 22+
+            // the shared-L3 tag (4 MB apart): same L1/L2/L3 sets across groups,
+            // disjoint L3 tags.
+            let address = set * (32 << 10) + tag * (4 << 20);
+            materialise(isa, "ld", i, Some(address))
+        })
+        .collect();
+    Kernel::new(format!("fix_contender{group}"), body)
+}
+
+/// The co-scheduled memory-bound pair of the uncore-contention experiments:
+/// two [`uncore_contender`] kernels with disjoint shared-L3 tag groups.
+pub fn uncore_contention_pair(isa: &Isa) -> (Kernel, Kernel) {
+    (uncore_contender(isa, 0), uncore_contender(isa, 1))
+}
+
+/// A latency-bound memory streamer: four pointer-chase-style chains of dependent
+/// loads (each load's base register is its own destination) walking 12 shared-L3 tags
+/// of one set per chain, so every access misses the whole hierarchy — but at a rate
+/// bounded by the memory latency, well below the memory port's bandwidth.
+///
+/// This is the *unsaturated* memory workload of the uncore experiments: it produces
+/// line transfers without bandwidth stalls, decorrelating the transfer and stall
+/// counters that saturated contention pairs move together.
+pub fn uncore_mem_chain(isa: &Isa) -> Kernel {
+    const CHAINS: u64 = 4;
+    const TAGS: u64 = 12;
+    let (id, _) = isa.get("ld").expect("ld is defined");
+    let body: Vec<Instruction> = (0..CHAINS * TAGS)
+        .map(|i| {
+            let chain = i % CHAINS;
+            let tag = i / CHAINS;
+            // 4 MB apart: one shared-L3 set per chain (set index = chain), 12 tags
+            // cycling through its 8 ways — misses everywhere, in both L3 geometries.
+            let address = tag * (4 << 20) + chain * 128;
+            let reg = Operand::Reg(RegRef::gpr(3 + chain as u16));
+            Instruction::new(
+                isa,
+                id,
+                vec![reg, Operand::Displacement(0), reg],
+                Some(MemAccess { address, bytes: 8, is_store: false }),
+            )
+            .expect("chained load operands match the definition")
+        })
+        .collect();
+    Kernel::new("fix_memchain", body)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,6 +193,52 @@ mod tests {
         let isa = power_isa_v206b();
         for (a, b) in reference_kernels(&isa).iter().zip(reference_kernels(&isa).iter()) {
             assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn contenders_share_sets_with_disjoint_tags() {
+        let isa = power_isa_v206b();
+        let geom = mp_uarch::UncoreGeometry::power7().shared_l3;
+        let hierarchy = mp_uarch::MemoryHierarchy::power7();
+        let (a, b) = uncore_contention_pair(&isa);
+        assert_eq!(a.len(), CONTENDER_SETS * CONTENDER_TAGS);
+        let addresses = |k: &Kernel| -> Vec<u64> {
+            k.body().iter().map(|i| i.mem().expect("contenders only load").address).collect()
+        };
+        for (addr_a, addr_b) in addresses(&a).iter().zip(addresses(&b)) {
+            // Identical private L1/L2 sets and shared-L3 sets, disjoint L3 tags.
+            assert_eq!(hierarchy.l1.set_of(*addr_a), 0);
+            assert_eq!(hierarchy.l2.set_of(*addr_a), 0);
+            assert_eq!(geom.set_of(*addr_a), geom.set_of(addr_b));
+            assert_ne!(geom.tag_of(*addr_a), geom.tag_of(addr_b));
+        }
+        // Per shared-L3 set, one contender owns CONTENDER_TAGS tags — within the
+        // associativity alone, beyond it when two groups are co-scheduled.
+        let per_set = CONTENDER_TAGS as u32;
+        assert!(per_set <= geom.ways);
+        assert!(2 * per_set > geom.ways);
+    }
+
+    #[test]
+    fn mem_chain_is_dependent_and_misses_everywhere() {
+        let isa = power_isa_v206b();
+        let geom = mp_uarch::UncoreGeometry::power7().shared_l3;
+        let kernel = uncore_mem_chain(&isa);
+        let mut per_set: std::collections::HashMap<u64, Vec<u64>> =
+            std::collections::HashMap::new();
+        for inst in kernel.body() {
+            let addr = inst.mem().expect("chain is all loads").address;
+            per_set.entry(geom.set_of(addr)).or_default().push(geom.tag_of(addr));
+        }
+        for tags in per_set.values() {
+            let mut distinct = tags.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            assert!(
+                distinct.len() as u32 > geom.ways,
+                "each walked set must exceed the associativity"
+            );
         }
     }
 

@@ -11,6 +11,10 @@
 //!   functional set-associative cache hierarchy;
 //! * per-thread/per-core [`CounterValues`](mp_uarch::CounterValues) play the role of the
 //!   PMU;
+//! * an optional chip-level shared uncore ([`uncore`]) puts one L3 and a
+//!   finite-bandwidth memory port behind all cores, so co-scheduled memory-bound
+//!   workloads contend for capacity and bandwidth and uncore energy becomes
+//!   workload-dependent;
 //! * a hidden ground-truth energy model ([`energy`]) accrues per-component energy
 //!   (per-instruction datapath energy with data- and order-dependent switching terms,
 //!   per-cache-level access energy, per-core clock power, SMT overhead, uncore and
@@ -30,12 +34,14 @@ pub mod energy;
 pub mod fixtures;
 pub mod kernel;
 pub mod measurement;
+pub mod uncore;
 
 pub use cache_sim::{AccessOutcome, CoreCaches, SetAssocCache};
 pub use chip::{ChipSim, SimOptions};
 pub use energy::{EnergyBreakdown, EnergyParams};
 pub use kernel::{DataProfile, Kernel};
 pub use measurement::{Measurement, PowerTrace};
+pub use uncore::{UncoreMode, UncoreSim};
 
 #[cfg(test)]
 mod tests {

@@ -27,6 +27,7 @@ pub use report::{Figure9Report, Figure9Row};
 pub use search::{SequenceCandidate, SequenceSpace, StressmarkResult, StressmarkSearch};
 pub use sets::{
     expert_dse_sequences, expert_manual_set, microprobe_sequences, select_ipc_epi_instructions,
+    uncore_dse_sequences, uncore_instructions,
 };
 
 #[cfg(test)]

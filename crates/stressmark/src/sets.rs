@@ -76,6 +76,33 @@ pub fn expert_dse_sequences(arch: &MicroArchitecture) -> Vec<Vec<OpcodeId>> {
     sequences_using_all(&expert_instructions(arch))
 }
 
+/// The instruction picks of the *uncore* stressmark search: the widest vector load and
+/// store (maximum bytes per LSU slot, so the loop sustains the highest memory-hierarchy
+/// traffic) plus the VSU FMA to keep the datapath switching while transfers are in
+/// flight.  With a shared uncore this is the candidate family that exercises the
+/// shared-L3/memory-bandwidth power component the compute-centric expert set cannot.
+pub const UNCORE_INSTRUCTIONS: [&str; 3] = ["lxvd2x", "stxvw4x", "xvmaddadp"];
+
+/// Resolves the uncore-stressor instruction choices on an architecture.
+///
+/// # Panics
+///
+/// Panics if the ISA does not define the instructions (the built-in POWER7 description
+/// always does).
+pub fn uncore_instructions(arch: &MicroArchitecture) -> Vec<OpcodeId> {
+    UNCORE_INSTRUCTIONS
+        .iter()
+        .map(|m| arch.isa.opcode(m).expect("uncore stressor instructions are defined"))
+        .collect()
+}
+
+/// The uncore-contention candidate set: every [`SEQUENCE_LENGTH`]-long combination of
+/// the memory-traffic instructions that uses each at least once (540 sequences, like
+/// the expert set).
+pub fn uncore_dse_sequences(arch: &MicroArchitecture) -> Vec<Vec<OpcodeId>> {
+    sequences_using_all(&uncore_instructions(arch))
+}
+
 /// Selects, for each of the FXU, LSU and VSU categories, the instruction with the
 /// highest IPC×EPI product from a bootstrapped instruction property table — the paper's
 /// heuristic for focusing the search on instructions that are both busy and expensive.
@@ -146,6 +173,25 @@ mod tests {
                 assert!(seq.contains(op));
             }
         }
+    }
+
+    #[test]
+    fn uncore_dse_set_covers_all_memory_stressors() {
+        let arch = power7();
+        let seqs = uncore_dse_sequences(&arch);
+        assert_eq!(seqs.len(), 540);
+        let stressors = uncore_instructions(&arch);
+        for seq in &seqs {
+            assert_eq!(seq.len(), SEQUENCE_LENGTH);
+            for op in &stressors {
+                assert!(seq.contains(op));
+            }
+        }
+        // The wide vector store is the pick the compute-centric expert set lacks; the
+        // vector load and the FMA are shared with it.
+        let expert = expert_instructions(&arch);
+        assert_eq!(stressors.iter().filter(|op| expert.contains(op)).count(), 2);
+        assert!(!expert.contains(&arch.isa.opcode("stxvw4x").unwrap()));
     }
 
     #[test]

@@ -123,6 +123,51 @@ impl CacheGeometry {
     }
 }
 
+/// Geometry of the chip-level shared uncore: the shared last-level cache all cores
+/// contend for, plus the finite memory port behind it.
+///
+/// The per-core [`MemoryHierarchy`] describes the *private* view (L1, L2 and a local L3
+/// slice); this structure describes what the slices aggregate into when the simulator
+/// runs in shared-uncore mode: one chip-wide L3 and a memory interface with finite
+/// bandwidth, so co-scheduled memory-bound workloads contend for capacity and bandwidth
+/// instead of simulating in isolation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UncoreGeometry {
+    /// Geometry of the chip-wide shared L3 (the aggregation of all per-core slices).
+    pub shared_l3: CacheGeometry,
+    /// Cycles the memory port is occupied per line transferred (the reciprocal of the
+    /// chip's memory bandwidth in lines per cycle).
+    pub mem_port_cycles: u32,
+    /// Maximum number of line transfers that may be queued on the memory port; demand
+    /// misses beyond this depth stall the requesting thread (back-pressure).
+    pub mem_queue_depth: u32,
+}
+
+impl UncoreGeometry {
+    /// POWER7-like shared uncore: the eight 4 MB local slices aggregate into one 32 MB
+    /// 8-way shared L3 with the same 128-byte lines and load-to-use latency, in front of
+    /// a memory port that sustains one line per 2 cycles with an 8-transfer queue.
+    pub fn power7() -> Self {
+        Self {
+            shared_l3: CacheGeometry::new(MemLevel::L3, 32 * 1024 * 1024, 128, 8, 27),
+            mem_port_cycles: 2,
+            mem_queue_depth: 8,
+        }
+    }
+
+    /// Cycles of queueing the port can accumulate before admission control stalls
+    /// further demand misses.
+    pub fn queue_limit_cycles(&self) -> u64 {
+        u64::from(self.mem_queue_depth) * u64::from(self.mem_port_cycles)
+    }
+}
+
+impl Default for UncoreGeometry {
+    fn default() -> Self {
+        Self::power7()
+    }
+}
+
 /// The full memory hierarchy description of one core plus main memory.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MemoryHierarchy {
@@ -227,6 +272,16 @@ mod tests {
         assert!(h.latency(MemLevel::L1) < h.latency(MemLevel::L2));
         assert!(h.latency(MemLevel::L2) < h.latency(MemLevel::L3));
         assert!(h.latency(MemLevel::L3) < h.latency(MemLevel::Mem));
+    }
+
+    #[test]
+    fn shared_uncore_aggregates_the_slices() {
+        let h = MemoryHierarchy::power7();
+        let u = UncoreGeometry::power7();
+        assert_eq!(u.shared_l3.capacity_bytes, 8 * h.l3.capacity_bytes);
+        assert_eq!(u.shared_l3.line_bytes, h.line_bytes());
+        assert_eq!(u.shared_l3.num_sets(), 32768);
+        assert_eq!(u.queue_limit_cycles(), 16);
     }
 
     #[test]

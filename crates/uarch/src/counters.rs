@@ -40,11 +40,18 @@ pub enum CounterId {
     L3Hits,
     /// Demand accesses served by main memory.
     MemAccesses,
+    /// Demand accesses that reached the L3 (hit or miss) — the uncore access counter.
+    L3Accesses,
+    /// Demand accesses that missed the L3 and required a memory line transfer.
+    L3Misses,
+    /// Cycles a hardware thread spent stalled on the full memory-port queue
+    /// (shared-uncore mode bandwidth contention; always 0 with private uncore).
+    BwStalls,
 }
 
 impl CounterId {
     /// All counters, in a stable order (the feature order used by the regression models).
-    pub const ALL: [CounterId; 14] = [
+    pub const ALL: [CounterId; 17] = [
         CounterId::Cycles,
         CounterId::InstrCompleted,
         CounterId::FxuOps,
@@ -59,6 +66,9 @@ impl CounterId {
         CounterId::L2Hits,
         CounterId::L3Hits,
         CounterId::MemAccesses,
+        CounterId::L3Accesses,
+        CounterId::L3Misses,
+        CounterId::BwStalls,
     ];
 
     /// Mnemonic used when printing counter traces.
@@ -78,6 +88,9 @@ impl CounterId {
             CounterId::L2Hits => "PM_DATA_FROM_L2",
             CounterId::L3Hits => "PM_DATA_FROM_L3",
             CounterId::MemAccesses => "PM_DATA_FROM_MEM",
+            CounterId::L3Accesses => "PM_L3_ACCESS",
+            CounterId::L3Misses => "PM_L3_MISS",
+            CounterId::BwStalls => "PM_MEM_BW_STALL_CYC",
         }
     }
 }
@@ -120,6 +133,12 @@ pub struct CounterValues {
     pub l3_hits: u64,
     /// Main memory accesses.
     pub mem_accesses: u64,
+    /// Demand accesses that reached the L3 (local slice or shared), hit or miss.
+    pub l3_accesses: u64,
+    /// Demand accesses that missed the L3 and transferred a line from memory.
+    pub l3_misses: u64,
+    /// Cycles stalled on the full memory-port queue (shared-uncore mode only).
+    pub bw_stalls: u64,
 }
 
 impl CounterValues {
@@ -140,6 +159,9 @@ impl CounterValues {
             CounterId::L2Hits => self.l2_hits,
             CounterId::L3Hits => self.l3_hits,
             CounterId::MemAccesses => self.mem_accesses,
+            CounterId::L3Accesses => self.l3_accesses,
+            CounterId::L3Misses => self.l3_misses,
+            CounterId::BwStalls => self.bw_stalls,
         }
     }
 
@@ -195,6 +217,9 @@ impl AddAssign for CounterValues {
         self.l2_hits += rhs.l2_hits;
         self.l3_hits += rhs.l3_hits;
         self.mem_accesses += rhs.mem_accesses;
+        self.l3_accesses += rhs.l3_accesses;
+        self.l3_misses += rhs.l3_misses;
+        self.bw_stalls += rhs.bw_stalls;
     }
 }
 
@@ -239,6 +264,16 @@ mod tests {
         };
         assert!((c.rate(CounterId::L1Hits) - 0.3).abs() < 1e-12);
         assert_eq!(c.memory_accesses(), 50);
+    }
+
+    #[test]
+    fn uncore_counters_round_trip() {
+        let a = CounterValues { l3_accesses: 9, l3_misses: 4, bw_stalls: 17, ..Default::default() };
+        let b = CounterValues { l3_accesses: 1, l3_misses: 1, bw_stalls: 3, ..Default::default() };
+        let s = a + b;
+        assert_eq!(s.get(CounterId::L3Accesses), 10);
+        assert_eq!(s.get(CounterId::L3Misses), 5);
+        assert_eq!(s.get(CounterId::BwStalls), 20);
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod iprops;
 pub mod power7;
 pub mod units;
 
-pub use cache::{CacheGeometry, MemLevel, MemoryHierarchy};
+pub use cache::{CacheGeometry, MemLevel, MemoryHierarchy, UncoreGeometry};
 pub use config::{CmpSmtConfig, SmtMode};
 pub use counters::{CounterId, CounterValues};
 pub use iprops::{InstrProps, InstrPropsTable, OpcodePropsTable};

@@ -3,7 +3,7 @@
 use mp_isa::power_isa::power_isa_v206b;
 use mp_isa::{InstrFlags, InstructionDef, Isa, LatencyClass};
 
-use crate::cache::MemoryHierarchy;
+use crate::cache::{MemoryHierarchy, UncoreGeometry};
 use crate::config::CmpSmtConfig;
 use crate::iprops::{InstrProps, InstrPropsTable, OpcodePropsTable};
 use crate::units::{power7_floorplan, CorePipes, FloorplanEntry};
@@ -24,6 +24,8 @@ pub struct MicroArchitecture {
     pub pipes: CorePipes,
     /// Cache hierarchy and memory latency.
     pub hierarchy: MemoryHierarchy,
+    /// Chip-level shared uncore: shared L3 geometry and memory-port bandwidth.
+    pub uncore: UncoreGeometry,
     /// Maximum number of cores on the chip.
     pub max_cores: u32,
     /// Nominal core frequency in GHz.
@@ -161,6 +163,7 @@ pub fn power7() -> MicroArchitecture {
         isa,
         pipes: CorePipes::power7(),
         hierarchy: MemoryHierarchy::power7(),
+        uncore: UncoreGeometry::power7(),
         max_cores: 8,
         frequency_ghz: 3.0,
         floorplan: power7_floorplan(),

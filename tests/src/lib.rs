@@ -15,6 +15,7 @@ pub fn test_platform() -> SimPlatform {
         noise_fraction: 0.002,
         prefetch_enabled: true,
         seed: 0x17e5,
+        uncore_mode: mp_sim::UncoreMode::Private,
     }))
 }
 

@@ -11,9 +11,9 @@
 //! If a change *intends* to alter simulator results, regenerate the table by running
 //! the test and copying the printed `actual` values — and say so in the PR.
 
-use mp_sim::fixtures::reference_kernels;
-use mp_sim::{ChipSim, Kernel, Measurement, SimOptions};
-use mp_uarch::{power7, CmpSmtConfig, SmtMode};
+use mp_sim::fixtures::{reference_kernels, uncore_contention_pair};
+use mp_sim::{ChipSim, Kernel, Measurement, SimOptions, UncoreMode};
+use mp_uarch::{power7, CmpSmtConfig, CounterId, SmtMode};
 
 /// FNV-1a 64-bit over a byte stream, driven field-by-field below.
 struct Fingerprint(u64);
@@ -39,14 +39,36 @@ impl Fingerprint {
     }
 }
 
-/// Hashes every observable field of a measurement, in a stable order.
-fn fingerprint(m: &Measurement) -> u64 {
+/// The counter set of the pre-shared-uncore simulator, in its original order.  The
+/// private-mode golden hashes below were recorded over exactly these counters; the
+/// uncore counters added later (`L3Accesses`, `L3Misses`, `BwStalls`) are hashed only
+/// by the shared-mode table, so the legacy fingerprints stay byte-identical.
+const LEGACY_COUNTERS: [CounterId; 14] = [
+    CounterId::Cycles,
+    CounterId::InstrCompleted,
+    CounterId::FxuOps,
+    CounterId::LsuOps,
+    CounterId::VsuOps,
+    CounterId::DfuOps,
+    CounterId::BruOps,
+    CounterId::Loads,
+    CounterId::Stores,
+    CounterId::Prefetches,
+    CounterId::L1Hits,
+    CounterId::L2Hits,
+    CounterId::L3Hits,
+    CounterId::MemAccesses,
+];
+
+/// Hashes every observable field of a measurement over the given counter set, in a
+/// stable order.
+fn fingerprint_with(m: &Measurement, counters: &[CounterId]) -> u64 {
     let mut h = Fingerprint::new();
     h.u64(u64::from(m.config().cores));
     h.u64(u64::from(m.config().smt.threads_per_core()));
     h.u64(m.cycles());
     for c in m.per_thread() {
-        for id in mp_uarch::CounterId::ALL {
+        for &id in counters {
             h.u64(c.get(id));
         }
     }
@@ -71,7 +93,15 @@ fn golden_sim() -> ChipSim {
         noise_fraction: 0.0025,
         prefetch_enabled: true,
         seed: 0x0060_1de2,
+        uncore_mode: UncoreMode::Private,
     })
+}
+
+/// The same pinned options with the shared chip-level uncore enabled.
+fn golden_shared_sim() -> ChipSim {
+    let mut options = golden_sim().options().clone();
+    options.uncore_mode = UncoreMode::Shared;
+    ChipSim::new(power7()).with_options(options)
 }
 
 fn golden_runs() -> Vec<(String, u64)> {
@@ -86,7 +116,10 @@ fn golden_runs() -> Vec<(String, u64)> {
     for kernel in &kernels {
         for config in configs {
             let m = sim.run(kernel, config);
-            out.push((format!("{}/{}", kernel.name(), config.label()), fingerprint(&m)));
+            out.push((
+                format!("{}/{}", kernel.name(), config.label()),
+                fingerprint_with(&m, &LEGACY_COUNTERS),
+            ));
         }
     }
     // A heterogeneous deployment exercises per-thread kernel state (distinct bodies,
@@ -95,7 +128,27 @@ fn golden_runs() -> Vec<(String, u64)> {
     let mix: Vec<Kernel> =
         vec![kernels[0].clone(), kernels[1].clone(), kernels[2].clone(), kernels[0].clone()];
     let m = sim.run_heterogeneous(&mix, config);
-    out.push(("heterogeneous/1-4".to_owned(), fingerprint(&m)));
+    out.push(("heterogeneous/1-4".to_owned(), fingerprint_with(&m, &LEGACY_COUNTERS)));
+    out
+}
+
+/// Shared-uncore golden runs: the reference kernels plus the contention pair, hashed
+/// over the *full* counter set (including the uncore counters).
+fn golden_shared_runs() -> Vec<(String, u64)> {
+    let sim = golden_shared_sim();
+    let isa = &sim.uarch().isa;
+    let kernels = reference_kernels(isa);
+    let (contender_a, contender_b) = uncore_contention_pair(isa);
+    let mut out = Vec::new();
+    for kernel in &kernels {
+        let m = sim.run(kernel, CmpSmtConfig::new(1, SmtMode::Smt4));
+        let label = format!("shared/{}/1-4", kernel.name());
+        out.push((label, fingerprint_with(&m, &CounterId::ALL)));
+    }
+    let m = sim.run(&contender_a, CmpSmtConfig::new(1, SmtMode::Smt1));
+    out.push(("shared/contender/1-1".to_owned(), fingerprint_with(&m, &CounterId::ALL)));
+    let m = sim.run_heterogeneous(&[contender_a, contender_b], CmpSmtConfig::new(2, SmtMode::Smt1));
+    out.push(("shared/contention_pair/2-1".to_owned(), fingerprint_with(&m, &CounterId::ALL)));
     out
 }
 
@@ -112,23 +165,42 @@ const GOLDEN: [(&str, u64); 10] = [
     ("heterogeneous/1-4", 0x6dcca0887ba54bba),
 ];
 
-#[test]
-fn measurements_match_golden_hashes() {
-    let actual = golden_runs();
+/// Shared-uncore golden hashes, recorded when the subsystem was introduced (full
+/// counter set, same pinned options as the private table).
+const GOLDEN_SHARED: [(&str, u64); 5] = [
+    ("shared/fix_compute/1-4", 0x25a565137b457c01),
+    ("shared/fix_memory/1-4", 0x962529a68ef91426),
+    ("shared/fix_branchy/1-4", 0xfde6a1763782cb10),
+    ("shared/contender/1-1", 0xc99dcdb40670f264),
+    ("shared/contention_pair/2-1", 0x2f6dc90ba7f12f47),
+];
+
+fn assert_matches_golden(actual: &[(String, u64)], expected: &[(&str, u64)], table: &str) {
     let expected: Vec<(String, u64)> =
-        GOLDEN.iter().map(|(label, hash)| ((*label).to_owned(), *hash)).collect();
-    if actual != expected {
-        for (label, hash) in &actual {
+        expected.iter().map(|(label, hash)| ((*label).to_owned(), *hash)).collect();
+    if actual != expected.as_slice() {
+        for (label, hash) in actual {
             eprintln!("    (\"{label}\", {hash:#018x}),");
         }
         panic!(
-            "simulator measurements diverged from the golden table; if the change is \
-             intentional, replace GOLDEN with the values printed above"
+            "simulator measurements diverged from the {table} golden table; if the \
+             change is intentional, replace the table with the values printed above"
         );
     }
 }
 
 #[test]
+fn measurements_match_golden_hashes() {
+    assert_matches_golden(&golden_runs(), &GOLDEN, "private-mode");
+}
+
+#[test]
+fn shared_uncore_measurements_match_golden_hashes() {
+    assert_matches_golden(&golden_shared_runs(), &GOLDEN_SHARED, "shared-mode");
+}
+
+#[test]
 fn golden_runs_are_reproducible_within_a_process() {
     assert_eq!(golden_runs(), golden_runs());
+    assert_eq!(golden_shared_runs(), golden_shared_runs());
 }

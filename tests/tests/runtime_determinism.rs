@@ -28,6 +28,7 @@ fn fast_platform() -> SimPlatform {
         noise_fraction: 0.002,
         prefetch_enabled: true,
         seed: 0xd37e,
+        uncore_mode: mp_sim::UncoreMode::Private,
     }))
 }
 
