@@ -1,0 +1,79 @@
+//! Criterion benches of the spec-loading subsystem: parsing the embedded ISA and
+//! machine descriptions, emitting them back out, materialising a complete backend
+//! from text, and a simulation smoke on the spec-loaded POWER8 machine so the
+//! cross-backend path has a performance data point per revision.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mp_isa::spec::{emit_isa, isa_spec_source, load_isa, parse_isa, spec_digest};
+use mp_sim::{fixtures, ChipSim, SimOptions};
+use mp_uarch::spec::{emit_machine, machine_spec_source, parse_machine};
+use mp_uarch::{CmpSmtConfig, SmtMode};
+
+fn bench_spec_parsing(c: &mut Criterion) {
+    let isa_text = isa_spec_source("power7").expect("power7 ISA spec is embedded");
+    let mut group = c.benchmark_group("spec_parse");
+    group.bench_function("isa_power7", |b| b.iter(|| parse_isa(isa_text).unwrap()));
+    for name in mp_uarch::backend_names() {
+        let text = machine_spec_source(name).expect("listed backend has a source");
+        group.bench_with_input(BenchmarkId::new("machine", name), &text, |b, text| {
+            b.iter(|| parse_machine(text).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_spec_emission(c: &mut Criterion) {
+    let isa = load_isa("power7").expect("power7 ISA loads");
+    let machine = parse_machine(machine_spec_source("power8").unwrap()).unwrap();
+    let mut group = c.benchmark_group("spec_emit");
+    group.bench_function("isa_power7", |b| b.iter(|| emit_isa(&isa)));
+    group.bench_function("machine_power8", |b| b.iter(|| emit_machine(&machine)));
+    group.finish();
+}
+
+/// The full text → `MicroArchitecture` path a cold `mp_uarch::backend` call pays:
+/// parse both specs, digest them, and build the derived tables.
+fn bench_backend_materialisation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spec_build");
+    for name in mp_uarch::backend_names() {
+        let machine_text = machine_spec_source(name).unwrap();
+        let isa_name = parse_machine(machine_text).unwrap().isa_name;
+        let isa_text = isa_spec_source(&isa_name).unwrap();
+        group.bench_with_input(BenchmarkId::new("backend", name), &name, |b, _| {
+            b.iter(|| {
+                let isa = parse_isa(isa_text).unwrap();
+                let spec = parse_machine(machine_text).unwrap();
+                let digest = spec_digest(&[isa_text, machine_text]);
+                spec.build(isa, digest).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_power8_simulation(c: &mut Criterion) {
+    let arch = mp_uarch::power8();
+    let kernels = fixtures::reference_kernels(&arch.isa);
+    let sim = ChipSim::new(arch).with_options(SimOptions::fast());
+    let mut group = c.benchmark_group("spec_backend_sim");
+    group.sample_size(10);
+    for (cores, smt) in [(1, SmtMode::Smt1), (4, SmtMode::Smt8)] {
+        let config = CmpSmtConfig::new(cores, smt);
+        group.bench_with_input(
+            BenchmarkId::new("power8_reference", config.label()),
+            &config,
+            |b, &config| b.iter(|| sim.run(&kernels[0], config)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_spec_parsing,
+    bench_spec_emission,
+    bench_backend_materialisation,
+    bench_power8_simulation
+);
+criterion_main!(benches);

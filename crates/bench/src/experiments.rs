@@ -57,7 +57,8 @@ impl ExperimentScale {
         }
     }
 
-    fn loop_instructions(self) -> usize {
+    /// The loop body length of generated benchmarks at this scale.
+    pub fn loop_instructions(self) -> usize {
         match self {
             ExperimentScale::Quick => 96,
             ExperimentScale::Standard => 192,
@@ -73,7 +74,8 @@ impl ExperimentScale {
         }
     }
 
-    fn stressmark_budget(self) -> Option<usize> {
+    /// The DSE candidate budget at this scale (`None` = exhaustive).
+    pub fn stressmark_budget(self) -> Option<usize> {
         match self {
             ExperimentScale::Quick => Some(30),
             ExperimentScale::Standard => Some(120),
@@ -122,7 +124,8 @@ impl ExperimentScale {
         }
     }
 
-    fn sim_options(self) -> SimOptions {
+    /// The simulator options used at this scale (shorter runs for `Quick`/`Standard`).
+    pub fn sim_options(self) -> SimOptions {
         match self {
             ExperimentScale::Quick => SimOptions {
                 warmup_cycles: 1_500,
@@ -184,8 +187,18 @@ pub struct Experiments {
 impl Experiments {
     /// Creates a driver at the given scale, backed by the simulated POWER7 platform.
     pub fn new(scale: ExperimentScale) -> Self {
-        let sim = ChipSim::new(mp_uarch::power7()).with_options(scale.sim_options());
-        Self { session: ExperimentSession::new(SimPlatform::new(sim)), scale }
+        Self::on_backend("power7", scale).expect("the power7 machine spec is embedded")
+    }
+
+    /// Creates a driver at the given scale on a named spec-loaded backend (any name
+    /// from [`mp_uarch::backend_names`]); the whole pipeline — training, modeling,
+    /// taxonomy, stressmark search — then runs against that machine description.
+    ///
+    /// Returns `None` for an unknown backend name.
+    pub fn on_backend(backend: &str, scale: ExperimentScale) -> Option<Self> {
+        let uarch = mp_uarch::backend(backend)?;
+        let sim = ChipSim::new(uarch).with_options(scale.sim_options());
+        Some(Self { session: ExperimentSession::new(SimPlatform::new(sim)), scale })
     }
 
     /// The platform used for all measurements.
@@ -198,11 +211,17 @@ impl Experiments {
         &self.session
     }
 
-    /// The CMP-SMT configurations evaluated at this scale.
+    /// The CMP-SMT configurations evaluated at this scale: the scale's core counts
+    /// (clamped to the backend's) crossed with every SMT mode the machine description
+    /// lists — SMT1/2/4 on POWER7, up to SMT8 on a POWER8-like backend.
     pub fn configs(&self) -> Vec<CmpSmtConfig> {
+        let uarch = self.platform().uarch();
         let mut configs = Vec::new();
         for cores in self.scale.cores() {
-            for smt in SmtMode::ALL {
+            if cores > uarch.max_cores {
+                continue;
+            }
+            for &smt in &uarch.smt_modes {
                 configs.push(CmpSmtConfig::new(cores, smt));
             }
         }
@@ -332,7 +351,7 @@ impl Experiments {
         let budget = self.scale.stressmark_budget();
         let smt_modes = match self.scale {
             ExperimentScale::Quick => vec![SmtMode::Smt4],
-            _ => vec![SmtMode::Smt1, SmtMode::Smt2, SmtMode::Smt4],
+            _ => arch.smt_modes.clone(),
         };
         // The stressmarks and the SPEC normalisation baseline must run on the same number
         // of cores, otherwise the comparison is meaningless.  The search shares the

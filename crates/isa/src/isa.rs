@@ -53,7 +53,7 @@ impl Error for IsaError {}
 /// The registry owns the [`InstructionDef`]s and provides the selection queries that the
 /// paper's generation policies rely on (loads, stores, per-unit filters, arbitrary
 /// predicates).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Isa {
     name: String,
     defs: Vec<InstructionDef>,

@@ -36,7 +36,10 @@ pub mod instruction;
 pub mod isa;
 pub mod operand;
 pub mod power_isa;
+#[cfg(test)]
+mod power_isa_handcoded;
 pub mod register;
+pub mod spec;
 
 pub use def::{Format, InstructionDef, IssueClass, LatencyClass, OperandWidth, Unit};
 pub use flags::InstrFlags;
@@ -44,6 +47,7 @@ pub use instruction::{Instruction, MemAccess};
 pub use isa::{Isa, IsaError, OpcodeId};
 pub use operand::{Operand, OperandKind};
 pub use register::{RegAccess, RegDenseMap, RegRef, RegisterFile};
+pub use spec::SpecError;
 
 #[cfg(test)]
 mod tests {

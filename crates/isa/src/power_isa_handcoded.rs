@@ -1,0 +1,1920 @@
+//! The historical hand-coded Power ISA v2.06B table, kept as a test-only comparison shim.
+//!
+//! The authoritative definition now lives in `specs/power7.isa` and is loaded by
+//! [`crate::spec`].  This module preserves the original Rust table verbatim so the
+//! round-trip tests can prove, definition by definition, that the spec-loaded ISA is
+//! identical to it — and so `specs/power7.isa` can be regenerated
+//! (`cargo test -p mp-isa -- --ignored regenerate_power7_isa_spec`) if the table is
+//! ever amended.
+
+use crate::def::{Format, InstructionDef, IssueClass, LatencyClass, OperandWidth, Unit};
+use crate::flags::InstrFlags;
+use crate::isa::Isa;
+use crate::operand::OperandKind;
+use crate::register::{RegAccess, RegisterFile};
+
+const GPR_R: OperandKind = OperandKind::Reg { file: RegisterFile::Gpr, access: RegAccess::Read };
+const GPR_W: OperandKind = OperandKind::Reg { file: RegisterFile::Gpr, access: RegAccess::Write };
+const GPR_RW: OperandKind =
+    OperandKind::Reg { file: RegisterFile::Gpr, access: RegAccess::ReadWrite };
+const FPR_R: OperandKind = OperandKind::Reg { file: RegisterFile::Fpr, access: RegAccess::Read };
+const FPR_W: OperandKind = OperandKind::Reg { file: RegisterFile::Fpr, access: RegAccess::Write };
+const VSR_R: OperandKind = OperandKind::Reg { file: RegisterFile::Vsr, access: RegAccess::Read };
+const VSR_W: OperandKind = OperandKind::Reg { file: RegisterFile::Vsr, access: RegAccess::Write };
+const VR_R: OperandKind = OperandKind::Reg { file: RegisterFile::Vr, access: RegAccess::Read };
+const VR_W: OperandKind = OperandKind::Reg { file: RegisterFile::Vr, access: RegAccess::Write };
+const SI16: OperandKind = OperandKind::Imm { bits: 16, signed: true };
+const D16: OperandKind = OperandKind::Displacement { bits: 16 };
+const D14: OperandKind = OperandKind::Displacement { bits: 14 };
+const CR_W: OperandKind = OperandKind::CrField { access: RegAccess::Write };
+
+/// Fixed point XO/X-form register-register arithmetic executed only by the FXU.
+fn fxu_rrr(
+    m: &'static str,
+    desc: &'static str,
+    xo: u16,
+    cx: f64,
+    lat: LatencyClass,
+    fl: InstrFlags,
+) -> InstructionDef {
+    InstructionDef::builder(m, Format::Xo, 31)
+        .description(desc)
+        .flags(InstrFlags::INTEGER | fl)
+        .issue(IssueClass::Fxu)
+        .latency(lat)
+        .complexity(cx)
+        .xo(xo)
+        .operands(&[GPR_W, GPR_R, GPR_R])
+        .build()
+}
+
+/// Simple fixed point register-register operations executable by either FXU or LSU pipes.
+fn simple_rrr(
+    m: &'static str,
+    desc: &'static str,
+    xo: u16,
+    cx: f64,
+    fl: InstrFlags,
+) -> InstructionDef {
+    InstructionDef::builder(m, Format::X, 31)
+        .description(desc)
+        .flags(InstrFlags::INTEGER | fl)
+        .issue(IssueClass::FxuOrLsu)
+        .latency(LatencyClass::Simple)
+        .complexity(cx)
+        .xo(xo)
+        .operands(&[GPR_W, GPR_R, GPR_R])
+        .build()
+}
+
+/// Fixed point D-form register-immediate arithmetic.
+fn fxu_rri(
+    m: &'static str,
+    desc: &'static str,
+    op: u8,
+    cx: f64,
+    fl: InstrFlags,
+    simple: bool,
+) -> InstructionDef {
+    InstructionDef::builder(m, Format::D, op)
+        .description(desc)
+        .flags(InstrFlags::INTEGER | InstrFlags::IMMEDIATE_FORM | fl)
+        .issue(if simple { IssueClass::FxuOrLsu } else { IssueClass::Fxu })
+        .latency(LatencyClass::Simple)
+        .complexity(cx)
+        .operands(&[GPR_W, GPR_R, SI16])
+        .build()
+}
+
+/// Fixed point load, D/DS-form (`lXz rt, d(ra)`).
+fn load_d(
+    m: &'static str,
+    desc: &'static str,
+    op: u8,
+    bytes: u8,
+    w: OperandWidth,
+    cx: f64,
+    fl: InstrFlags,
+) -> InstructionDef {
+    let disp = if bytes == 8 { D14 } else { D16 };
+    let fmt = if bytes == 8 { Format::Ds } else { Format::D };
+    let base = if fl.contains(InstrFlags::UPDATE_FORM) { GPR_RW } else { GPR_R };
+    let mut b = InstructionDef::builder(m, fmt, op)
+        .description(desc)
+        .flags(InstrFlags::LOAD | InstrFlags::INTEGER | fl)
+        .issue(IssueClass::Lsu)
+        .width(w)
+        .latency(LatencyClass::Memory)
+        .complexity(cx)
+        .mem_bytes(bytes)
+        .operands(&[GPR_W, disp, base]);
+    if fl.intersects(InstrFlags::UPDATE_FORM | InstrFlags::ALGEBRAIC) {
+        b = b.also_stresses(Unit::Fxu);
+    }
+    b.build()
+}
+
+/// Fixed point load, X-form indexed (`lXzx rt, ra, rb`).
+fn load_x(
+    m: &'static str,
+    desc: &'static str,
+    xo: u16,
+    bytes: u8,
+    w: OperandWidth,
+    cx: f64,
+    fl: InstrFlags,
+) -> InstructionDef {
+    let base = if fl.contains(InstrFlags::UPDATE_FORM) { GPR_RW } else { GPR_R };
+    let mut b = InstructionDef::builder(m, Format::X, 31)
+        .description(desc)
+        .flags(InstrFlags::LOAD | InstrFlags::INTEGER | InstrFlags::INDEXED_FORM | fl)
+        .issue(IssueClass::Lsu)
+        .width(w)
+        .latency(LatencyClass::Memory)
+        .complexity(cx)
+        .mem_bytes(bytes)
+        .xo(xo)
+        .operands(&[GPR_W, base, GPR_R]);
+    if fl.intersects(InstrFlags::UPDATE_FORM | InstrFlags::ALGEBRAIC) {
+        b = b.also_stresses(Unit::Fxu);
+    }
+    b.build()
+}
+
+/// Floating point load (D-form or X-form depending on `xo`).
+fn load_fp(
+    m: &'static str,
+    desc: &'static str,
+    op: u8,
+    xo: u16,
+    bytes: u8,
+    cx: f64,
+    fl: InstrFlags,
+) -> InstructionDef {
+    let indexed = fl.contains(InstrFlags::INDEXED_FORM);
+    let base = if fl.contains(InstrFlags::UPDATE_FORM) { GPR_RW } else { GPR_R };
+    let mut b = InstructionDef::builder(m, if indexed { Format::X } else { Format::D }, op)
+        .description(desc)
+        .flags(InstrFlags::LOAD | InstrFlags::FLOAT | fl)
+        .issue(IssueClass::Lsu)
+        .width(if bytes == 4 { OperandWidth::W32 } else { OperandWidth::W64 })
+        .latency(LatencyClass::Memory)
+        .complexity(cx)
+        .mem_bytes(bytes)
+        .xo(xo);
+    b = if indexed { b.operands(&[FPR_W, base, GPR_R]) } else { b.operands(&[FPR_W, D16, base]) };
+    if fl.contains(InstrFlags::UPDATE_FORM) {
+        b = b.also_stresses(Unit::Fxu);
+    }
+    b.build()
+}
+
+/// VSX/VMX vector load, always X-form indexed; stresses the LSU and the VSU.
+fn load_vec(
+    m: &'static str,
+    desc: &'static str,
+    xo: u16,
+    bytes: u8,
+    cx: f64,
+    vsx: bool,
+) -> InstructionDef {
+    let target = if vsx { VSR_W } else { VR_W };
+    InstructionDef::builder(m, if vsx { Format::Xx3 } else { Format::Vx }, 31)
+        .description(desc)
+        .flags(InstrFlags::LOAD | InstrFlags::VECTOR | InstrFlags::INDEXED_FORM)
+        .issue(IssueClass::Lsu)
+        .also_stresses(Unit::Vsu)
+        .width(OperandWidth::W128)
+        .latency(LatencyClass::Memory)
+        .complexity(cx)
+        .mem_bytes(bytes)
+        .xo(xo)
+        .operands(&[target, GPR_R, GPR_R])
+        .build()
+}
+
+/// Fixed point store, D/DS-form.
+fn store_d(
+    m: &'static str,
+    desc: &'static str,
+    op: u8,
+    bytes: u8,
+    w: OperandWidth,
+    cx: f64,
+    fl: InstrFlags,
+) -> InstructionDef {
+    let disp = if bytes == 8 { D14 } else { D16 };
+    let base = if fl.contains(InstrFlags::UPDATE_FORM) { GPR_RW } else { GPR_R };
+    let mut b = InstructionDef::builder(m, if bytes == 8 { Format::Ds } else { Format::D }, op)
+        .description(desc)
+        .flags(InstrFlags::STORE | InstrFlags::INTEGER | fl)
+        .issue(IssueClass::Lsu)
+        .width(w)
+        .latency(LatencyClass::Memory)
+        .complexity(cx)
+        .mem_bytes(bytes)
+        .operands(&[GPR_R, disp, base]);
+    if fl.contains(InstrFlags::UPDATE_FORM) {
+        b = b.also_stresses(Unit::Fxu);
+    }
+    b.build()
+}
+
+/// Fixed point store, X-form indexed.
+fn store_x(
+    m: &'static str,
+    desc: &'static str,
+    xo: u16,
+    bytes: u8,
+    w: OperandWidth,
+    cx: f64,
+    fl: InstrFlags,
+) -> InstructionDef {
+    let base = if fl.contains(InstrFlags::UPDATE_FORM) { GPR_RW } else { GPR_R };
+    let mut b = InstructionDef::builder(m, Format::X, 31)
+        .description(desc)
+        .flags(InstrFlags::STORE | InstrFlags::INTEGER | InstrFlags::INDEXED_FORM | fl)
+        .issue(IssueClass::Lsu)
+        .width(w)
+        .latency(LatencyClass::Memory)
+        .complexity(cx)
+        .mem_bytes(bytes)
+        .xo(xo)
+        .operands(&[GPR_R, base, GPR_R]);
+    if fl.contains(InstrFlags::UPDATE_FORM) {
+        b = b.also_stresses(Unit::Fxu);
+    }
+    b.build()
+}
+
+/// Floating point store.
+fn store_fp(
+    m: &'static str,
+    desc: &'static str,
+    op: u8,
+    xo: u16,
+    bytes: u8,
+    cx: f64,
+    fl: InstrFlags,
+) -> InstructionDef {
+    let indexed = fl.contains(InstrFlags::INDEXED_FORM);
+    let base = if fl.contains(InstrFlags::UPDATE_FORM) { GPR_RW } else { GPR_R };
+    let mut b = InstructionDef::builder(m, if indexed { Format::X } else { Format::D }, op)
+        .description(desc)
+        .flags(InstrFlags::STORE | InstrFlags::FLOAT | fl)
+        .issue(IssueClass::Lsu)
+        .also_stresses(Unit::Vsu)
+        .width(if bytes == 4 { OperandWidth::W32 } else { OperandWidth::W64 })
+        .latency(LatencyClass::Memory)
+        .complexity(cx)
+        .mem_bytes(bytes)
+        .xo(xo);
+    b = if indexed { b.operands(&[FPR_R, base, GPR_R]) } else { b.operands(&[FPR_R, D16, base]) };
+    if fl.contains(InstrFlags::UPDATE_FORM) {
+        b = b.also_stresses(Unit::Fxu);
+    }
+    b.build()
+}
+
+/// VSX/VMX vector store; stresses LSU (address generation) and VSU (data propagation).
+fn store_vec(
+    m: &'static str,
+    desc: &'static str,
+    xo: u16,
+    bytes: u8,
+    cx: f64,
+    vsx: bool,
+) -> InstructionDef {
+    let source = if vsx { VSR_R } else { VR_R };
+    InstructionDef::builder(m, if vsx { Format::Xx3 } else { Format::Vx }, 31)
+        .description(desc)
+        .flags(InstrFlags::STORE | InstrFlags::VECTOR | InstrFlags::INDEXED_FORM)
+        .issue(IssueClass::Lsu)
+        .also_stresses(Unit::Vsu)
+        .width(OperandWidth::W128)
+        .latency(LatencyClass::Memory)
+        .complexity(cx)
+        .mem_bytes(bytes)
+        .xo(xo)
+        .operands(&[source, GPR_R, GPR_R])
+        .build()
+}
+
+/// Scalar floating point arithmetic (A/X-form on FPRs), executed by the VSU.
+fn fp_arith(
+    m: &'static str,
+    desc: &'static str,
+    xo: u16,
+    nsrc: usize,
+    cx: f64,
+    lat: LatencyClass,
+    fl: InstrFlags,
+) -> InstructionDef {
+    let mut b = InstructionDef::builder(m, Format::A, 63)
+        .description(desc)
+        .flags(InstrFlags::FLOAT | fl)
+        .issue(IssueClass::Vsu)
+        .width(OperandWidth::W64)
+        .latency(lat)
+        .complexity(cx)
+        .xo(xo)
+        .operand(FPR_W);
+    for _ in 0..nsrc {
+        b = b.operand(FPR_R);
+    }
+    b.build()
+}
+
+/// VSX arithmetic (XX3-form on VSRs), executed by the VSU.
+fn vsx_arith(
+    m: &'static str,
+    desc: &'static str,
+    xo: u16,
+    nsrc: usize,
+    cx: f64,
+    lat: LatencyClass,
+    fl: InstrFlags,
+) -> InstructionDef {
+    let mut b = InstructionDef::builder(m, Format::Xx3, 60)
+        .description(desc)
+        .flags(InstrFlags::VECTOR | InstrFlags::FLOAT | fl)
+        .issue(IssueClass::Vsu)
+        .width(OperandWidth::W128)
+        .latency(lat)
+        .complexity(cx)
+        .xo(xo)
+        .operand(VSR_W);
+    for _ in 0..nsrc {
+        b = b.operand(VSR_R);
+    }
+    b.build()
+}
+
+/// VMX integer/logical vector arithmetic (VX-form on VRs), executed by the VSU.
+fn vmx_arith(
+    m: &'static str,
+    desc: &'static str,
+    xo: u16,
+    nsrc: usize,
+    cx: f64,
+    lat: LatencyClass,
+    fl: InstrFlags,
+) -> InstructionDef {
+    let mut b = InstructionDef::builder(m, Format::Vx, 4)
+        .description(desc)
+        .flags(InstrFlags::VECTOR | fl)
+        .issue(IssueClass::Vsu)
+        .width(OperandWidth::W128)
+        .latency(lat)
+        .complexity(cx)
+        .xo(xo)
+        .operand(VR_W);
+    for _ in 0..nsrc {
+        b = b.operand(VR_R);
+    }
+    b.build()
+}
+
+/// Decimal floating point arithmetic, executed by the DFU pipe of the VSU.
+fn dfp_arith(
+    m: &'static str,
+    desc: &'static str,
+    xo: u16,
+    cx: f64,
+    lat: LatencyClass,
+) -> InstructionDef {
+    InstructionDef::builder(m, Format::Z, 59)
+        .description(desc)
+        .flags(InstrFlags::DECIMAL)
+        .issue(IssueClass::Dfu)
+        .also_stresses(Unit::Vsu)
+        .width(OperandWidth::W64)
+        .latency(lat)
+        .complexity(cx)
+        .xo(xo)
+        .operands(&[FPR_W, FPR_R, FPR_R])
+        .build()
+}
+
+/// Builds the hand-coded Power ISA v2.06B subset registry (test-only comparison shim).
+pub fn power_isa_v206b_handcoded() -> Isa {
+    let mut defs: Vec<InstructionDef> = Vec::with_capacity(224);
+
+    // ---------------------------------------------------------------- fixed point: add/sub
+    defs.push(simple_rrr("add", "Add", 266, 1.25, InstrFlags::empty()));
+    defs.push(simple_rrr("addc", "Add Carrying", 10, 1.10, InstrFlags::CARRYING));
+    defs.push(simple_rrr("adde", "Add Extended", 138, 1.15, InstrFlags::CARRYING));
+    defs.push(fxu_rri("addi", "Add Immediate", 14, 1.00, InstrFlags::empty(), true));
+    defs.push(fxu_rri("addis", "Add Immediate Shifted", 15, 1.02, InstrFlags::empty(), true));
+    defs.push(fxu_rri("addic", "Add Immediate Carrying", 12, 1.00, InstrFlags::CARRYING, false));
+    defs.push(fxu_rri(
+        "addic.",
+        "Add Immediate Carrying and Record",
+        13,
+        1.05,
+        InstrFlags::CARRYING | InstrFlags::CR_WRITING,
+        false,
+    ));
+    defs.push(fxu_rrr(
+        "subf",
+        "Subtract From",
+        40,
+        1.45,
+        LatencyClass::Simple,
+        InstrFlags::empty(),
+    ));
+    defs.push(fxu_rrr(
+        "subfc",
+        "Subtract From Carrying",
+        8,
+        1.50,
+        LatencyClass::Simple,
+        InstrFlags::CARRYING,
+    ));
+    defs.push(fxu_rri(
+        "subfic",
+        "Subtract From Immediate Carrying",
+        8,
+        1.20,
+        InstrFlags::CARRYING,
+        false,
+    ));
+    defs.push(fxu_rrr("neg", "Negate", 104, 1.10, LatencyClass::Simple, InstrFlags::empty()));
+
+    // ---------------------------------------------------------------- fixed point: multiply/divide
+    defs.push(fxu_rrr(
+        "mulld",
+        "Multiply Low Doubleword",
+        233,
+        4.20,
+        LatencyClass::Medium,
+        InstrFlags::MULTIPLY,
+    ));
+    defs.push(fxu_rrr(
+        "mulldo",
+        "Multiply Low Doubleword with Overflow",
+        233,
+        4.55,
+        LatencyClass::Medium,
+        InstrFlags::MULTIPLY,
+    ));
+    defs.push(fxu_rrr(
+        "mullw",
+        "Multiply Low Word",
+        235,
+        3.60,
+        LatencyClass::Medium,
+        InstrFlags::MULTIPLY,
+    ));
+    defs.push(fxu_rrr(
+        "mulhw",
+        "Multiply High Word",
+        75,
+        3.55,
+        LatencyClass::Medium,
+        InstrFlags::MULTIPLY,
+    ));
+    defs.push(fxu_rrr(
+        "mulhwu",
+        "Multiply High Word Unsigned",
+        11,
+        3.50,
+        LatencyClass::Medium,
+        InstrFlags::MULTIPLY,
+    ));
+    defs.push(fxu_rrr(
+        "mulhd",
+        "Multiply High Doubleword",
+        73,
+        4.10,
+        LatencyClass::Medium,
+        InstrFlags::MULTIPLY,
+    ));
+    defs.push(fxu_rri("mulli", "Multiply Low Immediate", 7, 3.30, InstrFlags::MULTIPLY, false));
+    defs.push(fxu_rrr(
+        "divw",
+        "Divide Word",
+        491,
+        6.80,
+        LatencyClass::VeryLong,
+        InstrFlags::DIVIDE,
+    ));
+    defs.push(fxu_rrr(
+        "divwu",
+        "Divide Word Unsigned",
+        459,
+        6.60,
+        LatencyClass::VeryLong,
+        InstrFlags::DIVIDE,
+    ));
+    defs.push(fxu_rrr(
+        "divd",
+        "Divide Doubleword",
+        489,
+        8.20,
+        LatencyClass::VeryLong,
+        InstrFlags::DIVIDE,
+    ));
+    defs.push(fxu_rrr(
+        "divdu",
+        "Divide Doubleword Unsigned",
+        457,
+        8.00,
+        LatencyClass::VeryLong,
+        InstrFlags::DIVIDE,
+    ));
+
+    // ---------------------------------------------------------------- fixed point: logical
+    defs.push(simple_rrr("and", "AND", 28, 0.80, InstrFlags::LOGICAL));
+    defs.push(simple_rrr("or", "OR", 444, 0.88, InstrFlags::LOGICAL));
+    defs.push(simple_rrr("xor", "XOR", 316, 0.95, InstrFlags::LOGICAL));
+    defs.push(simple_rrr("nand", "NAND", 476, 1.05, InstrFlags::LOGICAL));
+    defs.push(simple_rrr("nor", "NOR", 124, 1.12, InstrFlags::LOGICAL));
+    defs.push(simple_rrr("eqv", "Equivalent", 284, 1.00, InstrFlags::LOGICAL));
+    defs.push(simple_rrr("andc", "AND with Complement", 60, 0.90, InstrFlags::LOGICAL));
+    defs.push(simple_rrr("orc", "OR with Complement", 412, 0.95, InstrFlags::LOGICAL));
+    defs.push(fxu_rri(
+        "andi.",
+        "AND Immediate and Record",
+        28,
+        0.92,
+        InstrFlags::LOGICAL | InstrFlags::CR_WRITING,
+        false,
+    ));
+    defs.push(fxu_rri("ori", "OR Immediate", 24, 0.82, InstrFlags::LOGICAL, true));
+    defs.push(fxu_rri("oris", "OR Immediate Shifted", 25, 0.84, InstrFlags::LOGICAL, true));
+    defs.push(fxu_rri("xori", "XOR Immediate", 26, 0.90, InstrFlags::LOGICAL, true));
+    defs.push(fxu_rri("xoris", "XOR Immediate Shifted", 27, 0.92, InstrFlags::LOGICAL, true));
+    defs.push(fxu_rrr(
+        "cntlzw",
+        "Count Leading Zeros Word",
+        26,
+        1.30,
+        LatencyClass::Simple,
+        InstrFlags::LOGICAL,
+    ));
+    defs.push(fxu_rrr(
+        "cntlzd",
+        "Count Leading Zeros Doubleword",
+        58,
+        1.40,
+        LatencyClass::Simple,
+        InstrFlags::LOGICAL,
+    ));
+    defs.push(fxu_rrr(
+        "popcntw",
+        "Population Count Words",
+        378,
+        1.60,
+        LatencyClass::Simple,
+        InstrFlags::LOGICAL,
+    ));
+    defs.push(fxu_rrr(
+        "popcntd",
+        "Population Count Doubleword",
+        506,
+        1.70,
+        LatencyClass::Simple,
+        InstrFlags::LOGICAL,
+    ));
+    defs.push(fxu_rrr(
+        "extsb",
+        "Extend Sign Byte",
+        954,
+        0.95,
+        LatencyClass::Simple,
+        InstrFlags::LOGICAL,
+    ));
+    defs.push(fxu_rrr(
+        "extsh",
+        "Extend Sign Halfword",
+        922,
+        0.97,
+        LatencyClass::Simple,
+        InstrFlags::LOGICAL,
+    ));
+    defs.push(fxu_rrr(
+        "extsw",
+        "Extend Sign Word",
+        986,
+        1.00,
+        LatencyClass::Simple,
+        InstrFlags::LOGICAL,
+    ));
+
+    // ---------------------------------------------------------------- fixed point: shifts/rotates
+    defs.push(fxu_rrr("slw", "Shift Left Word", 24, 1.25, LatencyClass::Simple, InstrFlags::SHIFT));
+    defs.push(fxu_rrr(
+        "srw",
+        "Shift Right Word",
+        536,
+        1.25,
+        LatencyClass::Simple,
+        InstrFlags::SHIFT,
+    ));
+    defs.push(fxu_rrr(
+        "sld",
+        "Shift Left Doubleword",
+        27,
+        1.35,
+        LatencyClass::Simple,
+        InstrFlags::SHIFT,
+    ));
+    defs.push(fxu_rrr(
+        "srd",
+        "Shift Right Doubleword",
+        539,
+        1.35,
+        LatencyClass::Simple,
+        InstrFlags::SHIFT,
+    ));
+    defs.push(fxu_rrr(
+        "sraw",
+        "Shift Right Algebraic Word",
+        792,
+        1.45,
+        LatencyClass::Simple,
+        InstrFlags::SHIFT,
+    ));
+    defs.push(fxu_rrr(
+        "srad",
+        "Shift Right Algebraic Doubleword",
+        794,
+        1.50,
+        LatencyClass::Simple,
+        InstrFlags::SHIFT,
+    ));
+    defs.push(
+        InstructionDef::builder("rlwinm", Format::M, 21)
+            .description("Rotate Left Word Immediate then AND with Mask")
+            .flags(InstrFlags::INTEGER | InstrFlags::SHIFT | InstrFlags::IMMEDIATE_FORM)
+            .issue(IssueClass::Fxu)
+            .complexity(1.40)
+            .operands(&[
+                GPR_W,
+                GPR_R,
+                OperandKind::Imm { bits: 5, signed: false },
+                OperandKind::Imm { bits: 5, signed: false },
+                OperandKind::Imm { bits: 5, signed: false },
+            ])
+            .build(),
+    );
+    defs.push(
+        InstructionDef::builder("rldicl", Format::M, 30)
+            .description("Rotate Left Doubleword Immediate then Clear Left")
+            .flags(InstrFlags::INTEGER | InstrFlags::SHIFT | InstrFlags::IMMEDIATE_FORM)
+            .issue(IssueClass::Fxu)
+            .complexity(1.45)
+            .operands(&[
+                GPR_W,
+                GPR_R,
+                OperandKind::Imm { bits: 6, signed: false },
+                OperandKind::Imm { bits: 6, signed: false },
+            ])
+            .build(),
+    );
+
+    // ---------------------------------------------------------------- fixed point: compares, select
+    defs.push(
+        InstructionDef::builder("cmpw", Format::X, 31)
+            .description("Compare Word signed")
+            .flags(InstrFlags::INTEGER | InstrFlags::COMPARE | InstrFlags::CR_WRITING)
+            .issue(IssueClass::Fxu)
+            .also_stresses(Unit::Bru)
+            .complexity(0.90)
+            .xo(0)
+            .operands(&[CR_W, GPR_R, GPR_R])
+            .build(),
+    );
+    defs.push(
+        InstructionDef::builder("cmpd", Format::X, 31)
+            .description("Compare Doubleword signed")
+            .flags(InstrFlags::INTEGER | InstrFlags::COMPARE | InstrFlags::CR_WRITING)
+            .issue(IssueClass::Fxu)
+            .also_stresses(Unit::Bru)
+            .complexity(0.95)
+            .xo(1)
+            .operands(&[CR_W, GPR_R, GPR_R])
+            .build(),
+    );
+    defs.push(
+        InstructionDef::builder("cmpwi", Format::D, 11)
+            .description("Compare Word Immediate signed")
+            .flags(
+                InstrFlags::INTEGER
+                    | InstrFlags::COMPARE
+                    | InstrFlags::CR_WRITING
+                    | InstrFlags::IMMEDIATE_FORM,
+            )
+            .issue(IssueClass::Fxu)
+            .also_stresses(Unit::Bru)
+            .complexity(0.85)
+            .operands(&[CR_W, GPR_R, SI16])
+            .build(),
+    );
+    defs.push(
+        InstructionDef::builder("isel", Format::A, 31)
+            .description("Integer Select on CR bit")
+            .flags(InstrFlags::INTEGER | InstrFlags::CONDITIONAL)
+            .issue(IssueClass::Fxu)
+            .complexity(1.30)
+            .xo(15)
+            .operands(&[GPR_W, GPR_R, GPR_R])
+            .build(),
+    );
+
+    // ---------------------------------------------------------------- fixed point loads
+    defs.push(load_d(
+        "lbz",
+        "Load Byte and Zero",
+        34,
+        1,
+        OperandWidth::W8,
+        1.20,
+        InstrFlags::empty(),
+    ));
+    defs.push(load_d(
+        "lbzu",
+        "Load Byte and Zero with Update",
+        35,
+        1,
+        OperandWidth::W8,
+        1.80,
+        InstrFlags::UPDATE_FORM,
+    ));
+    defs.push(load_d(
+        "lhz",
+        "Load Halfword and Zero",
+        40,
+        2,
+        OperandWidth::W16,
+        1.25,
+        InstrFlags::empty(),
+    ));
+    defs.push(load_d(
+        "lhzu",
+        "Load Halfword and Zero with Update",
+        41,
+        2,
+        OperandWidth::W16,
+        1.85,
+        InstrFlags::UPDATE_FORM,
+    ));
+    defs.push(load_d(
+        "lha",
+        "Load Halfword Algebraic",
+        42,
+        2,
+        OperandWidth::W16,
+        1.55,
+        InstrFlags::ALGEBRAIC,
+    ));
+    defs.push(load_d(
+        "lhau",
+        "Load Halfword Algebraic with Update",
+        43,
+        2,
+        OperandWidth::W16,
+        2.45,
+        InstrFlags::ALGEBRAIC | InstrFlags::UPDATE_FORM,
+    ));
+    defs.push(load_d(
+        "lwz",
+        "Load Word and Zero",
+        32,
+        4,
+        OperandWidth::W32,
+        1.35,
+        InstrFlags::empty(),
+    ));
+    defs.push(load_d(
+        "lwzu",
+        "Load Word and Zero with Update",
+        33,
+        4,
+        OperandWidth::W32,
+        1.95,
+        InstrFlags::UPDATE_FORM,
+    ));
+    defs.push(load_d(
+        "lwa",
+        "Load Word Algebraic",
+        58,
+        4,
+        OperandWidth::W32,
+        1.65,
+        InstrFlags::ALGEBRAIC,
+    ));
+    defs.push(load_d("ld", "Load Doubleword", 58, 8, OperandWidth::W64, 1.45, InstrFlags::empty()));
+    defs.push(load_d(
+        "ldu",
+        "Load Doubleword with Update",
+        58,
+        8,
+        OperandWidth::W64,
+        2.10,
+        InstrFlags::UPDATE_FORM,
+    ));
+    defs.push(load_x(
+        "lbzx",
+        "Load Byte and Zero Indexed",
+        87,
+        1,
+        OperandWidth::W8,
+        1.30,
+        InstrFlags::empty(),
+    ));
+    defs.push(load_x(
+        "lhzx",
+        "Load Halfword and Zero Indexed",
+        279,
+        2,
+        OperandWidth::W16,
+        1.35,
+        InstrFlags::empty(),
+    ));
+    defs.push(load_x(
+        "lhax",
+        "Load Halfword Algebraic Indexed",
+        343,
+        2,
+        OperandWidth::W16,
+        1.70,
+        InstrFlags::ALGEBRAIC,
+    ));
+    defs.push(load_x(
+        "lhaux",
+        "Load Halfword Algebraic with Update Indexed",
+        375,
+        2,
+        OperandWidth::W16,
+        2.80,
+        InstrFlags::ALGEBRAIC | InstrFlags::UPDATE_FORM,
+    ));
+    defs.push(load_x(
+        "lwzx",
+        "Load Word and Zero Indexed",
+        23,
+        4,
+        OperandWidth::W32,
+        1.45,
+        InstrFlags::empty(),
+    ));
+    defs.push(load_x(
+        "lwax",
+        "Load Word Algebraic Indexed",
+        341,
+        4,
+        OperandWidth::W32,
+        2.52,
+        InstrFlags::ALGEBRAIC,
+    ));
+    defs.push(load_x(
+        "lwaux",
+        "Load Word Algebraic with Update Indexed",
+        373,
+        4,
+        OperandWidth::W32,
+        2.68,
+        InstrFlags::ALGEBRAIC | InstrFlags::UPDATE_FORM,
+    ));
+    defs.push(load_x(
+        "ldx",
+        "Load Doubleword Indexed",
+        21,
+        8,
+        OperandWidth::W64,
+        1.55,
+        InstrFlags::empty(),
+    ));
+    defs.push(load_x(
+        "ldux",
+        "Load Doubleword with Update Indexed",
+        53,
+        8,
+        OperandWidth::W64,
+        2.58,
+        InstrFlags::UPDATE_FORM,
+    ));
+
+    // ---------------------------------------------------------------- floating point loads
+    defs.push(load_fp("lfs", "Load Floating-Point Single", 48, 0, 4, 1.50, InstrFlags::empty()));
+    defs.push(load_fp(
+        "lfsu",
+        "Load Floating-Point Single with Update",
+        49,
+        0,
+        4,
+        2.12,
+        InstrFlags::UPDATE_FORM,
+    ));
+    defs.push(load_fp("lfd", "Load Floating-Point Double", 50, 0, 8, 1.60, InstrFlags::empty()));
+    defs.push(load_fp(
+        "lfdu",
+        "Load Floating-Point Double with Update",
+        51,
+        0,
+        8,
+        2.25,
+        InstrFlags::UPDATE_FORM,
+    ));
+    defs.push(load_fp(
+        "lfsx",
+        "Load Floating-Point Single Indexed",
+        31,
+        535,
+        4,
+        1.60,
+        InstrFlags::INDEXED_FORM,
+    ));
+    defs.push(load_fp(
+        "lfsux",
+        "Load Floating-Point Single with Update Indexed",
+        31,
+        567,
+        4,
+        2.35,
+        InstrFlags::UPDATE_FORM | InstrFlags::INDEXED_FORM,
+    ));
+    defs.push(load_fp(
+        "lfdx",
+        "Load Floating-Point Double Indexed",
+        31,
+        599,
+        8,
+        1.70,
+        InstrFlags::INDEXED_FORM,
+    ));
+    defs.push(load_fp(
+        "lfdux",
+        "Load Floating-Point Double with Update Indexed",
+        31,
+        631,
+        8,
+        2.45,
+        InstrFlags::UPDATE_FORM | InstrFlags::INDEXED_FORM,
+    ));
+
+    // ---------------------------------------------------------------- vector loads
+    defs.push(load_vec("lxvw4x", "Load VSX Vector Word*4 Indexed", 780, 16, 2.62, true));
+    defs.push(load_vec("lxvd2x", "Load VSX Vector Doubleword*2 Indexed", 844, 16, 2.55, true));
+    defs.push(load_vec("lxvdsx", "Load VSX Vector Doubleword & Splat Indexed", 332, 8, 2.40, true));
+    defs.push(load_vec("lxsdx", "Load VSX Scalar Doubleword Indexed", 588, 8, 1.95, true));
+    defs.push(load_vec("lvx", "Load Vector Indexed", 103, 16, 2.35, false));
+    defs.push(load_vec("lvxl", "Load Vector Indexed LRU", 359, 16, 2.38, false));
+    defs.push(load_vec("lvewx", "Load Vector Element Word Indexed", 71, 4, 2.56, false));
+    defs.push(load_vec("lvehx", "Load Vector Element Halfword Indexed", 39, 2, 2.50, false));
+    defs.push(load_vec("lvebx", "Load Vector Element Byte Indexed", 7, 1, 2.46, false));
+
+    // ---------------------------------------------------------------- fixed point stores
+    defs.push(store_d("stb", "Store Byte", 38, 1, OperandWidth::W8, 1.25, InstrFlags::empty()));
+    defs.push(store_d(
+        "stbu",
+        "Store Byte with Update",
+        39,
+        1,
+        OperandWidth::W8,
+        1.90,
+        InstrFlags::UPDATE_FORM,
+    ));
+    defs.push(store_d(
+        "sth",
+        "Store Halfword",
+        44,
+        2,
+        OperandWidth::W16,
+        1.30,
+        InstrFlags::empty(),
+    ));
+    defs.push(store_d(
+        "sthu",
+        "Store Halfword with Update",
+        45,
+        2,
+        OperandWidth::W16,
+        1.95,
+        InstrFlags::UPDATE_FORM,
+    ));
+    defs.push(store_d("stw", "Store Word", 36, 4, OperandWidth::W32, 1.40, InstrFlags::empty()));
+    defs.push(store_d(
+        "stwu",
+        "Store Word with Update",
+        37,
+        4,
+        OperandWidth::W32,
+        2.05,
+        InstrFlags::UPDATE_FORM,
+    ));
+    defs.push(store_d(
+        "std",
+        "Store Doubleword",
+        62,
+        8,
+        OperandWidth::W64,
+        1.50,
+        InstrFlags::empty(),
+    ));
+    defs.push(store_d(
+        "stdu",
+        "Store Doubleword with Update",
+        62,
+        8,
+        OperandWidth::W64,
+        2.15,
+        InstrFlags::UPDATE_FORM,
+    ));
+    defs.push(store_x(
+        "stbx",
+        "Store Byte Indexed",
+        215,
+        1,
+        OperandWidth::W8,
+        1.35,
+        InstrFlags::empty(),
+    ));
+    defs.push(store_x(
+        "sthx",
+        "Store Halfword Indexed",
+        407,
+        2,
+        OperandWidth::W16,
+        1.40,
+        InstrFlags::empty(),
+    ));
+    defs.push(store_x(
+        "stwx",
+        "Store Word Indexed",
+        151,
+        4,
+        OperandWidth::W32,
+        1.50,
+        InstrFlags::empty(),
+    ));
+    defs.push(store_x(
+        "stdx",
+        "Store Doubleword Indexed",
+        149,
+        8,
+        OperandWidth::W64,
+        1.60,
+        InstrFlags::empty(),
+    ));
+    defs.push(store_x(
+        "stwux",
+        "Store Word with Update Indexed",
+        183,
+        4,
+        OperandWidth::W32,
+        2.20,
+        InstrFlags::UPDATE_FORM,
+    ));
+    defs.push(store_x(
+        "stdux",
+        "Store Doubleword with Update Indexed",
+        181,
+        8,
+        OperandWidth::W64,
+        2.30,
+        InstrFlags::UPDATE_FORM,
+    ));
+
+    // ---------------------------------------------------------------- floating point stores
+    defs.push(store_fp("stfs", "Store Floating-Point Single", 52, 0, 4, 2.35, InstrFlags::empty()));
+    defs.push(store_fp(
+        "stfsu",
+        "Store Floating-Point Single with Update",
+        53,
+        0,
+        4,
+        3.55,
+        InstrFlags::UPDATE_FORM,
+    ));
+    defs.push(store_fp("stfd", "Store Floating-Point Double", 54, 0, 8, 2.60, InstrFlags::empty()));
+    defs.push(store_fp(
+        "stfdu",
+        "Store Floating-Point Double with Update",
+        55,
+        0,
+        8,
+        3.70,
+        InstrFlags::UPDATE_FORM,
+    ));
+    defs.push(store_fp(
+        "stfsx",
+        "Store Floating-Point Single Indexed",
+        31,
+        663,
+        4,
+        2.50,
+        InstrFlags::INDEXED_FORM,
+    ));
+    defs.push(store_fp(
+        "stfsux",
+        "Store Floating-Point Single with Update Indexed",
+        31,
+        695,
+        4,
+        4.45,
+        InstrFlags::UPDATE_FORM | InstrFlags::INDEXED_FORM,
+    ));
+    defs.push(store_fp(
+        "stfdx",
+        "Store Floating-Point Double Indexed",
+        31,
+        727,
+        8,
+        2.70,
+        InstrFlags::INDEXED_FORM,
+    ));
+    defs.push(store_fp(
+        "stfdux",
+        "Store Floating-Point Double with Update Indexed",
+        31,
+        759,
+        8,
+        4.20,
+        InstrFlags::UPDATE_FORM | InstrFlags::INDEXED_FORM,
+    ));
+
+    // ---------------------------------------------------------------- vector stores
+    defs.push(store_vec("stxvw4x", "Store VSX Vector Word*4 Indexed", 908, 16, 3.68, true));
+    defs.push(store_vec("stxvd2x", "Store VSX Vector Doubleword*2 Indexed", 972, 16, 3.60, true));
+    defs.push(store_vec("stxsdx", "Store VSX Scalar Doubleword Indexed", 716, 8, 3.15, true));
+    defs.push(store_vec("stvx", "Store Vector Indexed", 231, 16, 3.40, false));
+    defs.push(store_vec("stvxl", "Store Vector Indexed LRU", 487, 16, 3.42, false));
+    defs.push(store_vec("stvewx", "Store Vector Element Word Indexed", 199, 4, 3.20, false));
+
+    // ---------------------------------------------------------------- scalar floating point arithmetic
+    defs.push(fp_arith(
+        "fadd",
+        "Floating Add",
+        21,
+        2,
+        1.80,
+        LatencyClass::Medium,
+        InstrFlags::empty(),
+    ));
+    defs.push(fp_arith(
+        "fadds",
+        "Floating Add Single",
+        21,
+        2,
+        1.70,
+        LatencyClass::Medium,
+        InstrFlags::empty(),
+    ));
+    defs.push(fp_arith(
+        "fsub",
+        "Floating Subtract",
+        20,
+        2,
+        1.82,
+        LatencyClass::Medium,
+        InstrFlags::empty(),
+    ));
+    defs.push(fp_arith(
+        "fmul",
+        "Floating Multiply",
+        25,
+        2,
+        2.20,
+        LatencyClass::Medium,
+        InstrFlags::MULTIPLY,
+    ));
+    defs.push(fp_arith(
+        "fmuls",
+        "Floating Multiply Single",
+        25,
+        2,
+        2.05,
+        LatencyClass::Medium,
+        InstrFlags::MULTIPLY,
+    ));
+    defs.push(fp_arith(
+        "fdiv",
+        "Floating Divide",
+        18,
+        2,
+        6.20,
+        LatencyClass::Long,
+        InstrFlags::DIVIDE,
+    ));
+    defs.push(fp_arith(
+        "fsqrt",
+        "Floating Square Root",
+        22,
+        1,
+        7.00,
+        LatencyClass::Long,
+        InstrFlags::SQRT,
+    ));
+    defs.push(fp_arith(
+        "fmadd",
+        "Floating Multiply-Add",
+        29,
+        3,
+        2.65,
+        LatencyClass::Medium,
+        InstrFlags::FMA | InstrFlags::MULTIPLY,
+    ));
+    defs.push(fp_arith(
+        "fmsub",
+        "Floating Multiply-Subtract",
+        28,
+        3,
+        2.66,
+        LatencyClass::Medium,
+        InstrFlags::FMA | InstrFlags::MULTIPLY,
+    ));
+    defs.push(fp_arith(
+        "fnmadd",
+        "Floating Negative Multiply-Add",
+        31,
+        3,
+        2.70,
+        LatencyClass::Medium,
+        InstrFlags::FMA | InstrFlags::MULTIPLY,
+    ));
+    defs.push(fp_arith(
+        "fnmsub",
+        "Floating Negative Multiply-Subtract",
+        30,
+        3,
+        2.72,
+        LatencyClass::Medium,
+        InstrFlags::FMA | InstrFlags::MULTIPLY,
+    ));
+    defs.push(fp_arith(
+        "fabs",
+        "Floating Absolute Value",
+        264,
+        1,
+        0.95,
+        LatencyClass::Simple,
+        InstrFlags::MOVE,
+    ));
+    defs.push(fp_arith(
+        "fneg",
+        "Floating Negate",
+        40,
+        1,
+        0.95,
+        LatencyClass::Simple,
+        InstrFlags::MOVE,
+    ));
+    defs.push(fp_arith(
+        "fmr",
+        "Floating Move Register",
+        72,
+        1,
+        0.90,
+        LatencyClass::Simple,
+        InstrFlags::MOVE,
+    ));
+    defs.push(fp_arith(
+        "frsp",
+        "Floating Round to Single Precision",
+        12,
+        1,
+        1.40,
+        LatencyClass::Medium,
+        InstrFlags::empty(),
+    ));
+    defs.push(fp_arith(
+        "fctid",
+        "Floating Convert to Integer Doubleword",
+        814,
+        1,
+        1.60,
+        LatencyClass::Medium,
+        InstrFlags::empty(),
+    ));
+    defs.push(fp_arith(
+        "fcfid",
+        "Floating Convert from Integer Doubleword",
+        846,
+        1,
+        1.62,
+        LatencyClass::Medium,
+        InstrFlags::empty(),
+    ));
+    defs.push(fp_arith(
+        "fre",
+        "Floating Reciprocal Estimate",
+        24,
+        1,
+        1.90,
+        LatencyClass::Medium,
+        InstrFlags::empty(),
+    ));
+    defs.push(fp_arith(
+        "frsqrte",
+        "Floating Reciprocal Square Root Estimate",
+        26,
+        1,
+        2.00,
+        LatencyClass::Medium,
+        InstrFlags::SQRT,
+    ));
+    defs.push(fp_arith(
+        "fsel",
+        "Floating Select",
+        23,
+        3,
+        1.30,
+        LatencyClass::Simple,
+        InstrFlags::CONDITIONAL,
+    ));
+
+    // ---------------------------------------------------------------- VSX scalar arithmetic
+    defs.push(vsx_arith(
+        "xsadddp",
+        "VSX Scalar Add DP",
+        32,
+        2,
+        1.85,
+        LatencyClass::Medium,
+        InstrFlags::empty(),
+    ));
+    defs.push(vsx_arith(
+        "xssubdp",
+        "VSX Scalar Subtract DP",
+        40,
+        2,
+        1.87,
+        LatencyClass::Medium,
+        InstrFlags::empty(),
+    ));
+    defs.push(vsx_arith(
+        "xsmuldp",
+        "VSX Scalar Multiply DP",
+        48,
+        2,
+        2.25,
+        LatencyClass::Medium,
+        InstrFlags::MULTIPLY,
+    ));
+    defs.push(vsx_arith(
+        "xsdivdp",
+        "VSX Scalar Divide DP",
+        56,
+        2,
+        6.30,
+        LatencyClass::Long,
+        InstrFlags::DIVIDE,
+    ));
+    defs.push(vsx_arith(
+        "xssqrtdp",
+        "VSX Scalar Square Root DP",
+        75,
+        1,
+        7.10,
+        LatencyClass::Long,
+        InstrFlags::SQRT,
+    ));
+    defs.push(vsx_arith(
+        "xsmaddadp",
+        "VSX Scalar Multiply-Add Type-A DP",
+        33,
+        3,
+        2.70,
+        LatencyClass::Medium,
+        InstrFlags::FMA | InstrFlags::MULTIPLY,
+    ));
+    defs.push(vsx_arith(
+        "xsmsubadp",
+        "VSX Scalar Multiply-Subtract Type-A DP",
+        49,
+        3,
+        2.72,
+        LatencyClass::Medium,
+        InstrFlags::FMA | InstrFlags::MULTIPLY,
+    ));
+    defs.push(vsx_arith(
+        "xsnmaddadp",
+        "VSX Scalar Negative Multiply-Add Type-A DP",
+        161,
+        3,
+        2.76,
+        LatencyClass::Medium,
+        InstrFlags::FMA | InstrFlags::MULTIPLY,
+    ));
+    defs.push(vsx_arith(
+        "xstsqrtdp",
+        "VSX Scalar Test for Square Root DP",
+        106,
+        1,
+        1.28,
+        LatencyClass::Simple,
+        InstrFlags::COMPARE,
+    ));
+    defs.push(vsx_arith(
+        "xstdivdp",
+        "VSX Scalar Test for Divide DP",
+        61,
+        2,
+        1.30,
+        LatencyClass::Simple,
+        InstrFlags::COMPARE,
+    ));
+    defs.push(vsx_arith(
+        "xscmpudp",
+        "VSX Scalar Compare Unordered DP",
+        35,
+        2,
+        1.25,
+        LatencyClass::Simple,
+        InstrFlags::COMPARE,
+    ));
+    defs.push(vsx_arith(
+        "xsabsdp",
+        "VSX Scalar Absolute Value DP",
+        345,
+        1,
+        1.00,
+        LatencyClass::Simple,
+        InstrFlags::MOVE,
+    ));
+    defs.push(vsx_arith(
+        "xscvdpsp",
+        "VSX Scalar Convert DP to SP",
+        265,
+        1,
+        1.55,
+        LatencyClass::Medium,
+        InstrFlags::empty(),
+    ));
+
+    // ---------------------------------------------------------------- VSX vector arithmetic
+    defs.push(vsx_arith(
+        "xvadddp",
+        "VSX Vector Add DP",
+        96,
+        2,
+        2.45,
+        LatencyClass::Medium,
+        InstrFlags::empty(),
+    ));
+    defs.push(vsx_arith(
+        "xvsubdp",
+        "VSX Vector Subtract DP",
+        104,
+        2,
+        2.47,
+        LatencyClass::Medium,
+        InstrFlags::empty(),
+    ));
+    defs.push(vsx_arith(
+        "xvmuldp",
+        "VSX Vector Multiply DP",
+        112,
+        2,
+        3.05,
+        LatencyClass::Medium,
+        InstrFlags::MULTIPLY,
+    ));
+    defs.push(vsx_arith(
+        "xvdivdp",
+        "VSX Vector Divide DP",
+        120,
+        2,
+        7.60,
+        LatencyClass::Long,
+        InstrFlags::DIVIDE,
+    ));
+    defs.push(vsx_arith(
+        "xvsqrtdp",
+        "VSX Vector Square Root DP",
+        203,
+        1,
+        8.00,
+        LatencyClass::Long,
+        InstrFlags::SQRT,
+    ));
+    defs.push(vsx_arith(
+        "xvmaddadp",
+        "VSX Vector Multiply-Add Type-A DP",
+        97,
+        3,
+        3.42,
+        LatencyClass::Medium,
+        InstrFlags::FMA | InstrFlags::MULTIPLY,
+    ));
+    defs.push(vsx_arith(
+        "xvmaddmdp",
+        "VSX Vector Multiply-Add Type-M DP",
+        105,
+        3,
+        3.38,
+        LatencyClass::Medium,
+        InstrFlags::FMA | InstrFlags::MULTIPLY,
+    ));
+    defs.push(vsx_arith(
+        "xvmsubadp",
+        "VSX Vector Multiply-Subtract Type-A DP",
+        113,
+        3,
+        3.40,
+        LatencyClass::Medium,
+        InstrFlags::FMA | InstrFlags::MULTIPLY,
+    ));
+    defs.push(vsx_arith(
+        "xvnmsubadp",
+        "VSX Vector Negative Multiply-Subtract Type-A DP",
+        241,
+        3,
+        3.44,
+        LatencyClass::Medium,
+        InstrFlags::FMA | InstrFlags::MULTIPLY,
+    ));
+    defs.push(vsx_arith(
+        "xvnmsubmdp",
+        "VSX Vector Negative Multiply-Subtract Type-M DP",
+        249,
+        3,
+        3.47,
+        LatencyClass::Medium,
+        InstrFlags::FMA | InstrFlags::MULTIPLY,
+    ));
+    defs.push(vsx_arith(
+        "xvnmaddadp",
+        "VSX Vector Negative Multiply-Add Type-A DP",
+        225,
+        3,
+        3.45,
+        LatencyClass::Medium,
+        InstrFlags::FMA | InstrFlags::MULTIPLY,
+    ));
+    defs.push(vsx_arith(
+        "xvaddsp",
+        "VSX Vector Add SP",
+        64,
+        2,
+        2.25,
+        LatencyClass::Medium,
+        InstrFlags::empty(),
+    ));
+    defs.push(vsx_arith(
+        "xvmulsp",
+        "VSX Vector Multiply SP",
+        80,
+        2,
+        2.80,
+        LatencyClass::Medium,
+        InstrFlags::MULTIPLY,
+    ));
+    defs.push(vsx_arith(
+        "xvmaddasp",
+        "VSX Vector Multiply-Add Type-A SP",
+        65,
+        3,
+        3.10,
+        LatencyClass::Medium,
+        InstrFlags::FMA | InstrFlags::MULTIPLY,
+    ));
+    defs.push(vsx_arith(
+        "xvtsqrtdp",
+        "VSX Vector Test for Square Root DP",
+        234,
+        1,
+        1.45,
+        LatencyClass::Simple,
+        InstrFlags::COMPARE,
+    ));
+    defs.push(vsx_arith(
+        "xvcmpeqdp",
+        "VSX Vector Compare Equal DP",
+        99,
+        2,
+        1.60,
+        LatencyClass::Simple,
+        InstrFlags::COMPARE,
+    ));
+    defs.push(vsx_arith(
+        "xxlxor",
+        "VSX Logical XOR",
+        154,
+        2,
+        1.20,
+        LatencyClass::Simple,
+        InstrFlags::LOGICAL,
+    ));
+    defs.push(vsx_arith(
+        "xxland",
+        "VSX Logical AND",
+        130,
+        2,
+        1.15,
+        LatencyClass::Simple,
+        InstrFlags::LOGICAL,
+    ));
+    defs.push(vsx_arith(
+        "xxlor",
+        "VSX Logical OR",
+        146,
+        2,
+        1.18,
+        LatencyClass::Simple,
+        InstrFlags::LOGICAL,
+    ));
+    defs.push(vsx_arith(
+        "xxpermdi",
+        "VSX Permute Doubleword Immediate",
+        10,
+        2,
+        1.35,
+        LatencyClass::Simple,
+        InstrFlags::MOVE,
+    ));
+
+    // ---------------------------------------------------------------- VMX integer vector arithmetic
+    defs.push(vmx_arith(
+        "vaddubm",
+        "Vector Add Unsigned Byte Modulo",
+        0,
+        2,
+        1.80,
+        LatencyClass::Simple,
+        InstrFlags::INTEGER,
+    ));
+    defs.push(vmx_arith(
+        "vadduwm",
+        "Vector Add Unsigned Word Modulo",
+        128,
+        2,
+        1.85,
+        LatencyClass::Simple,
+        InstrFlags::INTEGER,
+    ));
+    defs.push(vmx_arith(
+        "vaddudm",
+        "Vector Add Unsigned Doubleword Modulo",
+        192,
+        2,
+        1.90,
+        LatencyClass::Simple,
+        InstrFlags::INTEGER,
+    ));
+    defs.push(vmx_arith(
+        "vsubuwm",
+        "Vector Subtract Unsigned Word Modulo",
+        1152,
+        2,
+        1.88,
+        LatencyClass::Simple,
+        InstrFlags::INTEGER,
+    ));
+    defs.push(vmx_arith(
+        "vmuluwm",
+        "Vector Multiply Unsigned Word Modulo",
+        137,
+        2,
+        2.90,
+        LatencyClass::Medium,
+        InstrFlags::INTEGER | InstrFlags::MULTIPLY,
+    ));
+    defs.push(vmx_arith(
+        "vmsumuhm",
+        "Vector Multiply-Sum Unsigned Halfword Modulo",
+        38,
+        3,
+        3.10,
+        LatencyClass::Medium,
+        InstrFlags::INTEGER | InstrFlags::MULTIPLY | InstrFlags::FMA,
+    ));
+    defs.push(vmx_arith(
+        "vand",
+        "Vector Logical AND",
+        1028,
+        2,
+        1.25,
+        LatencyClass::Simple,
+        InstrFlags::LOGICAL,
+    ));
+    defs.push(vmx_arith(
+        "vor",
+        "Vector Logical OR",
+        1156,
+        2,
+        1.28,
+        LatencyClass::Simple,
+        InstrFlags::LOGICAL,
+    ));
+    defs.push(vmx_arith(
+        "vxor",
+        "Vector Logical XOR",
+        1220,
+        2,
+        1.30,
+        LatencyClass::Simple,
+        InstrFlags::LOGICAL,
+    ));
+    defs.push(vmx_arith(
+        "vperm",
+        "Vector Permute",
+        43,
+        3,
+        1.70,
+        LatencyClass::Simple,
+        InstrFlags::MOVE,
+    ));
+    defs.push(vmx_arith(
+        "vspltw",
+        "Vector Splat Word",
+        652,
+        1,
+        1.40,
+        LatencyClass::Simple,
+        InstrFlags::MOVE,
+    ));
+    defs.push(vmx_arith(
+        "vsldoi",
+        "Vector Shift Left Double by Octet Immediate",
+        44,
+        2,
+        1.55,
+        LatencyClass::Simple,
+        InstrFlags::SHIFT,
+    ));
+    defs.push(vmx_arith(
+        "vrlw",
+        "Vector Rotate Left Word",
+        132,
+        2,
+        1.60,
+        LatencyClass::Simple,
+        InstrFlags::SHIFT,
+    ));
+    defs.push(vmx_arith(
+        "vcmpequw",
+        "Vector Compare Equal Unsigned Word",
+        134,
+        2,
+        1.50,
+        LatencyClass::Simple,
+        InstrFlags::COMPARE,
+    ));
+
+    // ---------------------------------------------------------------- decimal floating point
+    defs.push(dfp_arith("dadd", "DFP Add", 2, 4.20, LatencyClass::VeryLong));
+    defs.push(dfp_arith("dsub", "DFP Subtract", 514, 4.25, LatencyClass::VeryLong));
+    defs.push(dfp_arith("dmul", "DFP Multiply", 34, 5.60, LatencyClass::VeryLong));
+    defs.push(dfp_arith("ddiv", "DFP Divide", 546, 7.80, LatencyClass::VeryLong));
+    defs.push(dfp_arith("dcmpu", "DFP Compare Unordered", 642, 2.10, LatencyClass::Long));
+
+    // ---------------------------------------------------------------- branches and CR logic
+    defs.push(
+        InstructionDef::builder("b", Format::I, 18)
+            .description("Branch unconditional relative")
+            .flags(InstrFlags::BRANCH)
+            .issue(IssueClass::Bru)
+            .also_stresses(Unit::Ifu)
+            .latency(LatencyClass::Control)
+            .complexity(0.70)
+            .operand(OperandKind::BranchTarget { bits: 24 })
+            .build(),
+    );
+    defs.push(
+        InstructionDef::builder("bc", Format::B, 16)
+            .description("Branch conditional on CR bit")
+            .flags(InstrFlags::BRANCH | InstrFlags::CONDITIONAL)
+            .issue(IssueClass::Bru)
+            .also_stresses(Unit::Ifu)
+            .latency(LatencyClass::Control)
+            .complexity(0.90)
+            .operands(&[
+                OperandKind::CrField { access: RegAccess::Read },
+                OperandKind::BranchTarget { bits: 14 },
+            ])
+            .build(),
+    );
+    defs.push(
+        InstructionDef::builder("bdnz", Format::B, 16)
+            .description("Decrement CTR, branch if CTR != 0")
+            .flags(InstrFlags::BRANCH | InstrFlags::CONDITIONAL)
+            .issue(IssueClass::Bru)
+            .also_stresses(Unit::Ifu)
+            .latency(LatencyClass::Control)
+            .complexity(0.95)
+            .operand(OperandKind::BranchTarget { bits: 14 })
+            .build(),
+    );
+    defs.push(
+        InstructionDef::builder("bclr", Format::Xl, 19)
+            .description("Branch conditional to LR")
+            .flags(InstrFlags::BRANCH | InstrFlags::CONDITIONAL)
+            .issue(IssueClass::Bru)
+            .also_stresses(Unit::Ifu)
+            .latency(LatencyClass::Control)
+            .complexity(1.00)
+            .xo(16)
+            .operand(OperandKind::CrField { access: RegAccess::Read })
+            .build(),
+    );
+    defs.push(
+        InstructionDef::builder("crand", Format::Xl, 19)
+            .description("CR field AND")
+            .flags(InstrFlags::LOGICAL | InstrFlags::CR_WRITING)
+            .issue(IssueClass::Bru)
+            .latency(LatencyClass::Simple)
+            .complexity(0.80)
+            .xo(257)
+            .operands(&[
+                CR_W,
+                OperandKind::CrField { access: RegAccess::Read },
+                OperandKind::CrField { access: RegAccess::Read },
+            ])
+            .build(),
+    );
+
+    // ---------------------------------------------------------------- prefetch, sync, system
+    defs.push(
+        InstructionDef::builder("dcbt", Format::X, 31)
+            .description("Data prefetch hint")
+            .flags(InstrFlags::PREFETCH)
+            .issue(IssueClass::Lsu)
+            .latency(LatencyClass::Simple)
+            .complexity(0.90)
+            .mem_bytes(128)
+            .xo(278)
+            .operands(&[GPR_R, GPR_R])
+            .build(),
+    );
+    defs.push(
+        InstructionDef::builder("dcbtst", Format::X, 31)
+            .description("Data prefetch hint for store")
+            .flags(InstrFlags::PREFETCH)
+            .issue(IssueClass::Lsu)
+            .latency(LatencyClass::Simple)
+            .complexity(0.92)
+            .mem_bytes(128)
+            .xo(246)
+            .operands(&[GPR_R, GPR_R])
+            .build(),
+    );
+    defs.push(
+        InstructionDef::builder("sync", Format::X, 31)
+            .description("Memory barrier")
+            .flags(InstrFlags::SYNC)
+            .issue(IssueClass::Lsu)
+            .latency(LatencyClass::VeryLong)
+            .complexity(2.50)
+            .xo(598)
+            .build(),
+    );
+    defs.push(
+        InstructionDef::builder("isync", Format::Xl, 19)
+            .description("Instruction pipeline barrier")
+            .flags(InstrFlags::SYNC)
+            .issue(IssueClass::Bru)
+            .also_stresses(Unit::Ifu)
+            .latency(LatencyClass::VeryLong)
+            .complexity(2.20)
+            .xo(150)
+            .build(),
+    );
+    defs.push(
+        InstructionDef::builder("mtspr", Format::Xfx, 31)
+            .description("Move to SPR")
+            .flags(InstrFlags::MOVE | InstrFlags::PRIVILEGED)
+            .issue(IssueClass::Fxu)
+            .latency(LatencyClass::Long)
+            .complexity(1.80)
+            .xo(467)
+            .operands(&[OperandKind::Imm { bits: 10, signed: false }, GPR_R])
+            .build(),
+    );
+    defs.push(
+        InstructionDef::builder("mfspr", Format::Xfx, 31)
+            .description("Move from SPR")
+            .flags(InstrFlags::MOVE | InstrFlags::PRIVILEGED)
+            .issue(IssueClass::Fxu)
+            .latency(LatencyClass::Long)
+            .complexity(1.75)
+            .xo(339)
+            .operands(&[GPR_W, OperandKind::Imm { bits: 10, signed: false }])
+            .build(),
+    );
+    defs.push(
+        InstructionDef::builder("nop", Format::D, 24)
+            .description("ori r0,r0,0 preferred no-op form")
+            .flags(InstrFlags::INTEGER)
+            .issue(IssueClass::FxuOrLsu)
+            .latency(LatencyClass::Simple)
+            .complexity(0.55)
+            .build(),
+    );
+    defs.push(
+        InstructionDef::builder("mftb", Format::Xfx, 31)
+            .description("Read the time base register")
+            .flags(InstrFlags::MOVE)
+            .issue(IssueClass::Fxu)
+            .latency(LatencyClass::Long)
+            .complexity(1.60)
+            .xo(371)
+            .operand(GPR_W)
+            .build(),
+    );
+
+    Isa::new("PowerISA-2.06B", defs).expect("built-in ISA table must not contain duplicates")
+}

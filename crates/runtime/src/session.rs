@@ -30,10 +30,12 @@ use crate::executor;
 /// A 128-bit content fingerprint of one measurement job.
 ///
 /// Two jobs collide exactly when they would produce the same [`Measurement`]: the
-/// simulator is a pure function of the kernel *content* (loop body, data profile,
-/// misprediction rate) and the configuration, so the benchmark name is excluded —
-/// renamed copies of the same kernel dedupe onto one measurement.
-fn job_key(benchmark: &MicroBenchmark, config: CmpSmtConfig) -> u128 {
+/// simulator is a pure function of the backend (fingerprinted by the machine-spec
+/// `digest`), the kernel *content* (loop body, data profile, misprediction rate) and
+/// the configuration, so the benchmark name is excluded — renamed copies of the same
+/// kernel dedupe onto one measurement, but the same kernel measured on two backends
+/// occupies two cache entries.
+fn job_key(benchmark: &MicroBenchmark, config: CmpSmtConfig, digest: u128) -> u128 {
     use std::fmt::Write as _;
 
     /// Feeds formatted output into two hashers without materialising a string (kernel
@@ -60,6 +62,8 @@ fn job_key(benchmark: &MicroBenchmark, config: CmpSmtConfig) -> u128 {
     // Distinct per-half prefixes make the two 64-bit digests independent.
     0xA5u8.hash(&mut hasher.lo);
     0x5Au8.hash(&mut hasher.hi);
+    digest.hash(&mut hasher.lo);
+    digest.hash(&mut hasher.hi);
     // The kernel body has no stable binary serialisation; its `Debug` form is a faithful
     // content encoding (every operand, memory access and attribute).
     write!(
@@ -199,6 +203,18 @@ impl<P: Platform> ExperimentSession<P> {
         self.workers.unwrap_or_else(executor::default_workers)
     }
 
+    /// The cache key one `(benchmark, configuration)` job files under.
+    ///
+    /// The key covers the kernel content, the configuration and the platform's
+    /// machine-spec digest ([`MicroArchitecture::spec_digest`]) — so two sessions over
+    /// different backends never share (or, if their caches were merged, collide on) a
+    /// measurement, while renamed copies of one kernel on one backend still dedupe.
+    ///
+    /// [`MicroArchitecture::spec_digest`]: mp_uarch::MicroArchitecture
+    pub fn job_key(&self, benchmark: &MicroBenchmark, config: CmpSmtConfig) -> u128 {
+        job_key(benchmark, config, self.platform.uarch().spec_digest)
+    }
+
     /// Cumulative cache statistics.
     pub fn stats(&self) -> SessionStats {
         let hits = self.hits.load(Ordering::SeqCst);
@@ -215,7 +231,8 @@ impl<P: Platform> ExperimentSession<P> {
     /// measurements in job order.  Repeats (within the batch or against the session
     /// cache) are measured once; cache misses run in parallel on the executor.
     pub fn measure_batch(&self, jobs: &[(&MicroBenchmark, CmpSmtConfig)]) -> Vec<Measurement> {
-        let keys: Vec<u128> = jobs.iter().map(|(b, c)| job_key(b, *c)).collect();
+        let digest = self.platform.uarch().spec_digest;
+        let keys: Vec<u128> = jobs.iter().map(|(b, c)| job_key(b, *c, digest)).collect();
 
         // Unique cache misses, in first-appearance order (deterministic).
         let mut to_measure: Vec<(u128, usize)> = Vec::new();
@@ -343,22 +360,54 @@ mod tests {
 
     #[test]
     fn renamed_copies_of_the_same_kernel_dedupe() {
+        let session = ExperimentSession::new(SimPlatform::power7_fast());
         let a = tiny_benchmark("alpha", 7);
         // Same seed + passes => identical kernel content; only the name differs.
         let renamed = tiny_benchmark("beta", 7);
         assert_ne!(a.name(), renamed.name());
         let config = CmpSmtConfig::new(2, SmtMode::Smt2);
-        assert_eq!(job_key(&a, config), job_key(&renamed, config));
+        assert_eq!(session.job_key(&a, config), session.job_key(&renamed, config));
         assert_ne!(
-            job_key(&a, config),
-            job_key(&a, CmpSmtConfig::new(2, SmtMode::Smt4)),
+            session.job_key(&a, config),
+            session.job_key(&a, CmpSmtConfig::new(2, SmtMode::Smt4)),
             "the configuration is part of the content"
         );
         assert_ne!(
-            job_key(&a, config),
-            job_key(&tiny_benchmark("alpha", 8), config),
+            session.job_key(&a, config),
+            session.job_key(&tiny_benchmark("alpha", 8), config),
             "different kernel bodies do not collide"
         );
+    }
+
+    #[test]
+    fn the_backend_is_part_of_the_job_key() {
+        let p7 = ExperimentSession::new(SimPlatform::power7_fast());
+        let p8 = ExperimentSession::new(SimPlatform::new(
+            mp_sim::ChipSim::new(mp_uarch::power8()).with_options(mp_sim::SimOptions::fast()),
+        ));
+        let bench = tiny_benchmark("portable", 3);
+        let config = CmpSmtConfig::new(1, SmtMode::Smt1);
+
+        assert_ne!(
+            p7.job_key(&bench, config),
+            p8.job_key(&bench, config),
+            "the same kernel on two backends files under two cache entries"
+        );
+
+        // And the kernel-level fingerprint is backend-scoped the same way.
+        let kernel = bench.kernel();
+        assert_ne!(
+            kernel.content_hash_with(p7.platform().uarch().spec_digest),
+            kernel.content_hash_with(p8.platform().uarch().spec_digest),
+        );
+
+        // Each session measures the kernel on its own machine: one miss per backend,
+        // and the measurements genuinely differ.
+        let m7 = p7.measure(&bench, config);
+        let m8 = p8.measure(&bench, config);
+        assert_eq!(p7.stats().misses, 1);
+        assert_eq!(p8.stats().misses, 1);
+        assert_ne!(m7.average_power(), m8.average_power());
     }
 
     #[test]

@@ -158,30 +158,50 @@ impl CoreCaches {
 
     /// The next-line stride prefetcher, shared by the private and shared access
     /// paths: on two consecutive accesses to adjacent lines, pull the following line
-    /// into the whole hierarchy (the L3 backend differs by mode).  Randomised access
-    /// plans defeat it.  Returns whether a prefetch was issued.
-    fn next_line_prefetch(&mut self, address: u64, uncore: Option<&mut UncoreSim>) -> bool {
+    /// into the whole hierarchy.  Randomised access plans defeat it.  With the L3
+    /// behind the shared uncore, the fill charges the memory port
+    /// ([`UncoreSim::prefetch_fill`]) and may be dropped under bandwidth pressure.
+    /// Returns whether a prefetch was issued plus its ground-truth uncore energy.
+    fn next_line_prefetch(
+        &mut self,
+        address: u64,
+        uncore: Option<(&mut UncoreSim, u64, &EnergyParams)>,
+    ) -> (bool, f64) {
         let mut prefetched = false;
+        let mut uncore_energy = 0.0;
         let line = address >> self.line_shift;
         if self.prefetch_enabled {
             if let Some(prev) = self.last_line {
                 if line == prev + 1 {
                     let next = (line + 1) << self.line_shift;
                     if !self.l1.contains(next) {
-                        self.l1.fill(next);
-                        self.l2.fill(next);
-                        match uncore {
-                            Some(uncore) => uncore.fill(next),
-                            None => self.private_l3().fill(next),
+                        let admitted = match uncore {
+                            Some((uncore, now, params)) => {
+                                match uncore.prefetch_fill(next, now, params) {
+                                    Some(energy) => {
+                                        uncore_energy += energy;
+                                        true
+                                    }
+                                    None => false,
+                                }
+                            }
+                            None => {
+                                self.private_l3().fill(next);
+                                true
+                            }
+                        };
+                        if admitted {
+                            self.l1.fill(next);
+                            self.l2.fill(next);
+                            self.prefetches_issued += 1;
+                            prefetched = true;
                         }
-                        self.prefetches_issued += 1;
-                        prefetched = true;
                     }
                 }
             }
         }
         self.last_line = Some(line);
-        prefetched
+        (prefetched, uncore_energy)
     }
 
     /// Performs a demand access (load or store treated alike for residence purposes).
@@ -202,7 +222,7 @@ impl CoreCaches {
             (MemLevel::Mem, self.mem_latency)
         };
 
-        let prefetched = self.next_line_prefetch(address, None);
+        let (prefetched, _) = self.next_line_prefetch(address, None);
         AccessOutcome { level, latency, prefetched, bw_stall: 0 }
     }
 
@@ -231,9 +251,11 @@ impl CoreCaches {
             (outcome.level, outcome.latency, outcome.queue_wait, outcome.energy)
         };
 
-        // Prefetch fills go to the shared L3 and do not model port bandwidth.
-        let prefetched = self.next_line_prefetch(address, Some(uncore));
-        (AccessOutcome { level, latency, prefetched, bw_stall }, uncore_energy)
+        // Prefetch fills go to the shared L3 *through the memory port*: they occupy
+        // bandwidth like demand transfers and are dropped when the queue is full.
+        let (prefetched, prefetch_energy) =
+            self.next_line_prefetch(address, Some((uncore, now, params)));
+        (AccessOutcome { level, latency, prefetched, bw_stall }, uncore_energy + prefetch_energy)
     }
 
     /// Returns `true` if a demand access to `address` may proceed at `now`: it is
@@ -263,12 +285,25 @@ impl CoreCaches {
         self.prefetches_issued += 1;
     }
 
-    /// Software prefetch with the L3 behind the shared uncore.
-    pub fn prefetch_shared(&mut self, address: u64, uncore: &mut UncoreSim) {
-        uncore.fill(address);
-        self.l2.fill(address);
-        self.l1.fill(address);
-        self.prefetches_issued += 1;
+    /// Software prefetch with the L3 behind the shared uncore: the line transfer
+    /// charges the memory port and is silently dropped (no fills anywhere) when the
+    /// port queue is full.  Returns the ground-truth uncore energy of the event.
+    pub fn prefetch_shared(
+        &mut self,
+        address: u64,
+        now: u64,
+        uncore: &mut UncoreSim,
+        params: &EnergyParams,
+    ) -> f64 {
+        match uncore.prefetch_fill(address, now, params) {
+            Some(energy) => {
+                self.l2.fill(address);
+                self.l1.fill(address);
+                self.prefetches_issued += 1;
+                energy
+            }
+            None => 0.0,
+        }
     }
 
     /// Number of prefetches issued (hardware + software).

@@ -114,11 +114,12 @@ pub struct ChipSim {
 }
 
 impl ChipSim {
-    /// Creates a simulator for a machine description with default energy parameters and
-    /// run options.
+    /// Creates a simulator for a machine description, taking the ground-truth energy
+    /// parameters from the description's own spec, with default run options.
     pub fn new(uarch: MicroArchitecture) -> Self {
         let props = uarch.opcode_props();
-        Self { uarch, params: EnergyParams::power7(), options: SimOptions::default(), props }
+        let params = uarch.energy.clone();
+        Self { uarch, params, options: SimOptions::default(), props }
     }
 
     /// Replaces the run options.

@@ -316,10 +316,12 @@ impl CoreSim {
             if let Some(mem) = body.mem(idx) {
                 if flags.is_prefetch() {
                     if uncore.is_shared() {
-                        caches.prefetch_shared(mem.address, uncore);
+                        uncore_energy += caches.prefetch_shared(mem.address, now, uncore, params);
                     } else {
                         caches.prefetch(mem.address);
                     }
+                    // The prefetch instruction executes (and costs issue energy) even
+                    // when a full port queue drops its line transfer.
                     counters.prefetches += 1;
                     mem_energy += params.prefetch_energy;
                 } else {

@@ -183,6 +183,37 @@ pub fn uncore_mem_chain(isa: &Isa) -> Kernel {
     Kernel::new("fix_memchain", body)
 }
 
+/// Shared-L3 sets walked by [`uncore_prefetch_stream`].
+const PREFETCH_SETS: u64 = 8;
+
+/// Tags per walked set — beyond the 8-way associativity, so every touch misses.
+const PREFETCH_TAGS: u64 = 12;
+
+/// A software-prefetch firehose: back-to-back `dcbt` touches to addresses that miss
+/// the whole hierarchy ([`PREFETCH_SETS`] sets × [`PREFETCH_TAGS`] tags cycling
+/// through the 8-way shared L3), so in shared-uncore mode every admitted prefetch
+/// wants a line transfer through the chip's memory port.
+///
+/// `dcbt` issues far faster than the port drains, so the stream keeps the port
+/// saturated: co-scheduled demand misses queue behind the prefetch transfers (the
+/// bandwidth-contention signature the prefetch-fill accounting has to produce), and
+/// the excess prefetches are dropped by the full queue.
+pub fn uncore_prefetch_stream(isa: &Isa) -> Kernel {
+    let body: Vec<Instruction> = (0..PREFETCH_SETS * PREFETCH_TAGS)
+        .map(|i| {
+            let set = i % PREFETCH_SETS;
+            let tag = i / PREFETCH_SETS;
+            // 4 MB apart: same shared-L3 set per `set`, one tag per step.  The tag
+            // base keeps the footprint disjoint from every other fixture's, so the
+            // stream only ever *competes* with co-runners for the port — its fills
+            // never usefully warm their lines.
+            let address = (64 + tag) * (4 << 20) + set * 128;
+            materialise(isa, "dcbt", i as usize, Some(address))
+        })
+        .collect();
+    Kernel::new("fix_prefetch_stream", body)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,6 +270,26 @@ mod tests {
                 distinct.len() as u32 > geom.ways,
                 "each walked set must exceed the associativity"
             );
+        }
+    }
+
+    #[test]
+    fn prefetch_stream_misses_every_level() {
+        let isa = power_isa_v206b();
+        let geom = mp_uarch::UncoreGeometry::power7().shared_l3;
+        let kernel = uncore_prefetch_stream(&isa);
+        let mut per_set: std::collections::HashMap<u64, Vec<u64>> =
+            std::collections::HashMap::new();
+        for inst in kernel.body() {
+            assert!(inst.def(&isa).is_prefetch(), "the stream is all software prefetches");
+            let addr = inst.mem().expect("prefetches carry addresses").address;
+            per_set.entry(geom.set_of(addr)).or_default().push(geom.tag_of(addr));
+        }
+        for tags in per_set.values() {
+            let mut distinct = tags.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            assert!(distinct.len() as u32 > geom.ways, "each set must exceed associativity");
         }
     }
 

@@ -113,6 +113,16 @@ impl Kernel {
     /// Two kernels that simulate identically hash identically; collisions are possible
     /// and callers must confirm with an equality check.
     pub fn content_hash(&self) -> u64 {
+        self.content_hash_with(0)
+    }
+
+    /// [`content_hash`](Self::content_hash) scoped to a backend: mixes the machine
+    /// spec digest (`MicroArchitecture::spec_digest`) into the fingerprint, so the
+    /// same kernel content simulated on two different backends hashes differently.
+    ///
+    /// A digest of 0 (the hand-coded / non-spec-loaded marker) reproduces the plain
+    /// backend-blind `content_hash`.
+    pub fn content_hash_with(&self, backend_digest: u128) -> u64 {
         use std::fmt::Write as _;
         use std::hash::{Hash, Hasher};
 
@@ -128,6 +138,9 @@ impl Kernel {
         }
 
         let mut writer = HashWriter(std::collections::hash_map::DefaultHasher::new());
+        if backend_digest != 0 {
+            backend_digest.hash(&mut writer.0);
+        }
         // The body has no stable binary serialisation; its `Debug` form is a faithful
         // content encoding (every operand, memory access and attribute).
         write!(writer, "{:?}|{:?}|{}", self.body, self.data, self.mispredict_rate.to_bits())
@@ -198,5 +211,18 @@ mod tests {
         assert_ne!(a.content_hash(), longer.content_hash());
         let noisy = Kernel::new("a", vec![add_inst()]).with_mispredict_rate(0.25);
         assert_ne!(a.content_hash(), noisy.content_hash());
+    }
+
+    #[test]
+    fn content_hash_is_scoped_to_the_backend_digest() {
+        let a = Kernel::new("a", vec![add_inst()]);
+        assert_eq!(a.content_hash_with(0), a.content_hash(), "digest 0 is the plain hash");
+        assert_ne!(a.content_hash_with(1), a.content_hash_with(2), "backends do not collide");
+        let renamed = Kernel::new("b", vec![add_inst()]);
+        assert_eq!(
+            a.content_hash_with(7),
+            renamed.content_hash_with(7),
+            "the name stays excluded under a backend digest"
+        );
     }
 }

@@ -129,12 +129,31 @@ impl UncoreSim {
         }
     }
 
-    /// Fills the shared L3 with the line containing `address` (prefetch path; does not
-    /// model port bandwidth or accrue energy).  No-op in private mode.
-    pub fn fill(&mut self, address: u64) {
-        if let Some(s) = &mut self.shared {
-            s.l3.fill(address);
+    /// Fills the shared L3 with the line containing `address` on behalf of a prefetch
+    /// (hardware or software), *charging the memory port* for the line transfer like
+    /// any other fill: prefetch-heavy kernels occupy port bandwidth that demand misses
+    /// then queue behind.
+    ///
+    /// Returns the ground-truth uncore energy of the event, or `None` when the port
+    /// queue is full and the prefetch is dropped (prefetches are hints; they never
+    /// stall the core, they just don't happen under bandwidth pressure).  Lines already
+    /// resident in the shared L3 are LRU-refreshed without port traffic.  In private
+    /// mode the uncore is inert and the fill costs nothing.
+    pub fn prefetch_fill(&mut self, address: u64, now: u64, params: &EnergyParams) -> Option<f64> {
+        let Some(s) = &mut self.shared else {
+            return Some(0.0);
+        };
+        if s.l3.access(address) {
+            return Some(0.0);
         }
+        if s.port_free.saturating_sub(now) >= s.queue_limit {
+            return None;
+        }
+        s.l3.fill(address);
+        s.port_free = s.port_free.max(now) + s.port_cycles;
+        // The transfer itself; prefetches never queue-wait (they drop instead), so no
+        // stall term — the ground truth stays linear in the bandwidth-stall counter.
+        Some(params.uncore_mem_energy)
     }
 }
 
@@ -204,12 +223,51 @@ mod tests {
     }
 
     #[test]
-    fn prefetch_fill_makes_lines_resident_without_port_traffic() {
+    fn prefetch_fill_makes_lines_resident_and_charges_the_port() {
+        let uarch = power7();
         let mut u = shared_uncore();
         let p = EnergyParams::power7();
-        u.fill(0x8000);
+        let energy = u.prefetch_fill(0x8000, 0, &p).expect("empty queue admits the prefetch");
+        assert!((energy - p.uncore_mem_energy).abs() < 1e-12);
         assert!(u.contains(0x8000));
         let hit = u.access(0x8000, 0, &p);
         assert_eq!(hit.level, MemLevel::L3);
+        // The line transfer occupied the port: a demand miss right behind it queues.
+        let miss = u.access(1 << 30, 0, &p);
+        assert_eq!(u64::from(miss.queue_wait), u64::from(uarch.uncore.mem_port_cycles));
+    }
+
+    #[test]
+    fn resident_prefetch_fills_are_free() {
+        let mut u = shared_uncore();
+        let p = EnergyParams::power7();
+        let _ = u.prefetch_fill(0x8000, 0, &p);
+        let again = u.prefetch_fill(0x8000, 0, &p).expect("resident line is always accepted");
+        assert_eq!(again, 0.0, "no port traffic for a resident line");
+        // Only the first fill took the port.
+        let miss = u.access(1 << 30, 0, &p);
+        assert_eq!(u64::from(miss.queue_wait), u64::from(power7().uncore.mem_port_cycles));
+    }
+
+    #[test]
+    fn prefetch_fills_are_dropped_when_the_queue_is_full() {
+        let uarch = power7();
+        let mut u = shared_uncore();
+        let p = EnergyParams::power7();
+        for i in 0..u64::from(uarch.uncore.mem_queue_depth) {
+            assert!(u.prefetch_fill(i << 30, 0, &p).is_some(), "prefetch {i} admitted");
+        }
+        assert!(u.prefetch_fill(63 << 30, 0, &p).is_none(), "full queue drops the prefetch");
+        assert!(!u.contains(63 << 30), "a dropped prefetch fills nothing");
+        // Prefetches drain with time like demand transfers.
+        assert!(u.prefetch_fill(63 << 30, uarch.uncore.queue_limit_cycles(), &p).is_some());
+    }
+
+    #[test]
+    fn prefetch_fill_is_inert_in_private_mode() {
+        let mut u = UncoreSim::new(&power7(), UncoreMode::Private);
+        let p = EnergyParams::power7();
+        assert_eq!(u.prefetch_fill(0x8000, 0, &p), Some(0.0));
+        assert!(!u.contains(0x8000));
     }
 }

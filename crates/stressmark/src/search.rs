@@ -77,8 +77,9 @@ pub struct StressmarkSearch<'a, P: Platform> {
 
 impl<'a, P: Platform> StressmarkSearch<'a, P> {
     /// Creates a search harness that evaluates candidates on all enabled cores of the
-    /// platform in the given SMT modes (the paper executes each set in the three
-    /// available SMT modes and reports the maximum).  The harness owns a private
+    /// platform, in every SMT mode the platform's machine description lists (the paper
+    /// executes each set in all available SMT modes and reports the maximum — SMT1/2/4
+    /// on POWER7, up to SMT8 on a POWER8-like backend).  The harness owns a private
     /// memoizing session; use [`with_session`](Self::with_session) to share one.
     pub fn new(platform: &'a P) -> Self {
         Self::with_handle(SessionHandle::Owned(ExperimentSession::new(platform)))
@@ -92,13 +93,12 @@ impl<'a, P: Platform> StressmarkSearch<'a, P> {
     }
 
     fn with_handle(session: SessionHandle<'a, P>) -> Self {
-        let cores = session.platform().uarch().max_cores;
-        Self {
-            session,
-            loop_instructions: 384,
-            cores,
-            smt_modes: vec![SmtMode::Smt1, SmtMode::Smt2, SmtMode::Smt4],
-        }
+        let uarch = session.platform().uarch();
+        let cores = uarch.max_cores;
+        // The machine description says which SMT modes exist — a POWER8-like backend
+        // searches SMT8 too, without the caller having to know.
+        let smt_modes = uarch.smt_modes.clone();
+        Self { session, loop_instructions: 384, cores, smt_modes }
     }
 
     /// The platform candidates are measured on.
@@ -373,6 +373,19 @@ mod tests {
         StressmarkSearch::new(platform)
             .with_loop_instructions(48)
             .with_smt_modes(vec![SmtMode::Smt1])
+    }
+
+    #[test]
+    fn default_smt_modes_come_from_the_machine_description() {
+        let p7 = SimPlatform::power7_fast();
+        assert_eq!(StressmarkSearch::new(&p7).smt_modes, p7.uarch().smt_modes);
+
+        let p8 = SimPlatform::new(
+            mp_sim::ChipSim::new(mp_uarch::power8()).with_options(mp_sim::SimOptions::fast()),
+        );
+        let s8 = StressmarkSearch::new(&p8);
+        assert_eq!(s8.smt_modes, p8.uarch().smt_modes);
+        assert!(s8.smt_modes.contains(&SmtMode::Smt8), "POWER8-like backends search SMT8");
     }
 
     #[test]

@@ -11,10 +11,14 @@ pub enum SmtMode {
     Smt2,
     /// 4-way SMT.
     Smt4,
+    /// 8-way SMT (POWER8-class cores; not available on POWER7).
+    Smt8,
 }
 
 impl SmtMode {
-    /// All SMT modes supported by POWER7.
+    /// All SMT modes supported by POWER7 (the paper's platform).  Backends that support
+    /// other widths list them in their machine spec
+    /// ([`MicroArchitecture::smt_modes`](crate::MicroArchitecture)).
     pub const ALL: [SmtMode; 3] = [SmtMode::Smt1, SmtMode::Smt2, SmtMode::Smt4];
 
     /// Number of hardware threads per core in this mode.
@@ -23,6 +27,7 @@ impl SmtMode {
             SmtMode::Smt1 => 1,
             SmtMode::Smt2 => 2,
             SmtMode::Smt4 => 4,
+            SmtMode::Smt8 => 8,
         }
     }
 
@@ -35,12 +40,13 @@ impl SmtMode {
         !matches!(self, SmtMode::Smt1)
     }
 
-    /// Parses the numeric thread-per-core count (1, 2 or 4).
+    /// Parses the numeric thread-per-core count (1, 2, 4 or 8).
     pub fn from_threads(threads: u32) -> Option<Self> {
         match threads {
             1 => Some(SmtMode::Smt1),
             2 => Some(SmtMode::Smt2),
             4 => Some(SmtMode::Smt4),
+            8 => Some(SmtMode::Smt8),
             _ => None,
         }
     }
@@ -85,9 +91,15 @@ impl CmpSmtConfig {
 
     /// All 24 CMP-SMT configurations evaluated in the paper ({1..=max_cores} × {1,2,4}).
     pub fn all(max_cores: u32) -> Vec<CmpSmtConfig> {
-        let mut configs = Vec::with_capacity(max_cores as usize * SmtMode::ALL.len());
+        Self::all_with_modes(max_cores, &SmtMode::ALL)
+    }
+
+    /// All CMP-SMT configurations for a chip supporting the given SMT modes
+    /// ({1..=max_cores} × modes).
+    pub fn all_with_modes(max_cores: u32, modes: &[SmtMode]) -> Vec<CmpSmtConfig> {
+        let mut configs = Vec::with_capacity(max_cores as usize * modes.len());
         for cores in 1..=max_cores {
-            for smt in SmtMode::ALL {
+            for &smt in modes {
                 configs.push(CmpSmtConfig::new(cores, smt));
             }
         }

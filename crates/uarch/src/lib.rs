@@ -14,23 +14,33 @@
 //! * per-instruction implementation properties — latency, reciprocal throughput, stressed
 //!   units and (once bootstrapped) energy per instruction ([`InstrProps`],
 //!   [`InstrPropsTable`]),
-//! * and the complete POWER7-like machine description ([`power7::power7`]).
+//! * the parameters of the hidden ground-truth energy model ([`EnergyParams`]),
+//! * and complete machine descriptions loaded from declarative spec files
+//!   ([`spec`], [`power7::power7`]).
 //!
-//! The `power7` description corresponds to the 3.0 GHz, 8-core, 4-way-SMT IBM POWER7 of
-//! the paper's experimental platform (Section 3).
+//! Machine descriptions are data, not code: each backend is a `specs/<name>.uarch`
+//! file (paired with a `specs/<name>.isa` file parsed by `mp-isa`) that [`spec::backend`]
+//! loads, validates and resolves into a [`MicroArchitecture`].  The `power7` description
+//! corresponds to the 3.0 GHz, 8-core, 4-way-SMT IBM POWER7 of the paper's experimental
+//! platform (Section 3); `power8` is a POWER8-like second backend that exercises the
+//! portability story end to end.
 
 pub mod cache;
 pub mod config;
 pub mod counters;
+pub mod energy;
 pub mod iprops;
 pub mod power7;
+pub mod spec;
 pub mod units;
 
 pub use cache::{CacheGeometry, MemLevel, MemoryHierarchy, UncoreGeometry};
 pub use config::{CmpSmtConfig, SmtMode};
 pub use counters::{CounterId, CounterValues};
+pub use energy::EnergyParams;
 pub use iprops::{InstrProps, InstrPropsTable, OpcodePropsTable};
 pub use power7::{power7, MicroArchitecture};
+pub use spec::{backend, backend_names, power8, MachineSpec};
 pub use units::{CorePipes, FloorplanEntry};
 
 #[cfg(test)]

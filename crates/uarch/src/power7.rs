@@ -1,18 +1,25 @@
-//! The complete POWER7-like machine description.
+//! The complete machine description type and the POWER7-like instance.
+//!
+//! The authoritative POWER7 definition is the data file `specs/power7.uarch`, loaded by
+//! [`crate::spec`]; [`power7`] is the stable entry point the rest of the workspace uses.
+//! The historical hand-coded construction survives only as a test-only comparison shim
+//! that the round-trip tests check against the spec-loaded description field by field.
 
-use mp_isa::power_isa::power_isa_v206b;
-use mp_isa::{InstrFlags, InstructionDef, Isa, LatencyClass};
+use mp_isa::Isa;
 
 use crate::cache::{MemoryHierarchy, UncoreGeometry};
-use crate::config::CmpSmtConfig;
+use crate::config::{CmpSmtConfig, SmtMode};
+use crate::counters::CounterId;
+use crate::energy::EnergyParams;
 use crate::iprops::{InstrProps, InstrPropsTable, OpcodePropsTable};
-use crate::units::{power7_floorplan, CorePipes, FloorplanEntry};
+use crate::units::{CorePipes, FloorplanEntry};
 
 /// A complete micro-architecture description: the ISA plus every implementation-specific
 /// parameter the generation framework and the simulator need.
 ///
-/// The paper supplies this information as readable text files; here it is a plain data
-/// structure produced by [`power7`] (and adjustable afterwards, which is what keeps the
+/// The paper supplies this information as readable text files; so does this
+/// reproduction: instances are built by the spec loader ([`crate::spec`]) from
+/// `specs/<backend>.uarch` (and remain adjustable afterwards, which is what keeps the
 /// generation process architecture-independent).
 #[derive(Debug, Clone)]
 pub struct MicroArchitecture {
@@ -28,10 +35,22 @@ pub struct MicroArchitecture {
     pub uncore: UncoreGeometry,
     /// Maximum number of cores on the chip.
     pub max_cores: u32,
+    /// SMT modes the cores support (e.g. 1/2/4 on POWER7, 1/2/4/8 on POWER8-class).
+    pub smt_modes: Vec<SmtMode>,
     /// Nominal core frequency in GHz.
     pub frequency_ghz: f64,
     /// Coarse per-unit area floorplan.
     pub floorplan: Vec<FloorplanEntry>,
+    /// Parameters of the (hidden) ground-truth energy model for this chip.  Only the
+    /// simulator reads these; modeling code never sees them.
+    pub energy: EnergyParams,
+    /// Platform names of the performance counter events backing each [`CounterId`]
+    /// (the PMC mapping of the paper's micro-architecture definition).
+    pub pmc_names: Vec<(CounterId, String)>,
+    /// 128-bit digest of the ISA + machine spec texts this description was loaded
+    /// from; measurement memoization mixes it into job keys so results can never be
+    /// confused across backends.  Zero for descriptions not built by the spec loader.
+    pub spec_digest: u128,
     /// Per-instruction implementation properties.
     pub iprops: InstrPropsTable,
 }
@@ -56,9 +75,20 @@ impl MicroArchitecture {
         OpcodePropsTable::build(&self.isa, &self.iprops)
     }
 
-    /// All CMP-SMT configurations supported by the chip.
+    /// All CMP-SMT configurations supported by the chip
+    /// ({1..=max_cores} × supported SMT modes).
     pub fn configurations(&self) -> Vec<CmpSmtConfig> {
-        CmpSmtConfig::all(self.max_cores)
+        CmpSmtConfig::all_with_modes(self.max_cores, &self.smt_modes)
+    }
+
+    /// Platform event name backing a counter (falls back to the counter's own
+    /// mnemonic when the spec does not map it).
+    pub fn pmc_name(&self, id: CounterId) -> &str {
+        self.pmc_names
+            .iter()
+            .find(|(c, _)| *c == id)
+            .map(|(_, n)| n.as_str())
+            .unwrap_or_else(|| id.name())
     }
 
     /// Cycles per millisecond at the nominal frequency (used by the power sensor model).
@@ -67,107 +97,135 @@ impl MicroArchitecture {
     }
 }
 
-/// Derives the execution latency (cycles) of an instruction from its latency class.
-fn derive_latency(def: &InstructionDef) -> u32 {
-    let fpish = def.flags().intersects(InstrFlags::FLOAT | InstrFlags::VECTOR);
-    match def.latency_class() {
-        LatencyClass::Simple => {
-            if fpish {
-                2
-            } else {
-                1
-            }
-        }
-        LatencyClass::Medium => {
-            if fpish {
-                6
-            } else {
-                4
-            }
-        }
-        LatencyClass::Long => 13,
-        LatencyClass::VeryLong => 33,
-        // Memory ops: address generation + L1 access pipeline; the hierarchy adds the
-        // per-level latency on top at simulation time.
-        LatencyClass::Memory => 2,
-        LatencyClass::Control => 1,
-    }
-}
-
-/// Derives the reciprocal throughput (cycles per instruction per pipe) of an instruction.
-///
-/// The values are chosen so that the steady-state IPCs of single-instruction loops come
-/// out close to the core IPC column of the paper's Table 3 (e.g. simple integer ops
-/// ≈3.5, FXU-only ops ≈2.0, loads ≈1.68, update-form loads ≈1.0, vector/FP stores ≈0.48).
-fn derive_recip_throughput(def: &InstructionDef) -> f64 {
-    let flags = def.flags();
-    if flags.contains(InstrFlags::SYNC) {
-        return 30.0;
-    }
-    if def.is_prefetch() {
-        return 1.2;
-    }
-    if def.is_store() {
-        // FP/vector stores move data from the VSU through the store queue and sustain a
-        // much lower rate than fixed point stores.
-        return if flags.intersects(InstrFlags::FLOAT | InstrFlags::VECTOR) { 4.17 } else { 1.19 };
-    }
-    if def.is_load() {
-        return if def.is_update_form() || flags.contains(InstrFlags::ALGEBRAIC) {
-            // Update/algebraic forms crack into two internal operations.
-            2.0
-        } else {
-            1.19
-        };
-    }
-    if def.is_decimal() {
-        return 10.0;
-    }
-    if flags.contains(InstrFlags::DIVIDE) {
-        return if flags.intersects(InstrFlags::FLOAT | InstrFlags::VECTOR) { 10.0 } else { 8.0 };
-    }
-    if flags.contains(InstrFlags::SQRT) {
-        return 12.0;
-    }
-    if flags.contains(InstrFlags::MULTIPLY) && def.is_integer() && !def.is_vector() {
-        return 1.43;
-    }
-    if def.issue_class() == mp_isa::IssueClass::FxuOrLsu {
-        // Simple ops can use FXU and LSU pipes; 1.14 yields the ≈3.5 aggregate IPC that
-        // the paper reports for this class.
-        return 1.14;
-    }
-    if def.is_privileged() {
-        return 4.0;
-    }
-    1.0
-}
-
-/// Builds the POWER7-like machine description used throughout the reproduction:
-/// 8 cores, SMT1/2/4, 3.0 GHz, 2 FXU + 2 LSU + 2 VSU pipes per core, 32 KB / 256 KB /
-/// 4 MB caches with 128-byte lines, and per-instruction latency/throughput properties
-/// derived from the ISA's semantic attributes.
+/// The POWER7-like machine description used throughout the reproduction, loaded from
+/// `specs/power7.uarch`: 8 cores, SMT1/2/4, 3.0 GHz, 2 FXU + 2 LSU + 2 VSU pipes per
+/// core, 32 KB / 256 KB / 4 MB caches with 128-byte lines, and per-instruction
+/// latency/throughput properties derived from the ISA's semantic attributes.
 pub fn power7() -> MicroArchitecture {
-    let isa = power_isa_v206b();
-    let mut iprops = InstrPropsTable::new();
-    for def in isa.instructions() {
-        iprops.insert(InstrProps::new(
-            def.mnemonic(),
-            derive_latency(def),
-            derive_recip_throughput(def),
-            def.units().to_vec(),
-        ));
+    crate::spec::backend("power7").expect("power7 machine spec is embedded")
+}
+
+/// The historical hand-coded POWER7 construction, kept test-only so the round-trip
+/// tests can prove the spec-loaded description is identical to it.
+#[cfg(test)]
+pub(crate) mod handcoded {
+    use mp_isa::{InstrFlags, InstructionDef, LatencyClass};
+
+    use super::*;
+    use crate::units::power7_floorplan;
+
+    /// Derives the execution latency (cycles) of an instruction from its latency class.
+    fn derive_latency(def: &InstructionDef) -> u32 {
+        let fpish = def.flags().intersects(InstrFlags::FLOAT | InstrFlags::VECTOR);
+        match def.latency_class() {
+            LatencyClass::Simple => {
+                if fpish {
+                    2
+                } else {
+                    1
+                }
+            }
+            LatencyClass::Medium => {
+                if fpish {
+                    6
+                } else {
+                    4
+                }
+            }
+            LatencyClass::Long => 13,
+            LatencyClass::VeryLong => 33,
+            // Memory ops: address generation + L1 access pipeline; the hierarchy adds
+            // the per-level latency on top at simulation time.
+            LatencyClass::Memory => 2,
+            LatencyClass::Control => 1,
+        }
     }
-    MicroArchitecture {
-        name: "POWER7".to_owned(),
-        isa,
-        pipes: CorePipes::power7(),
-        hierarchy: MemoryHierarchy::power7(),
-        uncore: UncoreGeometry::power7(),
-        max_cores: 8,
-        frequency_ghz: 3.0,
-        floorplan: power7_floorplan(),
-        iprops,
+
+    /// Derives the reciprocal throughput (cycles per instruction per pipe).
+    ///
+    /// The values are chosen so that the steady-state IPCs of single-instruction loops
+    /// come out close to the core IPC column of the paper's Table 3 (e.g. simple integer
+    /// ops ≈3.5, FXU-only ops ≈2.0, loads ≈1.68, update-form loads ≈1.0, vector/FP
+    /// stores ≈0.48).
+    fn derive_recip_throughput(def: &InstructionDef) -> f64 {
+        let flags = def.flags();
+        if flags.contains(InstrFlags::SYNC) {
+            return 30.0;
+        }
+        if def.is_prefetch() {
+            return 1.2;
+        }
+        if def.is_store() {
+            // FP/vector stores move data from the VSU through the store queue and
+            // sustain a much lower rate than fixed point stores.
+            return if flags.intersects(InstrFlags::FLOAT | InstrFlags::VECTOR) {
+                4.17
+            } else {
+                1.19
+            };
+        }
+        if def.is_load() {
+            return if def.is_update_form() || flags.contains(InstrFlags::ALGEBRAIC) {
+                // Update/algebraic forms crack into two internal operations.
+                2.0
+            } else {
+                1.19
+            };
+        }
+        if def.is_decimal() {
+            return 10.0;
+        }
+        if flags.contains(InstrFlags::DIVIDE) {
+            return if flags.intersects(InstrFlags::FLOAT | InstrFlags::VECTOR) {
+                10.0
+            } else {
+                8.0
+            };
+        }
+        if flags.contains(InstrFlags::SQRT) {
+            return 12.0;
+        }
+        if flags.contains(InstrFlags::MULTIPLY) && def.is_integer() && !def.is_vector() {
+            return 1.43;
+        }
+        if def.issue_class() == mp_isa::IssueClass::FxuOrLsu {
+            // Simple ops can use FXU and LSU pipes; 1.14 yields the ≈3.5 aggregate IPC
+            // that the paper reports for this class.
+            return 1.14;
+        }
+        if def.is_privileged() {
+            return 4.0;
+        }
+        1.0
+    }
+
+    /// Builds the POWER7 machine description exactly as the pre-spec code did.
+    pub(crate) fn power7_handcoded() -> MicroArchitecture {
+        let isa = mp_isa::power_isa::power_isa_v206b();
+        let mut iprops = InstrPropsTable::new();
+        for def in isa.instructions() {
+            iprops.insert(InstrProps::new(
+                def.mnemonic(),
+                derive_latency(def),
+                derive_recip_throughput(def),
+                def.units().to_vec(),
+            ));
+        }
+        MicroArchitecture {
+            name: "POWER7".to_owned(),
+            isa,
+            pipes: CorePipes::power7(),
+            hierarchy: MemoryHierarchy::power7(),
+            uncore: UncoreGeometry::power7(),
+            max_cores: 8,
+            smt_modes: vec![SmtMode::Smt1, SmtMode::Smt2, SmtMode::Smt4],
+            frequency_ghz: 3.0,
+            floorplan: power7_floorplan(),
+            energy: EnergyParams::power7(),
+            pmc_names: CounterId::ALL.iter().map(|c| (*c, c.name().to_owned())).collect(),
+            spec_digest: 0,
+            iprops,
+        }
     }
 }
 
@@ -221,6 +279,14 @@ mod tests {
         let m = power7();
         assert!((m.frequency_ghz - 3.0).abs() < 1e-12);
         assert!((m.cycles_per_ms() - 3.0e6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn pmc_mapping_covers_every_counter() {
+        let m = power7();
+        for id in CounterId::ALL {
+            assert_eq!(m.pmc_name(id), id.name(), "{id} maps to its platform event");
+        }
     }
 
     #[test]

@@ -8,7 +8,12 @@ use mp_sim::{ChipSim, SimOptions};
 
 /// A platform with short runs, sized so the integration tests stay fast in debug builds.
 pub fn test_platform() -> SimPlatform {
-    SimPlatform::new(ChipSim::new(mp_uarch::power7()).with_options(SimOptions {
+    test_platform_on("power7").expect("power7 machine spec is embedded")
+}
+
+/// [`test_platform`] on any named spec-loaded backend (`mp_uarch::backend_names`).
+pub fn test_platform_on(backend: &str) -> Option<SimPlatform> {
+    Some(SimPlatform::new(ChipSim::new(mp_uarch::backend(backend)?).with_options(SimOptions {
         warmup_cycles: 1_200,
         measure_cycles: 3_000,
         sample_cycles: 500,
@@ -16,7 +21,7 @@ pub fn test_platform() -> SimPlatform {
         prefetch_enabled: true,
         seed: 0x17e5,
         uncore_mode: mp_sim::UncoreMode::Private,
-    }))
+    })))
 }
 
 /// The process-wide memoizing measurement session over [`test_platform`].

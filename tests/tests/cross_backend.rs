@@ -1,0 +1,121 @@
+//! The second backend end-to-end: everything the characterization does on POWER7 —
+//! simulate, train a bottom-up model, search for max-power stressmarks — must run
+//! unchanged on the spec-loaded POWER8-like machine, because every layer reads the
+//! machine description instead of assuming POWER7 constants.
+
+use std::sync::OnceLock;
+
+use microprobe::platform::{Platform, SimPlatform};
+use mp_bench::{measurement_plan, MeasuredBenchmark};
+use mp_integration::{session, test_platform_on};
+use mp_power::{paae, BottomUpModel, SampleKind, TrainingSet, WorkloadSample};
+use mp_runtime::{ExperimentPlan, ExperimentSession};
+use mp_stressmark::{expert_manual_set, StressmarkSearch};
+use mp_uarch::{CmpSmtConfig, SmtMode};
+use mp_workloads::{spec_proxies, TrainingOptions, TrainingSuite};
+
+/// The process-wide memoizing session over the POWER8-like backend.
+fn power8_session() -> &'static ExperimentSession<SimPlatform> {
+    static SESSION: OnceLock<ExperimentSession<SimPlatform>> = OnceLock::new();
+    SESSION.get_or_init(|| {
+        ExperimentSession::new(test_platform_on("power8").expect("power8 spec is embedded"))
+    })
+}
+
+#[test]
+fn the_model_training_pipeline_runs_on_the_second_backend() {
+    let session = power8_session();
+    let arch = session.platform().uarch().clone();
+    assert_eq!(arch.name, "POWER8");
+    assert!(arch.smt_modes.contains(&SmtMode::Smt8));
+
+    // Generate and measure a reduced training suite on POWER8 configurations —
+    // including an SMT8 one, which does not exist on POWER7.
+    let suite = TrainingSuite::generate(&arch, TrainingOptions::reduced(0.02, 64))
+        .expect("the training suite generates against the spec-loaded backend");
+    let benchmarks: Vec<MeasuredBenchmark> = suite
+        .benchmarks()
+        .iter()
+        .map(|tb| {
+            let kind =
+                if tb.family.is_random() { SampleKind::Random } else { SampleKind::MicroArch };
+            MeasuredBenchmark::new(tb.benchmark.name().to_owned(), tb.benchmark.clone(), kind)
+        })
+        .collect();
+    let configs = vec![
+        CmpSmtConfig::new(1, SmtMode::Smt1),
+        CmpSmtConfig::new(1, SmtMode::Smt2),
+        CmpSmtConfig::new(1, SmtMode::Smt4),
+        CmpSmtConfig::new(1, SmtMode::Smt8),
+        CmpSmtConfig::new(2, SmtMode::Smt1),
+        CmpSmtConfig::new(2, SmtMode::Smt8),
+    ];
+    let mut training = TrainingSet::new();
+    training.extend(session.run(&measurement_plan(&benchmarks, &configs)));
+    let model = BottomUpModel::train(&training, session.platform().idle_power())
+        .expect("the bottom-up methodology trains on POWER8 measurements");
+
+    // Validate on SPEC proxies the model never saw, on an unseen configuration.
+    let config = CmpSmtConfig::new(2, SmtMode::Smt4);
+    let mut plan = ExperimentPlan::new();
+    for proxy in spec_proxies().iter().take(6) {
+        let bench = proxy.generate(&arch, 96).expect("proxy generates");
+        plan.push(proxy.name, bench, config, SampleKind::Spec);
+    }
+    let spec: Vec<WorkloadSample> = session.run(&plan).into_iter().map(|(s, _)| s).collect();
+    let error = paae(&model, spec.iter()).expect("non-empty validation set");
+    assert!(error < 8.0, "bottom-up PAAE on POWER8 too high: {error:.2}%");
+}
+
+#[test]
+fn the_stressmark_search_runs_on_the_second_backend_in_smt8() {
+    let p8 = power8_session();
+    let arch = p8.platform().uarch().clone();
+
+    // The search takes its SMT modes from the machine description: SMT8 is evaluated
+    // without this test (or any caller) naming it.
+    let search =
+        StressmarkSearch::with_session(p8).with_cores(arch.max_cores).with_loop_instructions(48);
+    let mut candidates = expert_manual_set(&arch);
+    candidates.truncate(4);
+    let result = search.exhaustive(candidates, None);
+    assert_eq!(result.failures, 0, "expert sequences build against the spec-loaded backend");
+    assert!(result.best_score > p8.platform().idle_power());
+
+    // At equal utilisation targets the 12-core chip draws more power than POWER7's 8
+    // cores — the machine geometry, not a hardcoded constant, sets the ceiling.
+    let best = search.evaluate(&result.best).expect("winner re-evaluates");
+    let p7 = StressmarkSearch::with_session(session())
+        .with_cores(session().platform().uarch().max_cores)
+        .with_loop_instructions(48)
+        .evaluate(&result.best)
+        .expect("the same sequence builds on POWER7");
+    assert!(
+        best.power > p7.power,
+        "12-core POWER8 stressmark ({:.1}W) should out-draw 8-core POWER7 ({:.1}W)",
+        best.power,
+        p7.power
+    );
+}
+
+#[test]
+fn the_same_kernel_measures_differently_per_backend() {
+    let p7 = session();
+    let p8 = power8_session();
+    let arch = p7.platform().uarch().clone();
+
+    // Both machines implement the same ISA spec, so one benchmark runs on both — but
+    // the job keys (and therefore the cache entries) and the measurements differ.
+    let mut synth = microprobe::synth::Synthesizer::new(arch).with_seed(11);
+    synth.add_pass(microprobe::passes::SkeletonPass::endless_loop(32));
+    let computes = p7.platform().uarch().isa.compute_instructions();
+    synth.add_pass(microprobe::passes::InstructionMixPass::uniform(computes));
+    let bench = synth.synthesize().expect("benchmark synthesizes");
+    let config = CmpSmtConfig::new(1, SmtMode::Smt1);
+
+    assert_ne!(p7.job_key(&bench, config), p8.job_key(&bench, config));
+    let m7 = p7.measure(&bench, config);
+    let m8 = p8.measure(&bench, config);
+    assert_ne!(m7.average_power(), m8.average_power());
+    assert!(m8.average_power() > m7.average_power(), "POWER8's idle floor is higher");
+}

@@ -1,0 +1,200 @@
+//! Property tests of the spec loaders: an ISA built in memory survives
+//! emit → parse → emit unchanged (structural equality and a textual fixed point),
+//! and the same holds for machine specs with perturbed numeric parameters.
+//!
+//! The vendored proptest stub only supplies numeric strategies, so each case samples a
+//! seed and derives the random spec from a `SmallRng` in the test body.
+
+use mp_isa::spec::{emit_isa, intern, parse_isa};
+use mp_isa::{
+    Format, InstrFlags, InstructionDef, Isa, IssueClass, LatencyClass, OperandKind, OperandWidth,
+    RegAccess, RegisterFile, Unit,
+};
+use mp_uarch::spec::{emit_machine, parse_machine};
+use proptest::prelude::*;
+use rand::prelude::*;
+
+const FORMATS: &[Format] = &[
+    Format::D,
+    Format::Ds,
+    Format::X,
+    Format::Xo,
+    Format::A,
+    Format::M,
+    Format::Xx3,
+    Format::Vx,
+    Format::B,
+    Format::I,
+    Format::Xl,
+    Format::Xfx,
+    Format::Z,
+];
+const ISSUES: &[IssueClass] = &[
+    IssueClass::Fxu,
+    IssueClass::Lsu,
+    IssueClass::FxuOrLsu,
+    IssueClass::Vsu,
+    IssueClass::Dfu,
+    IssueClass::Bru,
+];
+const LATENCIES: &[LatencyClass] = &[
+    LatencyClass::Simple,
+    LatencyClass::Medium,
+    LatencyClass::Long,
+    LatencyClass::VeryLong,
+    LatencyClass::Memory,
+    LatencyClass::Control,
+];
+const WIDTHS: &[OperandWidth] = &[
+    OperandWidth::W8,
+    OperandWidth::W16,
+    OperandWidth::W32,
+    OperandWidth::W64,
+    OperandWidth::W128,
+];
+// Flags without structural side conditions (LOAD/STORE demand mem_bytes and vice
+// versa, so the memory shape is decided separately below).
+const FREE_FLAGS: &[InstrFlags] = &[
+    InstrFlags::INTEGER,
+    InstrFlags::FLOAT,
+    InstrFlags::VECTOR,
+    InstrFlags::DECIMAL,
+    InstrFlags::CONDITIONAL,
+    InstrFlags::PRIVILEGED,
+    InstrFlags::CR_WRITING,
+    InstrFlags::MULTIPLY,
+    InstrFlags::DIVIDE,
+    InstrFlags::SQRT,
+    InstrFlags::FMA,
+    InstrFlags::COMPARE,
+    InstrFlags::LOGICAL,
+    InstrFlags::SHIFT,
+    InstrFlags::SYNC,
+    InstrFlags::MOVE,
+    InstrFlags::IMMEDIATE_FORM,
+    InstrFlags::CARRYING,
+];
+
+fn random_operand(rng: &mut SmallRng) -> OperandKind {
+    const FILES: &[RegisterFile] = &[
+        RegisterFile::Gpr,
+        RegisterFile::Fpr,
+        RegisterFile::Vsr,
+        RegisterFile::Vr,
+        RegisterFile::Cr,
+        RegisterFile::Spr,
+    ];
+    const ACCESSES: &[RegAccess] = &[RegAccess::Read, RegAccess::Write, RegAccess::ReadWrite];
+    match rng.gen_range(0..5u32) {
+        0 => OperandKind::Reg {
+            file: *FILES.choose(rng).unwrap(),
+            access: *ACCESSES.choose(rng).unwrap(),
+        },
+        1 => OperandKind::CrField { access: *ACCESSES.choose(rng).unwrap() },
+        2 => OperandKind::Imm { bits: rng.gen_range(1..=16), signed: rng.gen_bool(0.5) },
+        3 => OperandKind::Displacement { bits: rng.gen_range(12..=16) },
+        _ => OperandKind::BranchTarget { bits: rng.gen_range(14..=24) },
+    }
+}
+
+/// Builds a random, always-valid ISA: unique mnemonics, unique opcodes (so no two
+/// definitions can be encoding-identical), and memory attributes kept consistent with
+/// the memory flags.
+fn random_isa(seed: u64) -> Isa {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let count = rng.gen_range(2..=10usize);
+    let mut defs = Vec::new();
+    for i in 0..count {
+        let mnemonic = intern(&format!("op{i}"));
+        // Descriptions exercise the quoted-string escapes.
+        let description = intern(&match rng.gen_range(0..3u32) {
+            0 => format!("random op {i}"),
+            1 => format!("says \"{i}\""),
+            _ => format!("path\\{i}"),
+        });
+        let mut builder =
+            InstructionDef::builder(mnemonic, *FORMATS.choose(&mut rng).unwrap(), i as u8)
+                .description(description)
+                .issue(*ISSUES.choose(&mut rng).unwrap())
+                .latency(*LATENCIES.choose(&mut rng).unwrap())
+                .width(*WIDTHS.choose(&mut rng).unwrap());
+        if rng.gen_bool(0.5) {
+            builder = builder.xo(rng.gen_range(1..1024));
+        }
+        for flag in FREE_FLAGS {
+            if rng.gen_bool(0.15) {
+                builder = builder.flags(*flag);
+            }
+        }
+        match rng.gen_range(0..4u32) {
+            0 => {
+                builder = builder
+                    .flags(if rng.gen_bool(0.5) { InstrFlags::LOAD } else { InstrFlags::STORE })
+                    .mem_bytes(1 << rng.gen_range(0..=4u32));
+            }
+            1 => {
+                builder = builder.flags(InstrFlags::PREFETCH);
+                if rng.gen_bool(0.5) {
+                    builder = builder.mem_bytes(128);
+                }
+            }
+            _ => {}
+        }
+        if rng.gen_bool(0.4) {
+            builder = builder.complexity(rng.gen_range(1..=16) as f64 * 0.25);
+        }
+        if rng.gen_bool(0.3) {
+            builder =
+                builder.also_stresses(*[Unit::Ifu, Unit::Isu, Unit::Bru].choose(&mut rng).unwrap());
+        }
+        for _ in 0..rng.gen_range(0..4usize) {
+            builder = builder.operand(random_operand(&mut rng));
+        }
+        defs.push(builder.build());
+    }
+    Isa::new(format!("rand-isa-{seed}"), defs).expect("generated definitions are valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// ISA spec: in-memory → emit → parse reproduces the same ISA, and the emitted
+    /// text is a fixed point of the round trip.
+    #[test]
+    fn isa_spec_round_trips(seed in 0u64..1_000_000) {
+        let isa = random_isa(seed);
+        let text = emit_isa(&isa);
+        let reparsed = parse_isa(&text)
+            .unwrap_or_else(|e| panic!("emitted spec must parse: {e}\n{text}"));
+        prop_assert_eq!(&reparsed, &isa);
+        prop_assert_eq!(emit_isa(&reparsed), text);
+    }
+
+    /// Machine spec: perturbing the numeric parameters of the POWER7 description and
+    /// round-tripping through the text format preserves every field.
+    #[test]
+    fn machine_spec_round_trips(seed in 0u64..1_000_000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut spec = parse_machine(mp_uarch::spec::machine_spec_source("power7").unwrap())
+            .expect("embedded spec parses");
+
+        spec.name = format!("RAND{}", rng.gen_range(0..1000u32));
+        spec.frequency_ghz = rng.gen_range(4..=80u32) as f64 * 0.05;
+        spec.max_cores = rng.gen_range(1..=16);
+        spec.pipes.fxu = rng.gen_range(1..=4);
+        spec.hierarchy.mem_latency_cycles = rng.gen_range(100..=400);
+        spec.latency.long = rng.gen_range(8..=20);
+        spec.throughput.divide = rng.gen_range(4..=64u32) as f64 * 0.25;
+        spec.energy.idle_power = rng.gen_range(200..=1200u32) as f64 * 0.25;
+        spec.energy.prefetch_energy = rng.gen_range(1..=40u32) as f64 * 0.05;
+        if let Some(over) = spec.iprop_overrides.first_mut() {
+            over.latency = Some(rng.gen_range(1..=40));
+        }
+
+        let text = emit_machine(&spec);
+        let reparsed = parse_machine(&text)
+            .unwrap_or_else(|e| panic!("emitted machine spec must parse: {e}\n{text}"));
+        prop_assert_eq!(&reparsed, &spec);
+        prop_assert_eq!(emit_machine(&reparsed), text);
+    }
+}

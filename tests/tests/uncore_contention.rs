@@ -14,7 +14,7 @@
 use mp_power::{ActivityVector, LinearRegression, PowerModel, TopDownModel, WorkloadSample};
 use mp_sim::fixtures::{
     compute_bound, memory_bound, uncore_contender, uncore_contention_pair, uncore_mem_chain,
-    CONTENDER_GROUPS,
+    uncore_prefetch_stream, CONTENDER_GROUPS,
 };
 use mp_sim::{ChipSim, Kernel, Measurement, SimOptions, UncoreMode};
 use mp_uarch::{power7, CmpSmtConfig, SmtMode};
@@ -127,6 +127,87 @@ fn single_core_shared_mode_matches_private_mode() {
     assert_eq!(cs.bw_stalls, 0, "a solo in-cache workload must never stall on bandwidth");
     let rel_ipc = (ms.chip_ipc() - mp.chip_ipc()).abs() / mp.chip_ipc();
     assert!(rel_ipc < 0.01, "solo IPC must match between modes: {rel_ipc}");
+}
+
+#[test]
+fn prefetch_fills_occupy_the_memory_port() {
+    let sim = sim(UncoreMode::Shared);
+    let isa = &sim.uarch().isa;
+    let chain = uncore_mem_chain(isa);
+    let firehose = uncore_prefetch_stream(isa);
+    let solo_config = CmpSmtConfig::new(1, SmtMode::Smt1);
+
+    // Alone, the latency-bound chain transfers lines without ever saturating the port,
+    // and the prefetch stream reaches memory through its admitted fills.
+    let solo_chain = sim.run(&chain, solo_config);
+    assert_eq!(solo_chain.chip_counters().bw_stalls, 0, "the chain alone never queues");
+    assert!(solo_chain.chip_counters().mem_accesses > 0);
+    let solo_stream = sim.run(&firehose, solo_config);
+    assert!(solo_stream.chip_counters().prefetches > 0);
+    assert!(
+        solo_stream.ground_truth().uncore > 0.0,
+        "admitted prefetch fills must accrue uncore transfer energy"
+    );
+
+    // Co-scheduled with the firehose, the chain's demand misses queue behind prefetch
+    // line transfers: bandwidth stalls appear and the chain loses IPC.  This is
+    // exactly what free prefetch fills cannot produce.
+    let pair = sim
+        .run_heterogeneous(&[chain.clone(), firehose.clone()], CmpSmtConfig::new(2, SmtMode::Smt1));
+    let c = pair.chip_counters();
+    assert!(c.bw_stalls > 0, "demand misses must queue behind prefetch transfers");
+    let chain_ipc = pair.per_core()[0].ipc();
+    assert!(
+        chain_ipc < solo_chain.chip_ipc() - 1e-9,
+        "prefetch port pressure must slow the chain: paired {chain_ipc} vs solo {}",
+        solo_chain.chip_ipc()
+    );
+
+    // The solo firehose already saturates the port, so the pair's transfer energy is
+    // bandwidth-capped — but the chain's demand probes and the queueing it now suffers
+    // burn L3-access and stall energy on top of the saturated transfer stream.
+    assert!(pair.ground_truth().uncore > solo_stream.ground_truth().uncore);
+}
+
+/// Pairs of `dcbt` + load of the same line with `spacing` integer instructions in
+/// between, over a footprint that misses the whole hierarchy on every touch (8 sets ×
+/// 12 tags cycling through 8-way caches, non-adjacent lines so the hardware
+/// prefetcher stays out of the picture).
+fn prefetch_then_load(isa: &mp_isa::Isa, spacing: usize) -> Kernel {
+    use mp_sim::fixtures::materialise;
+    let mut body = Vec::new();
+    for i in 0..96usize {
+        let address = (i as u64 / 8) * (4 << 20) + (i as u64 % 8) * 3 * 128;
+        body.push(materialise(isa, "dcbt", i, Some(address)));
+        for j in 0..spacing {
+            body.push(materialise(isa, "add", i + j, None));
+        }
+        body.push(materialise(isa, "ld", i, Some(address)));
+    }
+    Kernel::new(format!("prefetch_then_load_{spacing}"), body)
+}
+
+#[test]
+fn full_port_queue_drops_prefetches() {
+    let sim = sim(UncoreMode::Shared);
+    let isa = sim.uarch().isa.clone();
+    let config = CmpSmtConfig::new(1, SmtMode::Smt1);
+
+    // With compute between each prefetch and its load, line transfers arrive slower
+    // than the port drains them: every prefetch is admitted and every load hits the
+    // L1 its `dcbt` just filled.
+    let relaxed = sim.run(&prefetch_then_load(&isa, 16), config);
+    let c = relaxed.chip_counters();
+    assert!(c.l1_hits > 0, "admitted prefetches make their loads hit the L1");
+    assert_eq!(c.mem_accesses, 0, "an unsaturated port admits every prefetch");
+
+    // Back-to-back, the prefetches saturate the queue: the excess ones are *dropped*
+    // (they fill nothing), so their loads miss all the way to memory and queue on the
+    // port themselves.  Free prefetch fills could never produce this signature.
+    let saturated = sim.run(&prefetch_then_load(&isa, 0), config);
+    let c = saturated.chip_counters();
+    assert!(c.mem_accesses > 0, "dropped prefetches leave their loads to miss to memory");
+    assert!(c.bw_stalls > 0, "demand loads queue behind the prefetch transfers");
 }
 
 /// Builds the shared-mode training population for the model-fit assertions: solo and
