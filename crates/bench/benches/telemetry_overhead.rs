@@ -1,0 +1,82 @@
+//! Cost of the telemetry layer, measured two ways.
+//!
+//! 1. Call-site cost: a disabled `counter()` / `span()` call must be a single relaxed
+//!    atomic load and nothing else — these benches pin the per-call price in the
+//!    disabled and enabled states.
+//! 2. End-to-end cost: the `sim_hot_loop` workload (the same fixed kernels and pinned
+//!    options as `benches/sim_hot_loop.rs`) with telemetry off vs on.  The disabled
+//!    run is the overhead guard: instrumentation must not tax the simulator's cycle
+//!    loop when nobody asked for observability.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use mp_sim::fixtures::compute_bound;
+use mp_sim::{ChipSim, SimOptions};
+use mp_uarch::{power7, CmpSmtConfig, SmtMode};
+
+const WARMUP_CYCLES: u64 = 2_000;
+const MEASURE_CYCLES: u64 = 10_000;
+
+fn hot_loop_sim() -> ChipSim {
+    ChipSim::new(power7()).with_options(SimOptions {
+        warmup_cycles: WARMUP_CYCLES,
+        measure_cycles: MEASURE_CYCLES,
+        sample_cycles: 1_000,
+        noise_fraction: 0.0025,
+        prefetch_enabled: true,
+        seed: 0x5eed_0401,
+        uncore_mode: mp_sim::UncoreMode::Private,
+    })
+}
+
+fn bench_call_sites(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_calls");
+    // Each iteration performs 1024 calls so the timer resolution doesn't dominate.
+    group.throughput(Throughput::Elements(1024));
+
+    for (state, on) in [("disabled", false), ("enabled", true)] {
+        mp_telemetry::reset();
+        mp_telemetry::set_enabled(on);
+        group.bench_with_input(BenchmarkId::new("counter", state), &on, |b, _| {
+            b.iter(|| {
+                for i in 0..1024u64 {
+                    mp_telemetry::counter("bench.counter", criterion::black_box(i) & 1);
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("span", state), &on, |b, _| {
+            b.iter(|| {
+                for _ in 0..1024u64 {
+                    let span = mp_telemetry::span("bench.span");
+                    criterion::black_box(&span);
+                }
+            })
+        });
+        mp_telemetry::reset();
+    }
+    group.finish();
+    mp_telemetry::set_enabled(false);
+}
+
+fn bench_sim_overhead(c: &mut Criterion) {
+    let sim = hot_loop_sim();
+    let kernel = compute_bound(&sim.uarch().isa);
+    let config = CmpSmtConfig::new(1, SmtMode::Smt4);
+
+    let mut group = c.benchmark_group("sim_hot_loop_telemetry");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(WARMUP_CYCLES + MEASURE_CYCLES));
+    for (state, on) in [("off", false), ("on", true)] {
+        mp_telemetry::reset();
+        mp_telemetry::set_enabled(on);
+        group.bench_with_input(BenchmarkId::new("compute", state), &config, |b, config| {
+            b.iter(|| sim.run(&kernel, *config))
+        });
+        mp_telemetry::reset();
+    }
+    group.finish();
+    mp_telemetry::set_enabled(false);
+}
+
+criterion_group!(benches, bench_call_sites, bench_sim_overhead);
+criterion_main!(benches);

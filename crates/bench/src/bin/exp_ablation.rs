@@ -106,4 +106,7 @@ fn main() {
             result.best_score / spec_max
         );
     }
+
+    println!("{}", experiments.session().stats().summary_line());
+    mp_telemetry::report();
 }

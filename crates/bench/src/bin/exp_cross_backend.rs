@@ -93,10 +93,7 @@ fn main() {
     // The session caches make re-running this report cheap; surface the hit rates.
     println!();
     for (name, experiments) in &backends {
-        let stats = experiments.session().stats();
-        println!(
-            "# Runtime[{name}] — {} jobs submitted, {} unique runs, {} memoized hits",
-            stats.submitted, stats.misses, stats.hits
-        );
+        println!("{}", experiments.session().stats().summary_line_for(name));
     }
+    mp_telemetry::report();
 }

@@ -9,4 +9,6 @@ fn main() {
     let study = experiments.model_study();
     println!("{}", experiments.fig5a(&study));
     println!("{}", experiments.fig5b(&study));
+    println!("{}", experiments.session().stats().summary_line());
+    mp_telemetry::report();
 }

@@ -7,4 +7,6 @@ fn main() {
     let experiments = Experiments::new(scale);
     let study = experiments.model_study();
     println!("{}", experiments.fig7(&study));
+    println!("{}", experiments.session().stats().summary_line());
+    mp_telemetry::report();
 }

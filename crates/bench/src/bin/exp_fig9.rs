@@ -16,9 +16,6 @@ fn main() {
     let stressmark = experiments.stressmark_study(spec_max, &taxonomy.props);
     println!("{}", experiments.fig9(&stressmark));
     // Scheduling-independent cache statistics: identical for any MP_THREADS setting.
-    let stats = experiments.session().stats();
-    println!(
-        "# Runtime — {} measurement jobs submitted, {} unique runs, {} memoized hits",
-        stats.submitted, stats.misses, stats.hits
-    );
+    println!("{}", experiments.session().stats().summary_line());
+    mp_telemetry::report();
 }

@@ -4,5 +4,9 @@ use mp_bench::{ExperimentScale, Experiments};
 
 fn main() {
     let scale = ExperimentScale::from_arg(std::env::args().nth(1).as_deref());
-    println!("{}", Experiments::new(scale).table2());
+    let experiments = Experiments::new(scale);
+    println!("{}", experiments.table2());
+    // Table 2 only *generates* benchmarks; the uniform stats line reports 0 jobs.
+    println!("{}", experiments.session().stats().summary_line());
+    mp_telemetry::report();
 }

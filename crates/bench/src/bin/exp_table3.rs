@@ -8,9 +8,6 @@ fn main() {
     let taxonomy = experiments.taxonomy_study();
     println!("{}", experiments.table3(&taxonomy));
     // Scheduling-independent cache statistics: identical for any MP_THREADS setting.
-    let stats = experiments.session().stats();
-    println!(
-        "# Runtime — {} measurement jobs submitted, {} unique runs, {} memoized hits",
-        stats.submitted, stats.misses, stats.hits
-    );
+    println!("{}", experiments.session().stats().summary_line());
+    mp_telemetry::report();
 }

@@ -9,4 +9,8 @@ fn main() {
     let scale = ExperimentScale::from_arg(arg.as_deref());
     let experiments = Experiments::new(scale);
     println!("{}", experiments.run_all());
+    // Variable observability (steal counts, wall times, Chrome trace) goes to stderr
+    // and the MP_TELEMETRY_* files; stdout above stays byte-identical across
+    // MP_THREADS settings.
+    mp_telemetry::report();
 }

@@ -233,6 +233,7 @@ impl Experiments {
     /// Generates and measures everything the power-model figures need, and trains the
     /// four models.
     pub fn model_study(&self) -> ModelStudy {
+        let _span = mp_telemetry::span("exp.model_study");
         let arch = self.platform().uarch().clone();
         let loop_len = self.scale.loop_instructions();
         let suite = TrainingSuite::generate(
@@ -325,6 +326,7 @@ impl Experiments {
     /// Runs the per-instruction bootstrap (in parallel, through the session) and
     /// assembles the Table 3 taxonomy.
     pub fn taxonomy_study(&self) -> TaxonomyStudy {
+        let _span = mp_telemetry::span("exp.taxonomy_study");
         let options = BootstrapOptions {
             loop_instructions: self.scale.loop_instructions().min(512),
             config: CmpSmtConfig::new(self.platform().uarch().max_cores, SmtMode::Smt1),
@@ -347,6 +349,7 @@ impl Experiments {
         spec_max_power: f64,
         props: &InstrPropsTable,
     ) -> StressmarkStudy {
+        let _span = mp_telemetry::span("exp.stressmark_study");
         let arch = self.platform().uarch();
         let budget = self.scale.stressmark_budget();
         let smt_modes = match self.scale {
@@ -437,6 +440,7 @@ impl Experiments {
 
     /// Table 2: the generated training suite summary.
     pub fn table2(&self) -> String {
+        let _span = mp_telemetry::span("exp.table2");
         let arch = self.platform().uarch().clone();
         let suite = TrainingSuite::generate(
             &arch,
@@ -665,6 +669,7 @@ impl Experiments {
 
     /// Runs every experiment and concatenates the reports.
     pub fn run_all(&self) -> String {
+        let _span = mp_telemetry::span("exp.run_all");
         let mut out = String::new();
         out.push_str(&self.table2());
         out.push('\n');
@@ -687,13 +692,8 @@ impl Experiments {
         out.push_str(&self.fig9(&stressmark));
         out.push('\n');
         // Deliberately omits the worker count: run_all output must stay byte-identical
-        // across MP_THREADS settings (the counts below are scheduling-independent).
-        let stats = self.session.stats();
-        let _ = writeln!(
-            out,
-            "# Runtime — {} measurement jobs submitted, {} unique runs, {} memoized hits",
-            stats.submitted, stats.misses, stats.hits
-        );
+        // across MP_THREADS settings (the summary line is scheduling-independent).
+        let _ = writeln!(out, "{}", self.session.stats().summary_line());
         out
     }
 }

@@ -26,7 +26,7 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Environment variable overriding the default worker count.
 pub const THREADS_ENV: &str = "MP_THREADS";
@@ -59,12 +59,17 @@ thread_local! {
     static WORKER_INDEX: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
 }
 
-type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
+/// A queued job plus its spawn timestamp (captured only when telemetry is enabled, to
+/// measure spawn-to-start latency without any cost on the disabled path).
+struct QueuedJob<'env> {
+    job: Box<dyn FnOnce() + Send + 'env>,
+    spawned: Option<Instant>,
+}
 
 /// A handle for spawning jobs onto the pool from within [`scope`].
 pub struct Scope<'env> {
     /// One deque per worker; `spawn` deals round-robin, workers steal across them.
-    deques: Vec<Mutex<VecDeque<Job<'env>>>>,
+    deques: Vec<Mutex<VecDeque<QueuedJob<'env>>>>,
     /// Round-robin cursor for `spawn`.
     next_deque: AtomicUsize,
     /// Jobs queued or currently running.
@@ -104,14 +109,25 @@ impl<'env> Scope<'env> {
     pub fn spawn(&self, job: impl FnOnce() + Send + 'env) {
         let slot = self.next_deque.fetch_add(1, Ordering::Relaxed) % self.deques.len();
         self.pending.fetch_add(1, Ordering::SeqCst);
-        self.deques[slot].lock().expect("deque lock never poisoned").push_back(Box::new(job));
+        let spawned = if mp_telemetry::enabled() {
+            mp_telemetry::counter("executor.spawn", 1);
+            Some(Instant::now())
+        } else {
+            None
+        };
+        self.deques[slot]
+            .lock()
+            .expect("deque lock never poisoned")
+            .push_back(QueuedJob { job: Box::new(job), spawned });
         self.wake.notify_one();
     }
 
     /// Pops the next job for worker `me`: own deque from the back, then steal from the
-    /// other deques from the front.
-    fn pop(&self, me: usize) -> Option<Job<'env>> {
+    /// other deques from the front.  Pops and steals are counted per worker when
+    /// telemetry is enabled (the queue-traffic data ROADMAP item 3 needs).
+    fn pop(&self, me: usize) -> Option<QueuedJob<'env>> {
         if let Some(job) = self.deques[me].lock().expect("deque lock never poisoned").pop_back() {
+            mp_telemetry::counter_indexed("executor.pop_local", me as u32, 1);
             return Some(job);
         }
         for offset in 1..self.deques.len() {
@@ -119,6 +135,7 @@ impl<'env> Scope<'env> {
             if let Some(job) =
                 self.deques[victim].lock().expect("deque lock never poisoned").pop_front()
             {
+                mp_telemetry::counter_indexed("executor.steal", me as u32, 1);
                 return Some(job);
             }
         }
@@ -127,12 +144,24 @@ impl<'env> Scope<'env> {
 
     fn worker_loop(&self, me: usize) {
         WORKER_INDEX.with(|w| w.set(Some(me)));
+        if mp_telemetry::enabled() {
+            mp_telemetry::set_thread_label(&format!("worker-{me}"));
+        }
         loop {
             if self.poisoned.load(Ordering::SeqCst) {
                 break;
             }
-            if let Some(job) = self.pop(me) {
-                if catch_unwind(AssertUnwindSafe(job)).is_err_and(|payload| {
+            if let Some(QueuedJob { job, spawned }) = self.pop(me) {
+                if let Some(spawned) = spawned {
+                    mp_telemetry::histogram(
+                        "executor.spawn_to_start_ns",
+                        spawned.elapsed().as_nanos() as u64,
+                    );
+                }
+                let task_span = mp_telemetry::span("executor.task");
+                let outcome = catch_unwind(AssertUnwindSafe(job));
+                drop(task_span);
+                if outcome.is_err_and(|payload| {
                     let mut slot = self.panic.lock().expect("panic slot lock never poisoned");
                     let first = slot.is_none();
                     if first {
@@ -158,6 +187,10 @@ impl<'env> Scope<'env> {
             }
         }
         WORKER_INDEX.with(|w| w.set(None));
+        // Drain this worker's telemetry buffer *inside* the scoped closure: the scope
+        // only waits for the closure to finish, not for TLS destructors, so relying on
+        // the thread-exit flush would race the spawner's snapshot.
+        mp_telemetry::flush();
     }
 }
 
@@ -174,6 +207,7 @@ pub fn scope<'env, R>(f: impl FnOnce(&Scope<'env>) -> R) -> R {
 
 /// [`scope`] with an explicit worker count (clamped to at least 1).
 pub fn scope_with_workers<'env, R>(workers: usize, f: impl FnOnce(&Scope<'env>) -> R) -> R {
+    let _scope_span = mp_telemetry::span("executor.scope");
     let sc = Scope::new(workers.max(1));
     let result = std::thread::scope(|threads| {
         let handles: Vec<_> = (0..sc.workers())
@@ -223,7 +257,17 @@ where
     F: Fn(&T) -> R + Sync,
 {
     let workers = workers.max(1).min(items.len().max(1));
+    if mp_telemetry::enabled() {
+        mp_telemetry::counter("executor.par_map_calls", 1);
+        mp_telemetry::counter("executor.jobs", items.len() as u64);
+        // Register the scheduling counters even on the inline path so summaries always
+        // carry them (a 1-worker run legitimately reports 0 steals, not a missing key).
+        mp_telemetry::counter("executor.steal", 0);
+        mp_telemetry::counter("executor.pop_local", 0);
+        mp_telemetry::gauge("executor.workers", workers as f64);
+    }
     if workers == 1 || items.len() <= 1 {
+        mp_telemetry::counter("executor.inline_jobs", items.len() as u64);
         return items.iter().map(f).collect();
     }
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();

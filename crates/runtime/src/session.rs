@@ -160,6 +160,30 @@ pub struct SessionStats {
     pub misses: usize,
 }
 
+impl SessionStats {
+    /// The uniform `# Runtime` stats line every experiment binary prints.
+    ///
+    /// Deliberately scheduling-independent (submitted/unique/hit counts only, no wall
+    /// times or worker counts), so binary stdout stays byte-identical across
+    /// `MP_THREADS` settings; the variable telemetry goes to stderr via
+    /// [`mp_telemetry::report`].
+    pub fn summary_line(&self) -> String {
+        format!(
+            "# Runtime — {} measurement jobs submitted, {} unique runs, {} memoized hits",
+            self.submitted, self.misses, self.hits
+        )
+    }
+
+    /// [`summary_line`](Self::summary_line) tagged with a label, for binaries driving
+    /// several sessions (e.g. one per backend).
+    pub fn summary_line_for(&self, label: &str) -> String {
+        format!(
+            "# Runtime[{label}] — {} measurement jobs submitted, {} unique runs, {} memoized hits",
+            self.submitted, self.misses, self.hits
+        )
+    }
+}
+
 /// A memoizing measurement session over a platform.
 ///
 /// The session owns (or borrows, via the blanket `Platform for &P` impl) the platform
@@ -231,33 +255,60 @@ impl<P: Platform> ExperimentSession<P> {
     /// measurements in job order.  Repeats (within the batch or against the session
     /// cache) are measured once; cache misses run in parallel on the executor.
     pub fn measure_batch(&self, jobs: &[(&MicroBenchmark, CmpSmtConfig)]) -> Vec<Measurement> {
+        let _batch_span = mp_telemetry::span("session.measure_batch");
         let digest = self.platform.uarch().spec_digest;
         let keys: Vec<u128> = jobs.iter().map(|(b, c)| job_key(b, *c, digest)).collect();
 
         // Unique cache misses, in first-appearance order (deterministic).
+        let telemetry = mp_telemetry::enabled();
+        let mut memo_hits = 0u64;
+        let mut dedup_hits = 0u64;
         let mut to_measure: Vec<(u128, usize)> = Vec::new();
         {
             let cache = self.cache.lock().expect("cache lock never poisoned");
             let mut queued: HashSet<u128> = HashSet::new();
             for (index, key) in keys.iter().enumerate() {
-                if cache.contains_key(key) || !queued.insert(*key) {
+                if cache.contains_key(key) {
                     self.hits.fetch_add(1, Ordering::SeqCst);
+                    memo_hits += 1;
+                } else if !queued.insert(*key) {
+                    self.hits.fetch_add(1, Ordering::SeqCst);
+                    dedup_hits += 1;
                 } else {
                     self.misses.fetch_add(1, Ordering::SeqCst);
                     to_measure.push((*key, index));
                 }
             }
         }
+        if telemetry {
+            // Register all three keys every batch so summaries always carry them.
+            mp_telemetry::counter("session.hit", memo_hits);
+            mp_telemetry::counter("session.dedup", dedup_hits);
+            mp_telemetry::counter("session.miss", to_measure.len() as u64);
+        }
 
         if !to_measure.is_empty() {
             let measured: Vec<Measurement> =
                 executor::par_map_with_workers(self.workers(), &to_measure, |&(_, index)| {
                     let (benchmark, config) = jobs[index];
-                    self.platform.run(benchmark, config)
+                    if !mp_telemetry::enabled() {
+                        return self.platform.run(benchmark, config);
+                    }
+                    // Per-job wall time vs simulated work: the data that shows whether
+                    // a job is worth farming out (ROADMAP item 3's granularity story).
+                    let start = std::time::Instant::now();
+                    let measurement = self.platform.run(benchmark, config);
+                    let wall_ns = start.elapsed().as_nanos() as u64;
+                    mp_telemetry::histogram("session.job_wall_ns", wall_ns);
+                    mp_telemetry::histogram("session.job_sim_cycles", measurement.cycles());
+                    measurement
                 });
             let mut cache = self.cache.lock().expect("cache lock never poisoned");
             for ((key, _), measurement) in to_measure.into_iter().zip(measured) {
                 cache.insert(key, measurement);
+            }
+            if telemetry {
+                mp_telemetry::gauge("session.memo_entries", cache.len() as f64);
             }
         }
 
@@ -294,6 +345,7 @@ impl<P: Platform> ExperimentSession<P> {
         &self,
         options: BootstrapOptions,
     ) -> Result<(InstrPropsTable, Vec<BootstrapRecord>), PassError> {
+        let _span = mp_telemetry::span("session.bootstrap");
         let driver = Bootstrap::new(&self.platform).with_options(options);
         let jobs = driver.jobs()?;
         let flat: Vec<(&MicroBenchmark, CmpSmtConfig)> = jobs

@@ -147,7 +147,10 @@ impl ChipSim {
     /// Runs `kernel` with one copy pinned to every hardware thread context of `config`,
     /// the deployment methodology of the paper (Section 3).
     pub fn run(&self, kernel: &Kernel, config: CmpSmtConfig) -> Measurement {
-        let body = DecodedBody::decode(kernel, &self.uarch, &self.props);
+        let body = {
+            let _span = mp_telemetry::span("sim.decode");
+            DecodedBody::decode(kernel, &self.uarch, &self.props)
+        };
         self.run_bodies(vec![body; config.threads() as usize], config)
     }
 
@@ -162,6 +165,7 @@ impl ChipSim {
         // Kernels are bucketed by content hash so a 32-thread deployment does O(n)
         // hash lookups instead of O(n²) deep `Kernel` comparisons; equality inside a
         // bucket guards against hash collisions.
+        let decode_span = mp_telemetry::span("sim.decode");
         let mut seen: Vec<(&Kernel, DecodedBody)> = Vec::new();
         let mut by_hash: HashMap<u64, Vec<usize>> = HashMap::new();
         let bodies: Vec<DecodedBody> = kernels
@@ -177,6 +181,7 @@ impl ChipSim {
                 body
             })
             .collect();
+        drop(decode_span);
         self.run_bodies(bodies, config)
     }
 
@@ -212,17 +217,24 @@ impl ChipSim {
         let mut uncore = UncoreSim::new(&self.uarch, self.options.uncore_mode);
         let mut breakdown = EnergyBreakdown::default();
         // Warm-up: caches fill, pipes reach steady state; energy is discarded.
+        let warmup_span = mp_telemetry::span("sim.warmup");
         for now in 0..self.options.warmup_cycles {
             for core in &mut cores {
                 core.step(now, &self.params, &mut breakdown, &mut uncore);
             }
         }
+        drop(warmup_span);
         for core in &mut cores {
             core.reset_counters();
         }
         breakdown = EnergyBreakdown::default();
 
-        // Measurement window with power sensor sampling.
+        // Measurement window with power sensor sampling.  Telemetry only *reads*
+        // clocks here — never the RNG or any simulated state — so an instrumented run
+        // is bit-identical to an uninstrumented one.
+        let telemetry = mp_telemetry::enabled();
+        let cycle_span = mp_telemetry::span("sim.cycle_loop");
+        let mut energy_accrual_ns = 0u64;
         let mut rng = SmallRng::seed_from_u64(self.options.seed ^ 0x7e1e_5c0e);
         let mut samples = Vec::new();
         let mut window_start_energy = 0.0;
@@ -236,6 +248,7 @@ impl ChipSim {
 
             let elapsed = now - start + 1;
             if elapsed.is_multiple_of(self.options.sample_cycles) || now + 1 == end {
+                let accrual_start = telemetry.then(std::time::Instant::now);
                 let window_cycles = if elapsed.is_multiple_of(self.options.sample_cycles) {
                     self.options.sample_cycles
                 } else {
@@ -246,14 +259,43 @@ impl ChipSim {
                 window_start_energy = energy_now;
                 let clean = window_energy / window_cycles as f64;
                 samples.push(self.add_noise(clean, &mut rng));
+                if let Some(t0) = accrual_start {
+                    energy_accrual_ns += t0.elapsed().as_nanos() as u64;
+                }
             }
         }
+        let cycle_loop_ns = cycle_span.elapsed_ns();
+        drop(cycle_span);
 
+        let finalize_span = mp_telemetry::span("sim.finalize");
         let cycles = self.options.measure_cycles;
         let per_thread: Vec<_> = cores.iter().flat_map(|c| c.counters(cycles)).collect();
         let trace = PowerTrace::new(samples, self.options.sample_cycles);
         let avg_power = self.add_noise(breakdown.total() / cycles as f64, &mut rng);
-        Measurement::new(config, cycles, per_thread, avg_power, trace, breakdown.to_power(cycles))
+        let measurement = Measurement::new(
+            config,
+            cycles,
+            per_thread,
+            avg_power,
+            trace,
+            breakdown.to_power(cycles),
+        );
+        drop(finalize_span);
+
+        if telemetry {
+            mp_telemetry::span_duration("sim.energy_accrual", energy_accrual_ns);
+            mp_telemetry::counter("sim.measurements", 1);
+            mp_telemetry::counter("sim.cycles", cycles);
+            mp_telemetry::counter("sim.warmup_cycles", self.options.warmup_cycles);
+            if cycle_loop_ns > 0 {
+                // Simulated megacycles per wall-clock second of the measurement loop.
+                mp_telemetry::gauge(
+                    "sim.mcycles_per_sec",
+                    cycles as f64 * 1e3 / cycle_loop_ns as f64,
+                );
+            }
+        }
+        measurement
     }
 
     /// Measures the workload-independent power: the sensor reading with no activity on

@@ -190,6 +190,8 @@ impl<'a, P: Platform> StressmarkSearch<'a, P> {
         &self,
         sequences: &[SequenceCandidate],
     ) -> Vec<Result<StressmarkResult, PassError>> {
+        let _span = mp_telemetry::span("dse.evaluate_candidates");
+        mp_telemetry::counter("dse.candidates", sequences.len() as u64);
         let arch = self.platform().uarch();
 
         // Build each distinct sequence once, in parallel (synthesis is deterministic).
@@ -265,6 +267,7 @@ impl<'a, P: Platform> StressmarkSearch<'a, P> {
         sequences: Vec<SequenceCandidate>,
         budget: Option<usize>,
     ) -> SearchResult<SequenceCandidate> {
+        let _span = mp_telemetry::span("dse.exhaustive");
         let search = match budget {
             Some(b) => ExhaustiveSearch::with_budget(b),
             None => ExhaustiveSearch::new(),
@@ -289,6 +292,7 @@ impl<'a, P: Platform> StressmarkSearch<'a, P> {
         driver: &GeneticSearch,
         pool: &[OpcodeId],
     ) -> SearchResult<SequenceCandidate> {
+        let _span = mp_telemetry::span("dse.genetic");
         let space = SequenceSpace::new(pool.to_vec());
         driver.run(&space, &mut PowerEvaluator { search: self })
     }

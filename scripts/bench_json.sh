@@ -5,28 +5,41 @@
 #
 # The vendored criterion stub appends one JSON object per benchmark (JSON-lines) to
 # the file named by MP_BENCH_JSON; this script wraps those lines into a single JSON
-# document carrying the revision and timestamp.
+# document carrying the revision, dirty flag and timestamp.
+#
+# The snapshot file is named after the HEAD revision (or an explicit --label); the
+# dirty state is *recorded inside* the JSON rather than baked into the filename, so a
+# re-run after committing overwrites the provisional snapshot instead of stranding a
+# `BENCH_<rev>-dirty.json` next to it.
 #
 # Usage:
-#   scripts/bench_json.sh [output-dir] [extra cargo bench args...]
+#   scripts/bench_json.sh [--label NAME] [output-dir] [extra cargo bench args...]
 #
 # Examples:
 #   scripts/bench_json.sh                      # all bench targets -> ./BENCH_<rev>.json
 #   scripts/bench_json.sh artifacts --bench sim_hot_loop
+#   scripts/bench_json.sh --label pr7 benchmarks
 #   MP_BENCH_SAMPLES=3 scripts/bench_json.sh   # quick smoke numbers
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+label=""
+if [[ "${1:-}" == "--label" || "${1:-}" == "-l" ]]; then
+    label="${2:?--label requires a value}"
+    shift 2
+fi
+
 out_dir="${1:-.}"
 shift || true
 
 rev="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
-dirty=""
+dirty=false
 if ! git diff --quiet HEAD 2>/dev/null; then
-    dirty="-dirty"
+    dirty=true
+    echo "warning: working tree is dirty — snapshot records rev ${rev} plus uncommitted changes" >&2
 fi
-out_file="${out_dir}/BENCH_${rev}${dirty}.json"
+out_file="${out_dir}/BENCH_${label:-$rev}.json"
 lines_file="$(mktemp)"
 trap 'rm -f "$lines_file"' EXIT
 
@@ -35,7 +48,11 @@ MP_BENCH_JSON="$lines_file" cargo bench --workspace "$@"
 
 {
     printf '{\n'
-    printf '  "rev": "%s%s",\n' "$rev" "$dirty"
+    printf '  "rev": "%s",\n' "$rev"
+    printf '  "dirty": %s,\n' "$dirty"
+    if [[ -n "$label" ]]; then
+        printf '  "label": "%s",\n' "$label"
+    fi
     printf '  "recorded_utc": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
     printf '  "samples_env": "%s",\n' "${MP_BENCH_SAMPLES:-default}"
     printf '  "results": [\n'
