@@ -1,0 +1,568 @@
+//! `bench_gate` — the perf-regression comparator behind the `perf-gate` CI job.
+//!
+//! Two modes, chosen by the number of snapshot arguments:
+//!
+//! * **Self-gate** (`bench_gate SNAP.json`): inside one `BENCH_<rev>.json` snapshot,
+//!   every bench id of the form `<group>/<N>` (integer worker-count suffix) is
+//!   compared against its `<group>/serial` sibling.  If any parallel variant's median
+//!   exceeds the serial baseline by more than the tolerance, the gate fails — this is
+//!   the machine-checkable form of "parallelism never loses".  Groups without a
+//!   `serial` sibling are skipped (a numeric suffix may be a size, not a worker
+//!   count).
+//! * **Compare** (`bench_gate OLD.json NEW.json`): a per-target delta table across two
+//!   snapshots (every id present in both).  Informational by default; `--check` makes
+//!   regressions beyond the tolerance fatal, for gating one revision against another.
+//!
+//! Options: `--tolerance 0.10` (fractional headroom, default 10%), `--check`.
+//!
+//! Snapshots are the `scripts/bench_json.sh` format: a JSON document whose `results`
+//! array holds one `{"id": ..., "median_ns": ...}` object per benchmark.  The parser
+//! below is a minimal recursive-descent JSON reader — the workspace deliberately has
+//! no serde route, and the snapshot grammar is small.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON.
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value (just enough for bench snapshots).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn error(&self, message: &str) -> String {
+        format!("{message} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.bytes.get(self.pos).copied();
+                    self.pos += 1;
+                    match escape {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32)
+                                .ok_or_else(|| self.error("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(hex);
+                        }
+                        _ => return Err(self.error("bad escape")),
+                    }
+                }
+                Some(&byte) => {
+                    // Multi-byte UTF-8 passes through unchanged.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.bytes.get(self.pos).is_some_and(|b| b & 0xC0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    match std::str::from_utf8(&self.bytes[start..self.pos]) {
+                        Ok(s) => out.push_str(s),
+                        Err(_) => return Err(self.error(&format!("bad byte 0x{byte:02x}"))),
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.error("bad number"))
+    }
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let mut parser = Parser::new(text);
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing garbage"));
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots and gating.
+// ---------------------------------------------------------------------------
+
+/// One `BENCH_<rev>.json` snapshot: id → median ns, in file order for printing.
+struct Snapshot {
+    rev: String,
+    medians: Vec<(String, f64)>,
+}
+
+fn parse_snapshot(text: &str) -> Result<Snapshot, String> {
+    let doc = parse_json(text)?;
+    let rev = doc.get("rev").and_then(Json::as_str).unwrap_or("unknown").to_owned();
+    let results = match doc.get("results") {
+        Some(Json::Arr(items)) => items,
+        _ => return Err("snapshot has no 'results' array".to_owned()),
+    };
+    let mut medians = Vec::new();
+    for entry in results {
+        let id = entry
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "result entry without 'id'".to_owned())?;
+        let median = entry
+            .get("median_ns")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("result '{id}' without 'median_ns'"))?;
+        medians.push((id.to_owned(), median));
+    }
+    Ok(Snapshot { rev, medians })
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Splits `group/variant` ids into `(group, variant)` at the last slash.
+fn split_id(id: &str) -> Option<(&str, &str)> {
+    id.rsplit_once('/')
+}
+
+/// One self-gate comparison row: a parallel variant against its serial baseline.
+struct GateRow {
+    id: String,
+    median: f64,
+    serial: f64,
+}
+
+impl GateRow {
+    fn ratio(&self) -> f64 {
+        if self.serial > 0.0 {
+            self.median / self.serial
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// The self-gate pairing: every `<group>/<integer>` entry whose `<group>/serial`
+/// sibling exists in the snapshot, in file order.
+fn self_gate_rows(snapshot: &Snapshot) -> Vec<GateRow> {
+    let serials: BTreeMap<&str, f64> = snapshot
+        .medians
+        .iter()
+        .filter_map(|(id, median)| match split_id(id) {
+            Some((group, "serial")) => Some((group, *median)),
+            _ => None,
+        })
+        .collect();
+    snapshot
+        .medians
+        .iter()
+        .filter_map(|(id, median)| {
+            let (group, variant) = split_id(id)?;
+            variant.parse::<u64>().ok()?;
+            let serial = *serials.get(group)?;
+            Some(GateRow { id: id.clone(), median: *median, serial })
+        })
+        .collect()
+}
+
+/// Runs the self-gate: prints the ratio table, returns the violating ids.
+fn self_gate(snapshot: &Snapshot, tolerance: f64) -> Vec<String> {
+    let rows = self_gate_rows(snapshot);
+    let limit = 1.0 + tolerance;
+    println!(
+        "bench_gate self: rev {} — {} parallel variants, tolerance {:.0}%",
+        snapshot.rev,
+        rows.len(),
+        tolerance * 100.0
+    );
+    println!("  {:<44} {:>12} {:>12} {:>8}", "target", "median", "serial", "ratio");
+    let mut violations = Vec::new();
+    for row in &rows {
+        let ratio = row.ratio();
+        let verdict = if ratio <= limit { "ok" } else { "FAIL" };
+        println!(
+            "  {:<44} {:>12} {:>12} {:>7.2}x {}",
+            row.id,
+            human_ns(row.median),
+            human_ns(row.serial),
+            ratio,
+            verdict
+        );
+        if ratio > limit {
+            violations.push(row.id.clone());
+        }
+    }
+    if rows.is_empty() {
+        println!("  (no <group>/serial + <group>/<N> pairs found — nothing to gate)");
+    }
+    violations
+}
+
+/// Prints the per-target delta table of two snapshots, returning the regressed ids.
+fn compare(old: &Snapshot, new: &Snapshot, tolerance: f64) -> Vec<String> {
+    let old_by_id: BTreeMap<&str, f64> =
+        old.medians.iter().map(|(id, m)| (id.as_str(), *m)).collect();
+    let limit = 1.0 + tolerance;
+    println!(
+        "bench_gate compare: {} -> {} (tolerance {:.0}%)",
+        old.rev,
+        new.rev,
+        tolerance * 100.0
+    );
+    println!("  {:<44} {:>12} {:>12} {:>8}", "target", old.rev, new.rev, "delta");
+    let mut regressions = Vec::new();
+    let mut matched = 0usize;
+    for (id, new_median) in &new.medians {
+        let Some(old_median) = old_by_id.get(id.as_str()) else {
+            continue;
+        };
+        matched += 1;
+        let ratio = if *old_median > 0.0 { new_median / old_median } else { f64::INFINITY };
+        let marker = if ratio > limit {
+            regressions.push(id.clone());
+            "REGRESSED"
+        } else if ratio < 1.0 / limit {
+            "improved"
+        } else {
+            ""
+        };
+        println!(
+            "  {:<44} {:>12} {:>12} {:>7.2}x {}",
+            id,
+            human_ns(*old_median),
+            human_ns(*new_median),
+            ratio,
+            marker
+        );
+    }
+    let only_new = new.medians.len() - matched;
+    let only_old = old.medians.len() - matched;
+    if only_new + only_old > 0 {
+        println!("  ({matched} targets matched; {only_new} only in new, {only_old} only in old)");
+    }
+    regressions
+}
+
+fn usage() -> String {
+    "usage: bench_gate [--tolerance FRACTION] [--check] SNAP.json [NEW.json]\n\
+     \n\
+     One snapshot: self-gate every <group>/<N> median against <group>/serial.\n\
+     Two snapshots: per-target delta table (gated only with --check)."
+        .to_owned()
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut tolerance = 0.10f64;
+    let mut check = false;
+    let mut files: Vec<&String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--tolerance" | "-t" => {
+                tolerance = iter
+                    .next()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .filter(|t| (0.0..10.0).contains(t))
+                    .ok_or("--tolerance requires a fraction like 0.10")?;
+            }
+            "--check" => check = true,
+            "--help" | "-h" => return Err(usage()),
+            _ => files.push(arg),
+        }
+    }
+    let read = |path: &str| -> Result<Snapshot, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|error| format!("reading {path}: {error}"))?;
+        parse_snapshot(&text).map_err(|error| format!("parsing {path}: {error}"))
+    };
+    match files.as_slice() {
+        [snap] => {
+            let snapshot = read(snap)?;
+            let violations = self_gate(&snapshot, tolerance);
+            if violations.is_empty() {
+                println!("PASS: no parallel variant loses to its serial baseline");
+                Ok(true)
+            } else {
+                println!("FAIL: {} parallel variant(s) lose to serial:", violations.len());
+                for id in &violations {
+                    println!("  {id}");
+                }
+                Ok(false)
+            }
+        }
+        [old, new] => {
+            let regressions = compare(&read(old)?, &read(new)?, tolerance);
+            if !check {
+                Ok(true)
+            } else if regressions.is_empty() {
+                println!("PASS: no target regressed beyond tolerance");
+                Ok(true)
+            } else {
+                println!("FAIL: {} target(s) regressed:", regressions.len());
+                for id in &regressions {
+                    println!("  {id}");
+                }
+                Ok(false)
+            }
+        }
+        _ => Err(usage()),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(entries: &[(&str, f64)]) -> Snapshot {
+        Snapshot {
+            rev: "test".to_owned(),
+            medians: entries.iter().map(|(id, m)| ((*id).to_owned(), *m)).collect(),
+        }
+    }
+
+    #[test]
+    fn parses_the_bench_json_shape() {
+        let text = r#"{
+          "rev": "abc1234",
+          "dirty": false,
+          "results": [
+            {"id": "runtime/par_map/mix64/serial", "median_ns": 27926.6, "per_sec": null},
+            {"id": "runtime/par_map/mix64/2", "median_ns": 28000.0, "outliers": 0}
+          ]
+        }"#;
+        let snap = parse_snapshot(text).expect("parses");
+        assert_eq!(snap.rev, "abc1234");
+        assert_eq!(snap.medians.len(), 2);
+        assert_eq!(snap.medians[0].0, "runtime/par_map/mix64/serial");
+        assert!((snap.medians[1].1 - 28000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_errors_are_reported_not_panicked() {
+        assert!(parse_snapshot("{").is_err());
+        assert!(parse_snapshot("[]").is_err());
+        assert!(parse_snapshot(r#"{"results": [{"median_ns": 1.0}]}"#).is_err());
+        assert!(parse_snapshot(r#"{"results": [{"id": "x"}]}"#).is_err());
+    }
+
+    #[test]
+    fn self_gate_pairs_numeric_variants_with_their_serial_baseline() {
+        let snap = snapshot(&[
+            ("runtime/par_map/mix64/serial", 100.0),
+            ("runtime/par_map/mix64/1", 101.0),
+            ("runtime/par_map/mix64/8", 250.0),
+            // Numeric suffix without a serial sibling: a size sweep, not gated.
+            ("synthesizer/figure2_policy/256", 1.0),
+            // Non-numeric variants are never gated.
+            ("dse/stressmark/cold_parallel", 9e9),
+        ]);
+        let rows = self_gate_rows(&snap);
+        let ids: Vec<&str> = rows.iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, ["runtime/par_map/mix64/1", "runtime/par_map/mix64/8"]);
+    }
+
+    #[test]
+    fn self_gate_flags_only_ratios_beyond_tolerance() {
+        let snap = snapshot(&[
+            ("g/serial", 100.0),
+            ("g/1", 109.9), // within 10%
+            ("g/2", 110.1), // beyond 10%
+        ]);
+        assert_eq!(self_gate(&snap, 0.10), vec!["g/2".to_owned()]);
+        assert!(self_gate(&snap, 0.20).is_empty());
+    }
+
+    #[test]
+    fn compare_matches_ids_and_flags_regressions() {
+        let old = snapshot(&[("a", 100.0), ("b", 100.0), ("gone", 5.0)]);
+        let new = snapshot(&[("a", 105.0), ("b", 250.0), ("fresh", 7.0)]);
+        assert_eq!(compare(&old, &new, 0.10), vec!["b".to_owned()]);
+    }
+
+    #[test]
+    fn cli_rejects_bad_usage() {
+        assert!(run(&[]).is_err());
+        let three: Vec<String> =
+            ["a.json", "b.json", "c.json"].iter().map(|s| (*s).to_owned()).collect();
+        assert!(run(&three).is_err());
+        assert!(run(&["--tolerance".to_owned(), "nope".to_owned(), "a.json".to_owned()]).is_err());
+    }
+}

@@ -11,6 +11,7 @@
 use microprobe::dse::BatchEvaluator;
 
 use crate::executor;
+use crate::executor::CostHint;
 
 /// A [`BatchEvaluator`] that maps a pure scoring function over each candidate batch in
 /// parallel.
@@ -27,17 +28,27 @@ use crate::executor;
 pub struct ParallelEvaluator<F> {
     score: F,
     workers: Option<usize>,
+    cost: CostHint,
 }
 
 impl<F> ParallelEvaluator<F> {
     /// Wraps a scoring function.
     pub fn new(score: F) -> Self {
-        Self { score, workers: None }
+        Self { score, workers: None, cost: CostHint::Unknown }
     }
 
     /// Overrides the executor worker count for this evaluator (clamped to at least 1).
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Declares the estimated per-candidate scoring cost, enabling the executor's
+    /// inline-serial fallback (batches too small to pay for pool dispatch) and chunked
+    /// dispatch (tiny candidates grouped so each task amortizes queue traffic).
+    /// Scheduling-only: search results are byte-identical for any hint.
+    pub fn with_cost_hint(mut self, cost: CostHint) -> Self {
+        self.cost = cost;
         self
     }
 
@@ -53,7 +64,7 @@ where
     F: Fn(&P) -> f64 + Sync,
 {
     fn evaluate_batch(&mut self, points: &[P]) -> Vec<f64> {
-        executor::par_map_with_workers(self.workers(), points, &self.score)
+        executor::par_map_with_workers_and_cost(self.workers(), self.cost, points, &self.score)
     }
 }
 
@@ -89,6 +100,26 @@ mod tests {
             let mut par = ParallelEvaluator::new(score).with_workers(workers);
             let result = ga.run(&space, &mut par);
             assert_eq!(result, serial, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn cost_hints_never_change_search_results() {
+        let points: Vec<Vec<u32>> = (0..48u32).map(|i| vec![i, i * 5 % 11, i * 2 % 7]).collect();
+        let serial = ExhaustiveSearch::new().run(points.clone(), &mut score);
+        let hints = [
+            CostHint::Unknown,
+            CostHint::Inline,
+            CostHint::per_item_ns(1),
+            CostHint::per_item_ns(10_000_000),
+        ];
+        for hint in hints {
+            for workers in [1usize, 3, 8] {
+                let mut par =
+                    ParallelEvaluator::new(score).with_workers(workers).with_cost_hint(hint);
+                let result = ExhaustiveSearch::new().run(points.clone(), &mut par);
+                assert_eq!(result, serial, "workers={workers} hint={hint:?}");
+            }
         }
     }
 

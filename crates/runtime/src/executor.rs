@@ -1,4 +1,4 @@
-//! Layer 1: a std-only work-stealing thread pool.
+//! Layer 1: a cost-aware, persistent work-stealing thread pool.
 //!
 //! Jobs are distributed over per-worker deques; each worker pops from the back of its
 //! own deque (LIFO, cache-friendly) and, when it runs dry, steals from the front of the
@@ -7,29 +7,71 @@
 //! chunk-per-thread split in `mp_bench::measure_benchmarks`, where a slow chunk left its
 //! sibling jobs stranded behind it.
 //!
-//! Two entry points are exposed:
+//! Two properties make parallel evaluation a pure win instead of a gamble:
 //!
-//! * [`scope`] / [`scope_with_workers`] — spawn arbitrary jobs onto a pool whose threads
-//!   may borrow from the enclosing scope (built on [`std::thread::scope`]);
+//! 1. **A persistent per-process pool.**  Worker threads are spawned lazily on first
+//!    use, park on a condvar when idle, and are leased out again to every later
+//!    [`scope`]/[`par_map`] call.  The per-call `thread::spawn` that used to cost
+//!    ~100 µs *per worker* (swamping any batch under a millisecond) is paid once per
+//!    process.
+//! 2. **Cost-aware scheduling.**  Callers that know their per-item cost pass a
+//!    [`CostHint`]; batches whose *estimated total* serial cost is below a calibrated
+//!    threshold run inline on the caller (no pool traffic at all), and parallel batches
+//!    of small items are chunked so every spawned task amortizes its queue/steal
+//!    traffic.  Both knobs have environment overrides ([`PAR_THRESHOLD_ENV`],
+//!    [`CHUNK_TARGET_ENV`]).
+//!
+//! Three entry points are exposed:
+//!
+//! * [`scope`] / [`scope_with_workers`] — spawn arbitrary jobs onto a pool whose
+//!   threads may borrow from the enclosing scope;
 //! * [`par_map`] / [`par_map_with_workers`] — map a function over a slice in parallel
 //!   with **deterministic result ordering**: results land by input index, so the output
-//!   is identical to the serial `iter().map().collect()` regardless of the worker count
-//!   or the steal interleaving.
+//!   is identical to the serial `iter().map().collect()` regardless of the worker
+//!   count, the chunking, the inline fallback, or the steal interleaving;
+//! * [`par_map_with_cost`] / [`par_map_with_workers_and_cost`] — the same map with a
+//!   [`CostHint`] enabling the inline fallback and adaptive chunking.
 //!
 //! Worker-count control: explicit (`*_with_workers`), else the `MP_THREADS` environment
 //! variable, else [`std::thread::available_parallelism`].  A panic in any job is caught,
-//! the pool is poisoned (remaining jobs are dropped), and the first panic payload is
-//! re-raised on the caller's thread once every worker has parked.
+//! the scope is poisoned (remaining jobs are dropped), and the first panic payload is
+//! re-raised on the caller's thread once every leased worker has parked.
 
 use std::any::Any;
 use std::collections::VecDeque;
+use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Environment variable overriding the default worker count.
 pub const THREADS_ENV: &str = "MP_THREADS";
+
+/// Environment variable overriding the inline-fallback threshold: a hinted batch whose
+/// estimated total serial cost is below this many nanoseconds runs inline on the
+/// caller instead of being dispatched to the pool.
+pub const PAR_THRESHOLD_ENV: &str = "MP_PAR_THRESHOLD_NS";
+
+/// Environment variable overriding the per-chunk cost target: hinted batches are split
+/// into chunks of roughly this many nanoseconds of estimated work each.
+pub const CHUNK_TARGET_ENV: &str = "MP_PAR_CHUNK_NS";
+
+/// Default inline-fallback threshold.
+///
+/// Calibrated on the 1-CPU dev container: a *warm* pool dispatch (lease + wake + park
+/// per worker, no thread spawn) costs ~20–60 µs for 2–8 workers, so batches estimated
+/// under ~half a millisecond of total serial work cannot reliably recover the dispatch
+/// even when every worker has real work to do — they run inline instead.  Measured
+/// measurement jobs (simulations, ≥ ~1 ms each) clear this threshold from two jobs up.
+const DEFAULT_PAR_THRESHOLD_NS: u64 = 500_000;
+
+/// Default per-chunk cost target.
+///
+/// Large enough that a chunk's work dwarfs the ~1–2 µs of queue traffic its task
+/// costs (< 2% overhead), small enough that a typical hinted batch still splits into
+/// several chunks per worker for the stealing to balance.
+const DEFAULT_CHUNK_TARGET_NS: u64 = 125_000;
 
 /// The default worker count: `MP_THREADS` when set to a positive integer, otherwise the
 /// host's available parallelism.
@@ -44,13 +86,45 @@ fn workers_from_env_value(value: Option<&str>) -> usize {
     value
         .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&n| n >= 1)
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4))
+        .unwrap_or_else(host_parallelism)
+}
+
+/// The host's available parallelism (4 when unknowable) — the useful upper bound on
+/// workers for batches whose chunks are independent.
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+/// Reads a nanosecond knob from the environment once, falling back to its calibrated
+/// default when absent or malformed (zero is treated as malformed, not "always
+/// parallel": a zero threshold would also zero the chunk target's divisor guard).
+fn env_ns(cell: &OnceLock<u64>, name: &str, default: u64) -> u64 {
+    *cell.get_or_init(|| {
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(default)
+    })
+}
+
+/// The inline-fallback threshold in effect ([`PAR_THRESHOLD_ENV`] or the default).
+pub fn par_threshold_ns() -> u64 {
+    static CELL: OnceLock<u64> = OnceLock::new();
+    env_ns(&CELL, PAR_THRESHOLD_ENV, DEFAULT_PAR_THRESHOLD_NS)
+}
+
+/// The per-chunk cost target in effect ([`CHUNK_TARGET_ENV`] or the default).
+pub fn chunk_target_ns() -> u64 {
+    static CELL: OnceLock<u64> = OnceLock::new();
+    env_ns(&CELL, CHUNK_TARGET_ENV, DEFAULT_CHUNK_TARGET_NS)
 }
 
 /// The index of the pool worker running the current thread, if any.
 ///
 /// Jobs can call this to attribute work to workers (used by the scheduling regression
-/// tests to assert that stealing keeps every worker busy).
+/// tests to assert that stealing keeps every worker busy, and that inline-fallback
+/// batches never leave the caller's thread).
 pub fn worker_index() -> Option<usize> {
     WORKER_INDEX.with(|w| w.get())
 }
@@ -58,6 +132,232 @@ pub fn worker_index() -> Option<usize> {
 thread_local! {
     static WORKER_INDEX: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
 }
+
+/// A caller's estimate of what one item of a [`par_map`] batch costs to compute,
+/// driving the inline-serial fallback and the chunk sizing.
+///
+/// The hint only ever changes *scheduling* — which thread runs which item, and in what
+/// grouping — never results: every path orders results by input index, so output is
+/// byte-identical to the serial map for any hint, worker count and threshold setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CostHint {
+    /// Per-item cost unknown: dispatch one task per item and let the stealing balance
+    /// the load.  This is the only safe choice for items of wildly different (or
+    /// mutually dependent) costs, so it is the default.
+    #[default]
+    Unknown,
+    /// Items cost roughly this many nanoseconds of serial work each.  Batches whose
+    /// estimated total is below [`par_threshold_ns`] run inline on the caller; larger
+    /// batches are chunked to roughly [`chunk_target_ns`] of work per task.
+    PerItemNs(u64),
+    /// Force the inline-serial path regardless of batch size.
+    Inline,
+}
+
+impl CostHint {
+    /// A per-item estimate in nanoseconds (clamped to at least 1).
+    pub fn per_item_ns(ns: u64) -> Self {
+        Self::PerItemNs(ns.max(1))
+    }
+}
+
+/// What [`par_map_with_workers_and_cost`] decided to do with a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Schedule {
+    /// Run on the caller's thread.  `fallback` distinguishes a cost-driven decision
+    /// (counted as `executor.inline_fallback`) from the trivial 1-worker/1-item path.
+    Inline { fallback: bool },
+    /// Dispatch to the pool in chunks of `chunk` items (1 = one task per item).
+    Chunked { chunk: usize },
+}
+
+/// The pure scheduling decision: worker count, batch size and hint in; inline-or-chunk
+/// out.  Split from the execution so the calibration logic is unit-testable.
+fn schedule(workers: usize, len: usize, hint: CostHint, threshold: u64, target: u64) -> Schedule {
+    if workers == 1 || len <= 1 {
+        return Schedule::Inline { fallback: false };
+    }
+    match hint {
+        CostHint::Inline => Schedule::Inline { fallback: true },
+        CostHint::Unknown => Schedule::Chunked { chunk: 1 },
+        CostHint::PerItemNs(per) => {
+            let per = per.max(1);
+            if per.saturating_mul(len as u64) < threshold {
+                Schedule::Inline { fallback: true }
+            } else {
+                // Big enough to amortize the task's queue traffic; expensive items
+                // (per >= target) degrade to chunk 1, where stealing balances best.
+                let chunk = (target / per).clamp(1, len as u64) as usize;
+                Schedule::Chunked { chunk }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The persistent pool.
+// ---------------------------------------------------------------------------
+
+/// One assignment of a pool thread to a scope: run worker `index` of the type-erased
+/// scope behind `scope`/`run`, then count down `done`.
+struct Lease {
+    scope: *const (),
+    run: unsafe fn(*const (), usize),
+    index: usize,
+    done: Arc<Latch>,
+}
+
+// SAFETY: the raw scope pointer crosses to a pool thread, but it is only dereferenced
+// inside `run`, and `scope_with_workers` does not return (so the scope and its `'env`
+// borrows stay alive) until every lease has counted down `done`.
+unsafe impl Send for Lease {}
+
+/// A countdown latch: the scope caller waits until every leased worker has finished.
+struct Latch {
+    remaining: Mutex<usize>,
+    zero: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Self { remaining: Mutex::new(count), zero: Condvar::new() }
+    }
+
+    fn count_down(&self) {
+        let mut remaining = self.remaining.lock().expect("latch lock never poisoned");
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.zero.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut remaining = self.remaining.lock().expect("latch lock never poisoned");
+        while *remaining > 0 {
+            remaining = self.zero.wait(remaining).expect("latch lock never poisoned");
+        }
+    }
+}
+
+/// A persistent pool thread's mailbox: the pool hands it one [`Lease`] at a time and
+/// it parks on `wake` in between.
+struct PoolThread {
+    slot: Mutex<Option<Lease>>,
+    wake: Condvar,
+}
+
+/// The process-wide pool: a stack of idle (parked) threads, grown on demand and never
+/// shrunk — threads are leased to scopes, returned on completion, and park otherwise.
+struct Pool {
+    idle: Mutex<Vec<Arc<PoolThread>>>,
+    spawned: AtomicUsize,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool { idle: Mutex::new(Vec::new()), spawned: AtomicUsize::new(0) })
+}
+
+impl Pool {
+    /// Leases `count` workers to the scope behind `scope`/`run`: parked threads are
+    /// reused, and new threads are spawned only when the idle stack runs dry (also the
+    /// reason nested scopes cannot deadlock — a lease never waits for a busy thread).
+    fn lease(
+        &'static self,
+        scope: *const (),
+        run: unsafe fn(*const (), usize),
+        count: usize,
+        done: &Arc<Latch>,
+    ) {
+        let telemetry = mp_telemetry::enabled();
+        for index in 0..count {
+            let lease = Lease { scope, run, index, done: Arc::clone(done) };
+            let idle = self.idle.lock().expect("pool idle lock never poisoned").pop();
+            match idle {
+                Some(thread) => {
+                    if telemetry {
+                        mp_telemetry::counter("executor.pool_reuse", 1);
+                    }
+                    *thread.slot.lock().expect("pool slot lock never poisoned") = Some(lease);
+                    thread.wake.notify_one();
+                }
+                None => {
+                    let id = self.spawned.fetch_add(1, Ordering::Relaxed);
+                    if telemetry {
+                        mp_telemetry::counter("executor.pool_spawn", 1);
+                        mp_telemetry::gauge("executor.pool_threads", (id + 1) as f64);
+                    }
+                    let thread =
+                        Arc::new(PoolThread { slot: Mutex::new(None), wake: Condvar::new() });
+                    std::thread::Builder::new()
+                        .name(format!("mp-pool-{id}"))
+                        .spawn(move || pool_thread_main(&thread, lease))
+                        .expect("spawning a pool worker thread succeeds");
+                }
+            }
+        }
+    }
+}
+
+/// A pool thread's whole life: serve the lease, rejoin the idle stack, park, repeat.
+fn pool_thread_main(me: &Arc<PoolThread>, first: Lease) {
+    let mut lease = first;
+    loop {
+        let Lease { scope, run, index, done } = lease;
+        // SAFETY: the scope outlives this call — `scope_with_workers` blocks on `done`
+        // (see `Lease`).  The catch_unwind is pure insurance: `worker_loop` catches job
+        // panics itself, and an internal panic must still count down the latch or the
+        // caller would hang forever.
+        if catch_unwind(AssertUnwindSafe(|| unsafe { run(scope, index) })).is_err() {
+            eprintln!("mp-runtime: pool worker loop panicked; scope released anyway");
+        }
+        // Rejoin the idle stack *before* counting down, so a caller that dispatches
+        // another batch right after this one deterministically finds this thread
+        // reusable instead of racing it back to the stack.
+        pool().idle.lock().expect("pool idle lock never poisoned").push(Arc::clone(me));
+        done.count_down();
+        let mut slot = me.slot.lock().expect("pool slot lock never poisoned");
+        loop {
+            if let Some(next) = slot.take() {
+                lease = next;
+                break;
+            }
+            // Parked: zero CPU until the next lease (or process exit).
+            slot = me.wake.wait(slot).expect("pool slot lock never poisoned");
+        }
+    }
+}
+
+/// The monomorphic trampoline a [`Lease`] runs: every `Scope<'env>` has the same
+/// layout, so the pool stores one fn pointer instead of a generic closure.
+///
+/// # Safety
+///
+/// `scope` must point to a live `Scope` for the whole call (guaranteed by the
+/// latch discipline in [`scope_with_workers`]).
+unsafe fn run_scope_worker(scope: *const (), index: usize) {
+    let scope = &*scope.cast::<Scope<'static>>();
+    scope.worker_loop(index);
+}
+
+/// Ensures workers are released even when the scope closure panics: close the scope,
+/// wake everyone, and wait for every leased worker to park.
+struct ShutdownGuard<'s, 'env> {
+    sc: &'s Scope<'env>,
+    done: &'s Latch,
+}
+
+impl Drop for ShutdownGuard<'_, '_> {
+    fn drop(&mut self) {
+        self.sc.closed.store(true, Ordering::SeqCst);
+        self.sc.wake.notify_all();
+        self.done.wait();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scopes.
+// ---------------------------------------------------------------------------
 
 /// A queued job plus its spawn timestamp (captured only when telemetry is enabled, to
 /// measure spawn-to-start latency without any cost on the disabled path).
@@ -124,7 +424,7 @@ impl<'env> Scope<'env> {
 
     /// Pops the next job for worker `me`: own deque from the back, then steal from the
     /// other deques from the front.  Pops and steals are counted per worker when
-    /// telemetry is enabled (the queue-traffic data ROADMAP item 3 needs).
+    /// telemetry is enabled (the queue-traffic data the chunk sizing amortizes).
     fn pop(&self, me: usize) -> Option<QueuedJob<'env>> {
         if let Some(job) = self.deques[me].lock().expect("deque lock never poisoned").pop_back() {
             mp_telemetry::counter_indexed("executor.pop_local", me as u32, 1);
@@ -187,9 +487,10 @@ impl<'env> Scope<'env> {
             }
         }
         WORKER_INDEX.with(|w| w.set(None));
-        // Drain this worker's telemetry buffer *inside* the scoped closure: the scope
-        // only waits for the closure to finish, not for TLS destructors, so relying on
-        // the thread-exit flush would race the spawner's snapshot.
+        // Drain this worker's telemetry buffer *inside* the lease: the scope only
+        // waits for the worker loop to finish, not for thread exit (pool threads never
+        // exit), so relying on the thread-exit flush would race — or miss entirely —
+        // the spawner's snapshot.
         mp_telemetry::flush();
     }
 }
@@ -206,24 +507,22 @@ pub fn scope<'env, R>(f: impl FnOnce(&Scope<'env>) -> R) -> R {
 }
 
 /// [`scope`] with an explicit worker count (clamped to at least 1).
+///
+/// The workers are leased from the persistent process-wide pool: the first scope of a
+/// process spawns its threads, every later one reuses parked threads, so the dispatch
+/// cost is a lock-push-wake per worker instead of a `thread::spawn`.
 pub fn scope_with_workers<'env, R>(workers: usize, f: impl FnOnce(&Scope<'env>) -> R) -> R {
     let _scope_span = mp_telemetry::span("executor.scope");
     let sc = Scope::new(workers.max(1));
-    let result = std::thread::scope(|threads| {
-        let handles: Vec<_> = (0..sc.workers())
-            .map(|me| {
-                let sc = &sc;
-                threads.spawn(move || sc.worker_loop(me))
-            })
-            .collect();
-        let result = f(&sc);
-        sc.closed.store(true, Ordering::SeqCst);
-        sc.wake.notify_all();
-        for handle in handles {
-            handle.join().expect("pool workers catch job panics and never panic themselves");
-        }
-        result
-    });
+    let done = Arc::new(Latch::new(sc.workers()));
+    pool().lease(&sc as *const Scope<'env> as *const (), run_scope_worker, sc.workers(), &done);
+    let result = {
+        // Dropped on return *and* on unwind: close the scope and wait for every
+        // leased worker to park before the scope (and the `'env` borrows inside the
+        // queued jobs) can die.
+        let _guard = ShutdownGuard { sc: &sc, done: &done };
+        f(&sc)
+    };
     if let Some(payload) = sc.panic.lock().expect("panic slot lock never poisoned").take() {
         resume_unwind(payload);
     }
@@ -231,7 +530,8 @@ pub fn scope_with_workers<'env, R>(workers: usize, f: impl FnOnce(&Scope<'env>) 
 }
 
 /// Maps `f` over `items` on [`default_workers`] threads with deterministic result
-/// ordering (`result[i] == f(&items[i])`).
+/// ordering (`result[i] == f(&items[i])`) and no cost information
+/// ([`CostHint::Unknown`]: one task per item).
 ///
 /// # Panics
 ///
@@ -242,15 +542,41 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    par_map_with_workers(default_workers(), items, f)
+    par_map_with_workers_and_cost(default_workers(), CostHint::Unknown, items, f)
 }
 
 /// [`par_map`] with an explicit worker count.
+pub fn par_map_with_workers<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_with_workers_and_cost(workers, CostHint::Unknown, items, f)
+}
+
+/// [`par_map`] with a [`CostHint`] enabling the inline fallback and chunking.
+pub fn par_map_with_cost<T, R, F>(cost: CostHint, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_with_workers_and_cost(default_workers(), cost, items, f)
+}
+
+/// The full cost-aware map: explicit worker count plus [`CostHint`].
 ///
 /// The output is byte-identical to `items.iter().map(f).collect()` for every worker
-/// count: results are stored by job index, and `f` receives items in whatever order the
-/// stealing resolves but writes only its own slot.
-pub fn par_map_with_workers<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+/// count and hint: the inline path *is* that serial map, and the parallel path stores
+/// each chunk's results by its input range, so `f` receives items in whatever order
+/// the stealing resolves but the concatenation is always in input order.
+pub fn par_map_with_workers_and_cost<T, R, F>(
+    workers: usize,
+    cost: CostHint,
+    items: &[T],
+    f: F,
+) -> Vec<R>
 where
     T: Sync,
     R: Send,
@@ -264,35 +590,67 @@ where
         // carry them (a 1-worker run legitimately reports 0 steals, not a missing key).
         mp_telemetry::counter("executor.steal", 0);
         mp_telemetry::counter("executor.pop_local", 0);
+        mp_telemetry::counter("executor.inline_fallback", 0);
         mp_telemetry::gauge("executor.workers", workers as f64);
     }
-    if workers == 1 || items.len() <= 1 {
-        mp_telemetry::counter("executor.inline_jobs", items.len() as u64);
-        return items.iter().map(f).collect();
-    }
-    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
-    scope_with_workers(workers, |sc| {
-        for (slot, item) in slots.iter().zip(items) {
-            let f = &f;
-            sc.spawn(move || {
-                let result = f(item);
-                *slot.lock().expect("result slot lock never poisoned") = Some(result);
-            });
+    match schedule(workers, items.len(), cost, par_threshold_ns(), chunk_target_ns()) {
+        Schedule::Inline { fallback } => {
+            if fallback {
+                mp_telemetry::counter("executor.inline_fallback", 1);
+            }
+            mp_telemetry::counter("executor.inline_jobs", items.len() as u64);
+            items.iter().map(f).collect()
         }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot lock never poisoned")
-                .expect("scope ran every job to completion")
-        })
-        .collect()
+        Schedule::Chunked { chunk } => {
+            let ranges: Vec<Range<usize>> = chunk_ranges(items.len(), chunk);
+            // Chunks of a hinted batch are independent by contract (jobs that may
+            // block on each other must use `Unknown`), so leasing more workers than
+            // the host has cores — or than there are chunks — only adds timeslice
+            // thrash.  Right-size the lease; `Unknown` keeps every requested worker
+            // because its one-job tasks are allowed to wait on one another.
+            let workers = if matches!(cost, CostHint::PerItemNs(_)) {
+                workers.min(host_parallelism()).min(ranges.len())
+            } else {
+                workers
+            };
+            if mp_telemetry::enabled() {
+                mp_telemetry::counter("executor.chunks", ranges.len() as u64);
+                mp_telemetry::histogram("executor.chunk_size", chunk as u64);
+            }
+            let slots: Vec<Mutex<Option<Vec<R>>>> =
+                ranges.iter().map(|_| Mutex::new(None)).collect();
+            scope_with_workers(workers, |sc| {
+                for (slot, range) in slots.iter().zip(&ranges) {
+                    let f = &f;
+                    let range = range.clone();
+                    sc.spawn(move || {
+                        let results: Vec<R> = items[range].iter().map(f).collect();
+                        *slot.lock().expect("result slot lock never poisoned") = Some(results);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .flat_map(|slot| {
+                    slot.into_inner()
+                        .expect("result slot lock never poisoned")
+                        .expect("scope ran every chunk to completion")
+                })
+                .collect()
+        }
+    }
+}
+
+/// Splits `0..len` into contiguous ranges of `chunk` items (the last may be shorter).
+fn chunk_ranges(len: usize, chunk: usize) -> Vec<Range<usize>> {
+    let chunk = chunk.max(1);
+    (0..len.div_ceil(chunk)).map(|i| (i * chunk)..((i + 1) * chunk).min(len)).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
     use std::sync::atomic::AtomicU32;
     use std::sync::mpsc;
 
@@ -307,9 +665,111 @@ mod tests {
     }
 
     #[test]
+    fn par_map_matches_serial_for_every_cost_hint() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x.wrapping_mul(31) ^ 5).collect();
+        let hints = [
+            CostHint::Unknown,
+            CostHint::Inline,
+            CostHint::per_item_ns(1),
+            CostHint::per_item_ns(10_000),
+            CostHint::per_item_ns(u64::MAX),
+        ];
+        for hint in hints {
+            for workers in [1usize, 2, 5, 8] {
+                let parallel = par_map_with_workers_and_cost(workers, hint, &items, |x| {
+                    x.wrapping_mul(31) ^ 5
+                });
+                assert_eq!(parallel, serial, "workers={workers} hint={hint:?}");
+            }
+        }
+    }
+
+    #[test]
     fn par_map_handles_empty_and_singleton_inputs() {
         assert_eq!(par_map_with_workers(4, &[] as &[u32], |x| *x), Vec::<u32>::new());
         assert_eq!(par_map_with_workers(4, &[7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn scheduling_decisions_follow_the_cost_model() {
+        const T: u64 = 500_000; // threshold
+        const C: u64 = 125_000; // chunk target
+                                // Trivial shapes inline regardless of hint.
+        assert_eq!(schedule(1, 100, CostHint::Unknown, T, C), Schedule::Inline { fallback: false });
+        assert_eq!(
+            schedule(8, 1, CostHint::per_item_ns(1), T, C),
+            Schedule::Inline { fallback: false }
+        );
+        // Unknown cost: parallel, one task per item.
+        assert_eq!(schedule(8, 100, CostHint::Unknown, T, C), Schedule::Chunked { chunk: 1 });
+        // Forced inline.
+        assert_eq!(schedule(8, 100, CostHint::Inline, T, C), Schedule::Inline { fallback: true });
+        // Cheap batch below the threshold: inline fallback (512 * 60ns ≈ 31 µs).
+        assert_eq!(
+            schedule(8, 512, CostHint::per_item_ns(60), T, C),
+            Schedule::Inline { fallback: true }
+        );
+        // Expensive batch: parallel; chunk amortizes to the per-chunk target.
+        assert_eq!(
+            schedule(8, 512, CostHint::per_item_ns(2_000), T, C),
+            Schedule::Chunked { chunk: 62 }
+        );
+        // Items at or above the chunk target degrade to one task per item.
+        assert_eq!(
+            schedule(8, 100, CostHint::per_item_ns(1_000_000), T, C),
+            Schedule::Chunked { chunk: 1 }
+        );
+        // The chunk never exceeds the batch (two jobs of 300 µs each: chunk 1, not 0).
+        assert_eq!(
+            schedule(8, 2, CostHint::per_item_ns(300_000), T, C),
+            Schedule::Chunked { chunk: 1 }
+        );
+        // A zero hint is clamped, not divided by.
+        assert_eq!(
+            schedule(8, 4, CostHint::PerItemNs(0), T, C),
+            Schedule::Inline { fallback: true }
+        );
+    }
+
+    #[test]
+    fn chunk_ranges_cover_every_index_exactly_once() {
+        for len in [0usize, 1, 2, 7, 64, 65] {
+            for chunk in [1usize, 2, 3, 64, 100] {
+                let ranges = chunk_ranges(len, chunk);
+                let flat: Vec<usize> = ranges.iter().cloned().flatten().collect();
+                assert_eq!(flat, (0..len).collect::<Vec<_>>(), "len={len} chunk={chunk}");
+                assert!(ranges.iter().all(|r| r.len() <= chunk));
+            }
+        }
+    }
+
+    #[test]
+    fn cheap_hinted_batches_never_leave_the_caller_thread() {
+        let items: Vec<u64> = (0..64).collect();
+        let caller = std::thread::current().id();
+        let results = par_map_with_workers_and_cost(8, CostHint::per_item_ns(50), &items, |x| {
+            assert_eq!(std::thread::current().id(), caller, "inline fallback must stay inline");
+            assert_eq!(worker_index(), None, "inline jobs run outside any pool worker");
+            x + 1
+        });
+        assert_eq!(results, (1..=64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn pool_threads_are_reused_across_batches() {
+        let items: Vec<u64> = (0..64).collect();
+        // 16 back-to-back dispatches at 4 workers: per-call spawning would burn ~64
+        // distinct threads; the persistent pool reuses a handful (other tests may
+        // hold pool threads concurrently, hence the generous bound).
+        let mut seen: HashSet<std::thread::ThreadId> = HashSet::new();
+        for _ in 0..16 {
+            let ids = par_map_with_workers_and_cost(4, CostHint::Unknown, &items, |_| {
+                std::thread::current().id()
+            });
+            seen.extend(ids);
+        }
+        assert!(seen.len() < 32, "pool reuse broke: {} distinct threads", seen.len());
     }
 
     #[test]
@@ -341,6 +801,22 @@ mod tests {
     }
 
     #[test]
+    fn scope_closure_panics_release_the_leased_workers() {
+        // A panic in the scope closure itself (not in a job) must still shut the scope
+        // down and return the workers to the pool — the old thread-scope version hung.
+        let result = std::panic::catch_unwind(|| {
+            scope_with_workers(2, |sc| {
+                sc.spawn(|| {});
+                panic!("scope closure exploded");
+            })
+        });
+        assert!(result.is_err());
+        // The pool still works afterwards.
+        let out = par_map_with_workers(2, &[1u32, 2, 3], |x| x * 2);
+        assert_eq!(out, vec![2, 4, 6]);
+    }
+
+    #[test]
     fn env_override_parses_and_falls_back() {
         let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
         assert_eq!(workers_from_env_value(Some("6")), 6);
@@ -353,8 +829,9 @@ mod tests {
     /// Regression test for the chunk-per-thread scheduling this executor replaced: one
     /// pathologically slow job must not strand the jobs queued behind it.  Job 0 blocks
     /// until every other job has completed — under contiguous chunking the jobs sharing
-    /// its chunk could never run and this would time out; with stealing the other worker
-    /// drains them while job 0 waits.
+    /// its chunk could never run and this would time out; with stealing (and chunk 1,
+    /// the [`CostHint::Unknown`] default that mutually dependent jobs rely on) the
+    /// other worker drains them while job 0 waits.
     #[test]
     fn stealing_keeps_workers_busy_behind_a_slow_job() {
         let jobs: Vec<usize> = (0..8).collect();
@@ -381,7 +858,7 @@ mod tests {
         let order = completion_order.into_inner().expect("order lock never poisoned");
         assert_eq!(*order.last().expect("jobs ran"), 0, "the slow job must finish last");
         // The slow job pinned one worker, so the other worker must have run the rest.
-        let workers: std::collections::HashSet<usize> = results.iter().copied().collect();
+        let workers: HashSet<usize> = results.iter().copied().collect();
         assert_eq!(workers.len(), 2, "both workers must execute jobs: {results:?}");
     }
 }

@@ -5,10 +5,12 @@
 //! models.  This crate supplies the two layers every measurement path in the workspace
 //! runs through:
 //!
-//! 1. [`executor`] — a std-only work-stealing thread pool (per-worker deques plus
-//!    stealing) exposing [`scope`]/[`par_map`] with deterministic result ordering,
-//!    worker-count control via the `MP_THREADS` environment variable, and panic
-//!    propagation;
+//! 1. [`executor`] — a std-only, cost-aware work-stealing thread pool (one persistent
+//!    per-process pool of lazily-spawned workers, per-worker deques plus stealing)
+//!    exposing [`scope`]/[`par_map`] with deterministic result ordering, worker-count
+//!    control via the `MP_THREADS` environment variable, panic propagation, and a
+//!    [`CostHint`]-driven inline-serial fallback plus adaptive chunking so parallel
+//!    dispatch never loses to the serial loop;
 //! 2. [`session`] — a memoizing [`ExperimentSession`] that takes a declarative
 //!    [`ExperimentPlan`] of measurement jobs, content-hashes each job, dedupes repeats
 //!    and memoizes [`Measurement`](mp_sim::Measurement)s across plan submissions, so
@@ -27,7 +29,8 @@ pub mod session;
 
 pub use dse::ParallelEvaluator;
 pub use executor::{
-    default_workers, par_map, par_map_with_workers, scope, scope_with_workers, worker_index, Scope,
-    THREADS_ENV,
+    default_workers, par_map, par_map_with_cost, par_map_with_workers,
+    par_map_with_workers_and_cost, scope, scope_with_workers, worker_index, CostHint, Scope,
+    CHUNK_TARGET_ENV, PAR_THRESHOLD_ENV, THREADS_ENV,
 };
 pub use session::{ExperimentPlan, ExperimentSession, PlannedJob, SessionStats};

@@ -14,7 +14,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use microprobe::bootstrap::{Bootstrap, BootstrapOptions, BootstrapRecord};
@@ -196,7 +196,17 @@ pub struct ExperimentSession<P: Platform> {
     cache: Mutex<HashMap<u128, Measurement>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    /// Total measured wall time and count of platform runs, feeding the executor's
+    /// [`CostHint`](executor::CostHint): the session *measures* what its jobs cost and
+    /// schedules the next batch accordingly (inline when a batch is too small to pay
+    /// for pool dispatch, chunked when jobs are tiny).
+    job_ns: AtomicU64,
+    job_runs: AtomicU64,
 }
+
+/// What one measurement job is assumed to cost before the session has measured any:
+/// simulations are milliseconds-scale, so the first batch of a session parallelizes.
+const DEFAULT_JOB_COST_NS: u64 = 1_000_000;
 
 impl<P: Platform> ExperimentSession<P> {
     /// Creates a session over a platform with the default worker count
@@ -208,6 +218,8 @@ impl<P: Platform> ExperimentSession<P> {
             cache: Mutex::new(HashMap::new()),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            job_ns: AtomicU64::new(0),
+            job_runs: AtomicU64::new(0),
         }
     }
 
@@ -237,6 +249,24 @@ impl<P: Platform> ExperimentSession<P> {
     /// [`MicroArchitecture::spec_digest`]: mp_uarch::MicroArchitecture
     pub fn job_key(&self, benchmark: &MicroBenchmark, config: CmpSmtConfig) -> u128 {
         job_key(benchmark, config, self.platform.uarch().spec_digest)
+    }
+
+    /// The measured average wall time of one platform run, in nanoseconds
+    /// ([`DEFAULT_JOB_COST_NS`] until the session has measured anything).
+    ///
+    /// This is the session's *measured* per-job cost estimate; it only ever influences
+    /// scheduling (inline-vs-parallel, chunk sizing), never results.
+    pub fn avg_job_ns(&self) -> u64 {
+        let runs = self.job_runs.load(Ordering::Relaxed);
+        match self.job_ns.load(Ordering::Relaxed).checked_div(runs) {
+            None => DEFAULT_JOB_COST_NS,
+            Some(avg) => avg.max(1),
+        }
+    }
+
+    /// The cost hint the next batch is scheduled with.
+    fn cost_hint(&self) -> executor::CostHint {
+        executor::CostHint::per_item_ns(self.avg_job_ns())
     }
 
     /// Cumulative cache statistics.
@@ -288,21 +318,27 @@ impl<P: Platform> ExperimentSession<P> {
         }
 
         if !to_measure.is_empty() {
-            let measured: Vec<Measurement> =
-                executor::par_map_with_workers(self.workers(), &to_measure, |&(_, index)| {
+            let measured: Vec<Measurement> = executor::par_map_with_workers_and_cost(
+                self.workers(),
+                self.cost_hint(),
+                &to_measure,
+                |&(_, index)| {
                     let (benchmark, config) = jobs[index];
-                    if !mp_telemetry::enabled() {
-                        return self.platform.run(benchmark, config);
-                    }
-                    // Per-job wall time vs simulated work: the data that shows whether
-                    // a job is worth farming out (ROADMAP item 3's granularity story).
+                    // Per-job wall time is always measured (two clock reads against a
+                    // simulation run): it feeds the cost hint that decides whether the
+                    // *next* batch is worth farming out at all, and at what chunk size.
                     let start = std::time::Instant::now();
                     let measurement = self.platform.run(benchmark, config);
                     let wall_ns = start.elapsed().as_nanos() as u64;
-                    mp_telemetry::histogram("session.job_wall_ns", wall_ns);
-                    mp_telemetry::histogram("session.job_sim_cycles", measurement.cycles());
+                    self.job_ns.fetch_add(wall_ns, Ordering::Relaxed);
+                    self.job_runs.fetch_add(1, Ordering::Relaxed);
+                    if mp_telemetry::enabled() {
+                        mp_telemetry::histogram("session.job_wall_ns", wall_ns);
+                        mp_telemetry::histogram("session.job_sim_cycles", measurement.cycles());
+                    }
                     measurement
-                });
+                },
+            );
             let mut cache = self.cache.lock().expect("cache lock never poisoned");
             for ((key, _), measurement) in to_measure.into_iter().zip(measured) {
                 cache.insert(key, measurement);

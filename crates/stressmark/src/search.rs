@@ -206,10 +206,16 @@ impl<'a, P: Platform> StressmarkSearch<'a, P> {
                 })
             })
             .collect();
-        let built: Vec<Result<MicroBenchmark, PassError>> =
-            executor::par_map_with_workers(self.session.workers(), &unique, |sequence| {
-                self.build(sequence)
-            });
+        // Synthesizing one candidate takes ~100–300 µs (measured on the dev
+        // container), so small candidate sets fall back to inline synthesis instead of
+        // paying pool dispatch, while big DSE families still chunk across workers.
+        const SYNTH_COST_NS: u64 = 200_000;
+        let built: Vec<Result<MicroBenchmark, PassError>> = executor::par_map_with_workers_and_cost(
+            self.session.workers(),
+            executor::CostHint::per_item_ns(SYNTH_COST_NS),
+            &unique,
+            |sequence| self.build(sequence),
+        );
 
         // One measurement job per successfully-built unique candidate × SMT mode.
         let mut jobs: Vec<(&MicroBenchmark, CmpSmtConfig)> = Vec::new();

@@ -13,22 +13,42 @@
 # `BENCH_<rev>-dirty.json` next to it.
 #
 # Usage:
-#   scripts/bench_json.sh [--label NAME] [output-dir] [extra cargo bench args...]
+#   scripts/bench_json.sh [--label NAME] [--compare OLD.json] [output-dir] \
+#                         [cargo bench args...]
+#
+# Extra cargo args *replace* the default `--workspace` (cargo rejects mixing
+# `--workspace` with `-p`), so a subset run is e.g.
+# `scripts/bench_json.sh artifacts -p mp-bench --bench runtime --bench dse`.
 #
 # Examples:
 #   scripts/bench_json.sh                      # all bench targets -> ./BENCH_<rev>.json
-#   scripts/bench_json.sh artifacts --bench sim_hot_loop
+#   scripts/bench_json.sh artifacts -p mp-bench --bench sim_hot_loop
 #   scripts/bench_json.sh --label pr7 benchmarks
+#   scripts/bench_json.sh --compare benchmarks/BENCH_aed36b8.json benchmarks
 #   MP_BENCH_SAMPLES=3 scripts/bench_json.sh   # quick smoke numbers
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 label=""
-if [[ "${1:-}" == "--label" || "${1:-}" == "-l" ]]; then
-    label="${2:?--label requires a value}"
-    shift 2
-fi
+compare=""
+while [[ "${1:-}" == --* || "${1:-}" == "-l" ]]; do
+    case "$1" in
+        --label|-l)
+            label="${2:?--label requires a value}"
+            shift 2
+            ;;
+        --compare)
+            compare="${2:?--compare requires an old BENCH_<rev>.json}"
+            [[ -f "$compare" ]] || { echo "error: --compare file not found: $compare" >&2; exit 2; }
+            shift 2
+            ;;
+        *)
+            echo "error: unknown option $1" >&2
+            exit 2
+            ;;
+    esac
+done
 
 out_dir="${1:-.}"
 shift || true
@@ -44,7 +64,7 @@ lines_file="$(mktemp)"
 trap 'rm -f "$lines_file"' EXIT
 
 mkdir -p "$out_dir"
-MP_BENCH_JSON="$lines_file" cargo bench --workspace "$@"
+MP_BENCH_JSON="$lines_file" cargo bench "${@:---workspace}"
 
 {
     printf '{\n'
@@ -63,3 +83,8 @@ MP_BENCH_JSON="$lines_file" cargo bench --workspace "$@"
 } > "$out_file"
 
 echo "wrote $out_file ($(wc -l < "$lines_file") benchmarks)"
+
+if [[ -n "$compare" ]]; then
+    echo
+    cargo run -q --release -p mp-bench --bin bench_gate -- "$compare" "$out_file"
+fi

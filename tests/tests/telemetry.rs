@@ -234,6 +234,46 @@ fn summary_reports_executor_and_session_metrics() {
 }
 
 #[test]
+fn cost_scheduler_reports_inline_and_pool_metrics() {
+    let _lock = serial();
+    let _restore = TelemetryOff;
+    mp_telemetry::set_enabled(true);
+
+    let items: Vec<u64> = (0..32).collect();
+    // A cheap hinted batch (32 × 50 ns ≪ the inline threshold) takes the measured
+    // inline fallback...
+    mp_runtime::par_map_with_workers_and_cost(
+        8,
+        mp_runtime::CostHint::per_item_ns(50),
+        &items,
+        |&x| x + 1,
+    );
+    // ...and an expensive one is chunked onto the persistent pool.
+    mp_runtime::par_map_with_workers_and_cost(
+        2,
+        mp_runtime::CostHint::per_item_ns(1_000_000),
+        &items,
+        |&x| x + 1,
+    );
+
+    let agg = mp_telemetry::snapshot();
+    assert!(
+        counter_total(&agg, "executor.inline_fallback") > 0,
+        "cheap batch did not record an inline fallback"
+    );
+    assert!(counter_total(&agg, "executor.inline_jobs") > 0, "inline jobs not counted");
+    assert!(counter_total(&agg, "executor.chunks") > 0, "expensive batch recorded no chunks");
+    assert!(
+        agg.histograms.keys().any(|k| k.name == "executor.chunk_size"),
+        "chunk-size histogram missing from the aggregate"
+    );
+    assert!(
+        counter_total(&agg, "executor.pool_spawn") + counter_total(&agg, "executor.pool_reuse") > 0,
+        "pool dispatch recorded neither a spawn nor a reuse"
+    );
+}
+
+#[test]
 fn chrome_trace_export_is_well_formed() {
     let _lock = serial();
     let _restore = TelemetryOff;

@@ -9,6 +9,8 @@
 //!   `#![proptest_config(ProptestConfig::with_cases(n))]` inner attribute and
 //!   `arg in strategy` bindings;
 //! * numeric range strategies (`16usize..64`, `0.0f64..1.0`, `0u64..u64::MAX`, ...);
+//! * combinators: [`Strategy::prop_map`], [`prop_oneof!`] over same-valued
+//!   strategies, and [`collection::vec`] for variable-length vectors;
 //! * [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assume!`].
 //!
 //! Unlike the real proptest there is **no shrinking** and no persistence of failing
@@ -80,6 +82,74 @@ pub mod strategy {
 
         /// Draws one value.
         fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+
+        /// Transforms every sampled value through `f` (`proptest`'s `prop_map`).
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            T: Clone + Debug,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    /// The [`Strategy::prop_map`] combinator.
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, T, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        T: Clone + Debug,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut SmallRng) -> T {
+            (self.f)(self.source.sample(rng))
+        }
+    }
+
+    /// A uniform choice among boxed same-valued strategies — the [`prop_oneof!`]
+    /// expansion.  (The real macro supports weights; the uniform subset is all the
+    /// workspace uses.)
+    ///
+    /// [`prop_oneof!`]: crate::prop_oneof
+    pub struct Union<T> {
+        variants: Vec<Box<dyn Strategy<Value = T> + Send + Sync>>,
+    }
+
+    impl<T: Clone + Debug> Union<T> {
+        /// A union drawing uniformly from `variants` (must be non-empty).
+        pub fn new(variants: Vec<Box<dyn Strategy<Value = T> + Send + Sync>>) -> Self {
+            assert!(!variants.is_empty(), "prop_oneof! needs at least one strategy");
+            Self { variants }
+        }
+    }
+
+    impl<T: Clone + Debug> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut SmallRng) -> T {
+            let pick = rng.gen_range(0..self.variants.len());
+            self.variants[pick].sample(rng)
+        }
+    }
+
+    /// The [`collection::vec`](crate::collection::vec) strategy: `length` draws of
+    /// `element`.
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) length: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.length.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
     }
 
     macro_rules! range_strategy {
@@ -110,6 +180,29 @@ pub mod strategy {
             self.0.clone()
         }
     }
+}
+
+pub mod collection {
+    //! Collection strategies (only `vec` is needed here).
+
+    use crate::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// A vector of `element` draws with a length sampled from `length`.
+    pub fn vec<S: Strategy>(element: S, length: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, length }
+    }
+}
+
+/// Chooses uniformly among same-valued strategies each draw (`proptest`'s macro
+/// supports `weight => strategy` entries; this subset is unweighted).
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $strategy:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( ::std::boxed::Box::new($strategy) ),+
+        ])
+    };
 }
 
 /// Deterministic per-test RNG used by the [`proptest!`] expansion.
@@ -242,7 +335,7 @@ pub mod prelude {
     //! One-stop imports, mirroring `proptest::prelude`.
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::Config as ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
 }
 
 #[cfg(test)]
@@ -264,6 +357,21 @@ mod tests {
         fn assume_skips_without_failing(x in 0u32..10) {
             prop_assume!(x % 2 == 0);
             prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn combinators_compose(
+            doubled in (0u32..100).prop_map(|x| x * 2),
+            choice in prop_oneof![Just(1u8), Just(2), 10u8..20],
+            items in crate::collection::vec(0u64..5, 1..8),
+        ) {
+            prop_assert!(doubled % 2 == 0);
+            prop_assert!(choice == 1 || choice == 2 || (10..20).contains(&choice));
+            prop_assert!((1..8).contains(&items.len()));
+            prop_assert!(items.iter().all(|&v| v < 5));
         }
     }
 
