@@ -364,10 +364,22 @@ fn self_gate(snapshot: &Snapshot, tolerance: f64) -> Vec<String> {
     violations
 }
 
-/// Prints the per-target delta table of two snapshots, returning the regressed ids.
-fn compare(old: &Snapshot, new: &Snapshot, tolerance: f64) -> Vec<String> {
+/// What [`compare`] found: the regressed ids, and the baseline ids that vanished from
+/// the new snapshot (a renamed or deleted bench group — silently dropping those would
+/// let a regression hide by renaming its target).
+#[derive(Debug, Default, PartialEq)]
+struct CompareOutcome {
+    regressions: Vec<String>,
+    missing: Vec<String>,
+}
+
+/// Prints the per-target delta table of two snapshots.  Baseline targets absent from
+/// the new snapshot appear as explicit `MISSING` rows (and fail `--check`); targets
+/// only in the new snapshot are informational `new` rows.
+fn compare(old: &Snapshot, new: &Snapshot, tolerance: f64) -> CompareOutcome {
     let old_by_id: BTreeMap<&str, f64> =
         old.medians.iter().map(|(id, m)| (id.as_str(), *m)).collect();
+    let new_ids: BTreeMap<&str, ()> = new.medians.iter().map(|(id, _)| (id.as_str(), ())).collect();
     let limit = 1.0 + tolerance;
     println!(
         "bench_gate compare: {} -> {} (tolerance {:.0}%)",
@@ -376,16 +388,17 @@ fn compare(old: &Snapshot, new: &Snapshot, tolerance: f64) -> Vec<String> {
         tolerance * 100.0
     );
     println!("  {:<44} {:>12} {:>12} {:>8}", "target", old.rev, new.rev, "delta");
-    let mut regressions = Vec::new();
+    let mut outcome = CompareOutcome::default();
     let mut matched = 0usize;
     for (id, new_median) in &new.medians {
         let Some(old_median) = old_by_id.get(id.as_str()) else {
+            println!("  {:<44} {:>12} {:>12} {:>8} new", id, "—", human_ns(*new_median), "");
             continue;
         };
         matched += 1;
         let ratio = if *old_median > 0.0 { new_median / old_median } else { f64::INFINITY };
         let marker = if ratio > limit {
-            regressions.push(id.clone());
+            outcome.regressions.push(id.clone());
             "REGRESSED"
         } else if ratio < 1.0 / limit {
             "improved"
@@ -401,12 +414,19 @@ fn compare(old: &Snapshot, new: &Snapshot, tolerance: f64) -> Vec<String> {
             marker
         );
     }
+    // Baseline rows the new snapshot no longer has, in baseline order.
+    for (id, old_median) in &old.medians {
+        if !new_ids.contains_key(id.as_str()) {
+            println!("  {:<44} {:>12} {:>12} {:>8} MISSING", id, human_ns(*old_median), "—", "");
+            outcome.missing.push(id.clone());
+        }
+    }
     let only_new = new.medians.len() - matched;
-    let only_old = old.medians.len() - matched;
+    let only_old = outcome.missing.len();
     if only_new + only_old > 0 {
         println!("  ({matched} targets matched; {only_new} only in new, {only_old} only in old)");
     }
-    regressions
+    outcome
 }
 
 fn usage() -> String {
@@ -457,16 +477,28 @@ fn run(args: &[String]) -> Result<bool, String> {
             }
         }
         [old, new] => {
-            let regressions = compare(&read(old)?, &read(new)?, tolerance);
+            let outcome = compare(&read(old)?, &read(new)?, tolerance);
             if !check {
                 Ok(true)
-            } else if regressions.is_empty() {
+            } else if outcome.regressions.is_empty() && outcome.missing.is_empty() {
                 println!("PASS: no target regressed beyond tolerance");
                 Ok(true)
             } else {
-                println!("FAIL: {} target(s) regressed:", regressions.len());
-                for id in &regressions {
-                    println!("  {id}");
+                if !outcome.regressions.is_empty() {
+                    println!("FAIL: {} target(s) regressed:", outcome.regressions.len());
+                    for id in &outcome.regressions {
+                        println!("  {id}");
+                    }
+                }
+                if !outcome.missing.is_empty() {
+                    println!(
+                        "FAIL: {} baseline target(s) missing from the new snapshot (renamed or \
+                         removed bench groups?):",
+                        outcome.missing.len()
+                    );
+                    for id in &outcome.missing {
+                        println!("  {id}");
+                    }
                 }
                 Ok(false)
             }
@@ -551,10 +583,44 @@ mod tests {
     }
 
     #[test]
-    fn compare_matches_ids_and_flags_regressions() {
+    fn compare_matches_ids_and_flags_regressions_and_missing_targets() {
         let old = snapshot(&[("a", 100.0), ("b", 100.0), ("gone", 5.0)]);
         let new = snapshot(&[("a", 105.0), ("b", 250.0), ("fresh", 7.0)]);
-        assert_eq!(compare(&old, &new, 0.10), vec!["b".to_owned()]);
+        let outcome = compare(&old, &new, 0.10);
+        assert_eq!(outcome.regressions, vec!["b".to_owned()]);
+        assert_eq!(outcome.missing, vec!["gone".to_owned()], "vanished baselines are reported");
+    }
+
+    #[test]
+    fn compare_with_identical_snapshots_is_clean() {
+        let snap = snapshot(&[("a", 100.0), ("b", 42.0)]);
+        assert_eq!(compare(&snap, &snap, 0.10), CompareOutcome::default());
+    }
+
+    #[test]
+    fn check_mode_fails_on_missing_bench_groups_without_panicking() {
+        // End-to-end through `run`: a baseline whose group was renamed must make
+        // `--check` fail (exit false), not pass silently and not panic.
+        let dir = std::env::temp_dir().join(format!("bench-gate-missing-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir creates");
+        let write = |name: &str, body: &str| {
+            let path = dir.join(name);
+            std::fs::write(&path, body).expect("snapshot writes");
+            path.to_string_lossy().into_owned()
+        };
+        let old = write(
+            "old.json",
+            r#"{"rev":"old","results":[{"id":"g/serial","median_ns":100.0},{"id":"g/8","median_ns":90.0}]}"#,
+        );
+        let new = write(
+            "new.json",
+            r#"{"rev":"new","results":[{"id":"renamed/serial","median_ns":100.0}]}"#,
+        );
+        let checked = run(&[old.clone(), new.clone(), "--check".to_owned()]);
+        assert_eq!(checked, Ok(false), "--check fails when baseline groups are missing");
+        let informational = run(&[old, new]);
+        assert_eq!(informational, Ok(true), "without --check the table is informational");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -45,6 +45,8 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
+use crate::{faults, poison};
+
 /// Environment variable overriding the default worker count.
 pub const THREADS_ENV: &str = "MP_THREADS";
 
@@ -224,7 +226,7 @@ impl Latch {
     }
 
     fn count_down(&self) {
-        let mut remaining = self.remaining.lock().expect("latch lock never poisoned");
+        let mut remaining = poison::lock(&self.remaining);
         *remaining -= 1;
         if *remaining == 0 {
             self.zero.notify_all();
@@ -232,9 +234,9 @@ impl Latch {
     }
 
     fn wait(&self) {
-        let mut remaining = self.remaining.lock().expect("latch lock never poisoned");
+        let mut remaining = poison::lock(&self.remaining);
         while *remaining > 0 {
-            remaining = self.zero.wait(remaining).expect("latch lock never poisoned");
+            remaining = poison::wait(&self.zero, remaining);
         }
     }
 }
@@ -272,13 +274,13 @@ impl Pool {
         let telemetry = mp_telemetry::enabled();
         for index in 0..count {
             let lease = Lease { scope, run, index, done: Arc::clone(done) };
-            let idle = self.idle.lock().expect("pool idle lock never poisoned").pop();
+            let idle = poison::lock(&self.idle).pop();
             match idle {
                 Some(thread) => {
                     if telemetry {
                         mp_telemetry::counter("executor.pool_reuse", 1);
                     }
-                    *thread.slot.lock().expect("pool slot lock never poisoned") = Some(lease);
+                    *poison::lock(&thread.slot) = Some(lease);
                     thread.wake.notify_one();
                 }
                 None => {
@@ -314,16 +316,16 @@ fn pool_thread_main(me: &Arc<PoolThread>, first: Lease) {
         // Rejoin the idle stack *before* counting down, so a caller that dispatches
         // another batch right after this one deterministically finds this thread
         // reusable instead of racing it back to the stack.
-        pool().idle.lock().expect("pool idle lock never poisoned").push(Arc::clone(me));
+        poison::lock(&pool().idle).push(Arc::clone(me));
         done.count_down();
-        let mut slot = me.slot.lock().expect("pool slot lock never poisoned");
+        let mut slot = poison::lock(&me.slot);
         loop {
             if let Some(next) = slot.take() {
                 lease = next;
                 break;
             }
             // Parked: zero CPU until the next lease (or process exit).
-            slot = me.wake.wait(slot).expect("pool slot lock never poisoned");
+            slot = poison::wait(&me.wake, slot);
         }
     }
 }
@@ -415,10 +417,7 @@ impl<'env> Scope<'env> {
         } else {
             None
         };
-        self.deques[slot]
-            .lock()
-            .expect("deque lock never poisoned")
-            .push_back(QueuedJob { job: Box::new(job), spawned });
+        poison::lock(&self.deques[slot]).push_back(QueuedJob { job: Box::new(job), spawned });
         self.wake.notify_one();
     }
 
@@ -426,15 +425,13 @@ impl<'env> Scope<'env> {
     /// other deques from the front.  Pops and steals are counted per worker when
     /// telemetry is enabled (the queue-traffic data the chunk sizing amortizes).
     fn pop(&self, me: usize) -> Option<QueuedJob<'env>> {
-        if let Some(job) = self.deques[me].lock().expect("deque lock never poisoned").pop_back() {
+        if let Some(job) = poison::lock(&self.deques[me]).pop_back() {
             mp_telemetry::counter_indexed("executor.pop_local", me as u32, 1);
             return Some(job);
         }
         for offset in 1..self.deques.len() {
             let victim = (me + offset) % self.deques.len();
-            if let Some(job) =
-                self.deques[victim].lock().expect("deque lock never poisoned").pop_front()
-            {
+            if let Some(job) = poison::lock(&self.deques[victim]).pop_front() {
                 mp_telemetry::counter_indexed("executor.steal", me as u32, 1);
                 return Some(job);
             }
@@ -458,11 +455,14 @@ impl<'env> Scope<'env> {
                         spawned.elapsed().as_nanos() as u64,
                     );
                 }
+                // Injected delays reorder which worker runs what — never the results
+                // (the determinism suites run under a delay plan to prove exactly that).
+                faults::maybe_delay("executor.task");
                 let task_span = mp_telemetry::span("executor.task");
                 let outcome = catch_unwind(AssertUnwindSafe(job));
                 drop(task_span);
                 if outcome.is_err_and(|payload| {
-                    let mut slot = self.panic.lock().expect("panic slot lock never poisoned");
+                    let mut slot = poison::lock(&self.panic);
                     let first = slot.is_none();
                     if first {
                         *slot = Some(payload);
@@ -479,11 +479,8 @@ impl<'env> Scope<'env> {
             } else {
                 // Park until new work or shutdown.  The timed wait makes lost wakeups
                 // harmless (they only cost a re-check, never a hang).
-                let guard = self.idle.lock().expect("idle lock never poisoned");
-                let _ = self
-                    .wake
-                    .wait_timeout(guard, Duration::from_millis(1))
-                    .expect("idle lock never poisoned");
+                let guard = poison::lock(&self.idle);
+                drop(poison::wait_timeout(&self.wake, guard, Duration::from_millis(1)));
             }
         }
         WORKER_INDEX.with(|w| w.set(None));
@@ -523,7 +520,7 @@ pub fn scope_with_workers<'env, R>(workers: usize, f: impl FnOnce(&Scope<'env>) 
         let _guard = ShutdownGuard { sc: &sc, done: &done };
         f(&sc)
     };
-    if let Some(payload) = sc.panic.lock().expect("panic slot lock never poisoned").take() {
+    if let Some(payload) = poison::lock(&sc.panic).take() {
         resume_unwind(payload);
     }
     result
@@ -625,7 +622,7 @@ where
                     let range = range.clone();
                     sc.spawn(move || {
                         let results: Vec<R> = items[range].iter().map(f).collect();
-                        *slot.lock().expect("result slot lock never poisoned") = Some(results);
+                        *poison::lock(slot) = Some(results);
                     });
                 }
             });
@@ -633,7 +630,7 @@ where
                 .into_iter()
                 .flat_map(|slot| {
                     slot.into_inner()
-                        .expect("result slot lock never poisoned")
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
                         .expect("scope ran every chunk to completion")
                 })
                 .collect()

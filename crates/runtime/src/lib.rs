@@ -18,14 +18,24 @@
 //!    pair exactly once per process;
 //! 3. [`dse`] — a [`ParallelEvaluator`] bridging the core DSE search drivers onto the
 //!    executor, so exhaustive and genetic searches score whole candidate batches in
-//!    parallel with results identical to the serial path.
+//!    parallel with results identical to the serial path;
+//! 4. [`store`] — a crash-safe, content-addressed persistent measurement store
+//!    (opt-in via `MP_STORE_DIR`) that turns the session's memo cache into a second,
+//!    disk-backed tier surviving restarts, with torn/corrupt/stale records quarantined
+//!    and recomputed instead of crashing;
+//! 5. [`faults`] — deterministic, seeded fault injection (`MP_FAULTS`) that drives IO
+//!    errors and torn writes into the store, panics into simulation jobs and delays
+//!    into executor tasks, so every failure path above is provable in CI.
 //!
 //! `mp_bench::measure_benchmarks`, the experiment binaries, and the slow integration
 //! tests are all thin wrappers over these layers.
 
 pub mod dse;
 pub mod executor;
+pub mod faults;
+mod poison;
 pub mod session;
+pub mod store;
 
 pub use dse::ParallelEvaluator;
 pub use executor::{
@@ -33,4 +43,8 @@ pub use executor::{
     par_map_with_workers_and_cost, scope, scope_with_workers, worker_index, CostHint, Scope,
     CHUNK_TARGET_ENV, PAR_THRESHOLD_ENV, THREADS_ENV,
 };
-pub use session::{ExperimentPlan, ExperimentSession, PlannedJob, SessionStats};
+pub use faults::{FaultPlan, FAULTS_ENV};
+pub use session::{
+    ExperimentPlan, ExperimentSession, JobError, PlannedJob, SessionOptions, SessionStats,
+};
+pub use store::{Store, StoreStats, STORE_DIR_ENV};

@@ -8,12 +8,27 @@
 //! of the session.  The figure drivers and the integration-test fixtures therefore stop
 //! re-measuring the same pairs for every figure/model/test case.
 //!
+//! The cache has two tiers: the in-memory memo map, and — when `MP_STORE_DIR` is set
+//! (or a [`Store`] is attached via [`SessionOptions`]/[`with_store`]) — the crash-safe
+//! persistent [`store`](crate::store), so measurements survive restarts and are shared
+//! across CI runs and figure binaries.  Lookup order is memory → disk → simulate.
+//! Disk hits are *deliberately counted as unique runs* in [`SessionStats`]: the
+//! `# Runtime` stdout line stays byte-identical between a cold and a warm store, and
+//! all store-specific accounting goes to stderr/telemetry instead
+//! ([`report_store`](ExperimentSession::report_store)).
+//!
 //! Unique jobs are measured on the work-stealing [`executor`](crate::executor); results
 //! are handed back in plan order, so output is deterministic regardless of the worker
-//! count (the simulator itself is deterministic per job).
+//! count (the simulator itself is deterministic per job).  A panicking job — real, or
+//! injected via [`faults`](crate::faults) — fails only its own batch entry:
+//! [`measure_batch_resilient`](ExperimentSession::measure_batch_resilient) returns
+//! per-job `Result`s while the worker pool and both cache tiers keep serving.
+//!
+//! [`with_store`]: ExperimentSession::with_store
 
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -25,7 +40,8 @@ use mp_power::{SampleKind, WorkloadSample};
 use mp_sim::Measurement;
 use mp_uarch::{CmpSmtConfig, InstrPropsTable};
 
-use crate::executor;
+use crate::store::{Store, STORE_DIR_ENV};
+use crate::{executor, faults, poison};
 
 /// A 128-bit content fingerprint of one measurement job.
 ///
@@ -156,7 +172,9 @@ pub struct SessionStats {
     pub submitted: usize,
     /// Jobs answered from the memo cache (or deduped within a plan).
     pub hits: usize,
-    /// Jobs that required a platform run.
+    /// Jobs that required a platform run — or a persistent-store load: disk hits count
+    /// here so the stdout summary is identical between a cold and a warm store (the
+    /// crash-safety CI step `cmp`s exactly that).
     pub misses: usize,
 }
 
@@ -164,9 +182,10 @@ impl SessionStats {
     /// The uniform `# Runtime` stats line every experiment binary prints.
     ///
     /// Deliberately scheduling-independent (submitted/unique/hit counts only, no wall
-    /// times or worker counts), so binary stdout stays byte-identical across
-    /// `MP_THREADS` settings; the variable telemetry goes to stderr via
-    /// [`mp_telemetry::report`].
+    /// times or worker counts) *and* store-independent (disk hits count as unique
+    /// runs), so binary stdout stays byte-identical across `MP_THREADS` settings and
+    /// across cold/warm `MP_STORE_DIR` runs; the variable telemetry goes to stderr via
+    /// [`mp_telemetry::report`] and [`ExperimentSession::report_store`].
     pub fn summary_line(&self) -> String {
         format!(
             "# Runtime — {} measurement jobs submitted, {} unique runs, {} memoized hits",
@@ -184,6 +203,60 @@ impl SessionStats {
     }
 }
 
+/// How to construct an [`ExperimentSession`] beyond its platform: worker count and
+/// persistent-store location.  [`from_env`](Self::from_env) (what
+/// [`ExperimentSession::new`] uses) picks both up from `MP_THREADS`-family and
+/// [`STORE_DIR_ENV`] variables; tests and daemons can set fields explicitly via
+/// [`ExperimentSession::with_options`].
+#[derive(Debug, Clone, Default)]
+pub struct SessionOptions {
+    /// Executor worker count override (`None` = [`executor::default_workers`]).
+    pub workers: Option<usize>,
+    /// Root of the persistent store (`None` = in-memory memoization only).
+    pub store_dir: Option<PathBuf>,
+}
+
+impl SessionOptions {
+    /// Options from the environment: default workers, and the persistent store at
+    /// [`STORE_DIR_ENV`] when that variable is set and non-empty.
+    pub fn from_env() -> Self {
+        Self {
+            workers: None,
+            store_dir: std::env::var_os(STORE_DIR_ENV).filter(|v| !v.is_empty()).map(PathBuf::from),
+        }
+    }
+}
+
+/// One failed measurement job: the panic (real or
+/// [fault-injected](crate::faults::maybe_panic)) that killed it, captured per job so
+/// the rest of the batch still measures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobError {
+    /// The job's content key (same key as the cache tiers use).
+    pub key: u128,
+    /// The panic message.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "measurement job {:032x} panicked: {}", self.key, self.message)
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Renders a caught panic payload (the two shapes `panic!` produces, plus a fallback).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_owned()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
 /// A memoizing measurement session over a platform.
 ///
 /// The session owns (or borrows, via the blanket `Platform for &P` impl) the platform
@@ -193,6 +266,7 @@ impl SessionStats {
 pub struct ExperimentSession<P: Platform> {
     platform: P,
     workers: Option<usize>,
+    store: Option<Store>,
     cache: Mutex<HashMap<u128, Measurement>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
@@ -209,12 +283,23 @@ pub struct ExperimentSession<P: Platform> {
 const DEFAULT_JOB_COST_NS: u64 = 1_000_000;
 
 impl<P: Platform> ExperimentSession<P> {
-    /// Creates a session over a platform with the default worker count
-    /// ([`executor::default_workers`], i.e. `MP_THREADS` or the host parallelism).
+    /// Creates a session over a platform configured from the environment: the default
+    /// worker count ([`executor::default_workers`], i.e. `MP_THREADS` or the host
+    /// parallelism), and the persistent store at `MP_STORE_DIR` when set.
     pub fn new(platform: P) -> Self {
+        Self::with_options(platform, SessionOptions::from_env())
+    }
+
+    /// Creates a session with explicit [`SessionOptions`].  A store directory that
+    /// fails to open is a stderr warning and an in-memory-only session — persistence
+    /// trouble must never take an experiment down.
+    pub fn with_options(platform: P, options: SessionOptions) -> Self {
+        let digest = platform.uarch().spec_digest;
+        let store = options.store_dir.and_then(|root| Store::open_lenient(root, digest));
         Self {
             platform,
-            workers: None,
+            workers: options.workers.map(|w| w.max(1)),
+            store,
             cache: Mutex::new(HashMap::new()),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
@@ -229,9 +314,29 @@ impl<P: Platform> ExperimentSession<P> {
         self
     }
 
+    /// Attaches (or replaces) the persistent store tier.
+    pub fn with_store(mut self, store: Store) -> Self {
+        self.store = Some(store);
+        self
+    }
+
     /// The wrapped platform.
     pub fn platform(&self) -> &P {
         &self.platform
+    }
+
+    /// The attached persistent store, if any.
+    pub fn store(&self) -> Option<&Store> {
+        self.store.as_ref()
+    }
+
+    /// Prints the store's stderr summary line, if a store is attached.  Experiment
+    /// binaries call this next to [`mp_telemetry::report`]; stdout stays
+    /// store-independent by construction.
+    pub fn report_store(&self) {
+        if let Some(store) = &self.store {
+            eprintln!("{}", store.summary_line());
+        }
     }
 
     /// The worker count measurements run on.
@@ -284,18 +389,42 @@ impl<P: Platform> ExperimentSession<P> {
     /// Measures a batch of `(benchmark, configuration)` jobs and returns the
     /// measurements in job order.  Repeats (within the batch or against the session
     /// cache) are measured once; cache misses run in parallel on the executor.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first per-job panic (after the whole batch has settled and every
+    /// successful result is cached) — callers that must survive individual job
+    /// failures use [`measure_batch_resilient`](Self::measure_batch_resilient).
     pub fn measure_batch(&self, jobs: &[(&MicroBenchmark, CmpSmtConfig)]) -> Vec<Measurement> {
+        self.measure_batch_resilient(jobs)
+            .into_iter()
+            .map(|result| result.unwrap_or_else(|error| panic!("{error}")))
+            .collect()
+    }
+
+    /// [`measure_batch`](Self::measure_batch) with per-job failure isolation: each
+    /// result is `Ok(measurement)` or `Err` carrying the panic that killed *that job
+    /// alone*.  Failed jobs are never cached (memory or disk) — a later submission
+    /// retries them — and the worker pool, lease/latch handshake and memo cache all
+    /// stay poison-free, so one bad kernel (or one injected fault) can never wedge
+    /// later batches.
+    pub fn measure_batch_resilient(
+        &self,
+        jobs: &[(&MicroBenchmark, CmpSmtConfig)],
+    ) -> Vec<Result<Measurement, JobError>> {
         let _batch_span = mp_telemetry::span("session.measure_batch");
         let digest = self.platform.uarch().spec_digest;
         let keys: Vec<u128> = jobs.iter().map(|(b, c)| job_key(b, *c, digest)).collect();
 
-        // Unique cache misses, in first-appearance order (deterministic).
+        // Tier 1 — memory.  Unique cache misses, in first-appearance order
+        // (deterministic).  Disk probes and platform runs both count as session
+        // "misses" so the stdout stats line is store-independent.
         let telemetry = mp_telemetry::enabled();
         let mut memo_hits = 0u64;
         let mut dedup_hits = 0u64;
-        let mut to_measure: Vec<(u128, usize)> = Vec::new();
+        let mut to_probe: Vec<(u128, usize)> = Vec::new();
         {
-            let cache = self.cache.lock().expect("cache lock never poisoned");
+            let cache = poison::lock(&self.cache);
             let mut queued: HashSet<u128> = HashSet::new();
             for (index, key) in keys.iter().enumerate() {
                 if cache.contains_key(key) {
@@ -306,7 +435,7 @@ impl<P: Platform> ExperimentSession<P> {
                     dedup_hits += 1;
                 } else {
                     self.misses.fetch_add(1, Ordering::SeqCst);
-                    to_measure.push((*key, index));
+                    to_probe.push((*key, index));
                 }
             }
         }
@@ -314,43 +443,110 @@ impl<P: Platform> ExperimentSession<P> {
             // Register all three keys every batch so summaries always carry them.
             mp_telemetry::counter("session.hit", memo_hits);
             mp_telemetry::counter("session.dedup", dedup_hits);
-            mp_telemetry::counter("session.miss", to_measure.len() as u64);
+            mp_telemetry::counter("session.miss", to_probe.len() as u64);
         }
 
+        // Tier 2 — disk.  Probed serially in first-appearance order: loads are small
+        // reads, and a fixed probe order keeps the fault-injection occurrence indices
+        // (and therefore a replayed failure) independent of `MP_THREADS`.
+        let mut to_measure: Vec<(u128, usize)> = Vec::new();
+        if let Some(store) = &self.store {
+            let mut disk_hits: Vec<(u128, Measurement)> = Vec::new();
+            for (key, index) in to_probe {
+                match store.load(key) {
+                    Some(measurement) => disk_hits.push((key, measurement)),
+                    None => to_measure.push((key, index)),
+                }
+            }
+            if !disk_hits.is_empty() {
+                let mut cache = poison::lock(&self.cache);
+                for (key, measurement) in disk_hits {
+                    cache.insert(key, measurement);
+                }
+            }
+        } else {
+            to_measure = to_probe;
+        }
+
+        // Tier 3 — simulate.  Panics are caught *inside* the parallel closure, so a
+        // failing job surfaces as a per-job `Err` while the executor never observes an
+        // unwinding task and the pool survives intact.
+        let mut failures: HashMap<u128, JobError> = HashMap::new();
         if !to_measure.is_empty() {
-            let measured: Vec<Measurement> = executor::par_map_with_workers_and_cost(
-                self.workers(),
-                self.cost_hint(),
-                &to_measure,
-                |&(_, index)| {
-                    let (benchmark, config) = jobs[index];
-                    // Per-job wall time is always measured (two clock reads against a
-                    // simulation run): it feeds the cost hint that decides whether the
-                    // *next* batch is worth farming out at all, and at what chunk size.
-                    let start = std::time::Instant::now();
-                    let measurement = self.platform.run(benchmark, config);
-                    let wall_ns = start.elapsed().as_nanos() as u64;
-                    self.job_ns.fetch_add(wall_ns, Ordering::Relaxed);
-                    self.job_runs.fetch_add(1, Ordering::Relaxed);
-                    if mp_telemetry::enabled() {
-                        mp_telemetry::histogram("session.job_wall_ns", wall_ns);
-                        mp_telemetry::histogram("session.job_sim_cycles", measurement.cycles());
+            let measured: Vec<Result<Measurement, JobError>> =
+                executor::par_map_with_workers_and_cost(
+                    self.workers(),
+                    self.cost_hint(),
+                    &to_measure,
+                    |&(key, index)| {
+                        let (benchmark, config) = jobs[index];
+                        // Per-job wall time is always measured (two clock reads against
+                        // a simulation run): it feeds the cost hint that decides whether
+                        // the *next* batch is worth farming out at all, and at what
+                        // chunk size.
+                        let start = std::time::Instant::now();
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                faults::maybe_panic("session.job");
+                                self.platform.run(benchmark, config)
+                            }));
+                        match outcome {
+                            Ok(measurement) => {
+                                let wall_ns = start.elapsed().as_nanos() as u64;
+                                self.job_ns.fetch_add(wall_ns, Ordering::Relaxed);
+                                self.job_runs.fetch_add(1, Ordering::Relaxed);
+                                if mp_telemetry::enabled() {
+                                    mp_telemetry::histogram("session.job_wall_ns", wall_ns);
+                                    mp_telemetry::histogram(
+                                        "session.job_sim_cycles",
+                                        measurement.cycles(),
+                                    );
+                                }
+                                Ok(measurement)
+                            }
+                            Err(payload) => {
+                                mp_telemetry::counter("session.job_failed", 1);
+                                Err(JobError { key, message: panic_message(payload.as_ref()) })
+                            }
+                        }
+                    },
+                );
+            {
+                let mut cache = poison::lock(&self.cache);
+                for ((key, _), result) in to_measure.iter().zip(&measured) {
+                    match result {
+                        Ok(measurement) => {
+                            cache.insert(*key, measurement.clone());
+                        }
+                        Err(error) => {
+                            failures.insert(*key, error.clone());
+                        }
                     }
-                    measurement
-                },
-            );
-            let mut cache = self.cache.lock().expect("cache lock never poisoned");
-            for ((key, _), measurement) in to_measure.into_iter().zip(measured) {
-                cache.insert(key, measurement);
+                }
+                if telemetry {
+                    mp_telemetry::gauge("session.memo_entries", cache.len() as f64);
+                }
             }
-            if telemetry {
-                mp_telemetry::gauge("session.memo_entries", cache.len() as f64);
+            // Persist new measurements outside the cache lock, serially in
+            // first-appearance order (deterministic fault occurrences, see above).
+            if let Some(store) = &self.store {
+                for ((key, _), result) in to_measure.iter().zip(&measured) {
+                    if let Ok(measurement) = result {
+                        store.save(*key, measurement);
+                    }
+                }
             }
         }
 
-        let cache = self.cache.lock().expect("cache lock never poisoned");
+        let cache = poison::lock(&self.cache);
         keys.iter()
-            .map(|key| cache.get(key).expect("every job was measured or cached").clone())
+            .map(|key| match cache.get(key) {
+                Some(measurement) => Ok(measurement.clone()),
+                None => Err(failures
+                    .get(key)
+                    .expect("every job was measured, cached, or recorded as failed")
+                    .clone()),
+            })
             .collect()
     }
 
@@ -548,5 +744,87 @@ mod tests {
             assert_eq!(a.measured_ipc, b.measured_ipc);
             assert_eq!(a.measured_latency, b.measured_latency);
         }
+    }
+
+    #[test]
+    fn an_injected_job_panic_fails_only_its_own_entry() {
+        let _guard = crate::faults::tests::serial();
+        let ambient = faults::plan();
+        let session = ExperimentSession::new(SimPlatform::power7_fast()).with_workers(4);
+        let benches: Vec<MicroBenchmark> =
+            (0..6).map(|i| tiny_benchmark(&format!("p{i}"), 100 + i)).collect();
+        let config = CmpSmtConfig::new(1, SmtMode::Smt1);
+        let jobs: Vec<(&MicroBenchmark, CmpSmtConfig)> =
+            benches.iter().map(|b| (b, config)).collect();
+
+        // ~half the jobs panic, reproducibly.
+        faults::set_plan(Some(faults::FaultPlan {
+            seed: 12,
+            job_panic: 0.5,
+            ..faults::FaultPlan::default()
+        }));
+        let results = session.measure_batch_resilient(&jobs);
+        faults::set_plan(ambient);
+
+        assert_eq!(results.len(), jobs.len());
+        let failed: Vec<usize> =
+            results.iter().enumerate().filter(|(_, r)| r.is_err()).map(|(i, _)| i).collect();
+        assert!(!failed.is_empty(), "seed 12 at rate 0.5 injects at least one panic over 6 jobs");
+        assert!(failed.len() < jobs.len(), "and at least one job survives");
+        for index in &failed {
+            let error = results[*index].as_ref().expect_err("failed job");
+            assert!(error.message.contains("injected fault"), "{error}");
+            assert!(error.message.contains("seed=12"), "panics carry their replay seed: {error}");
+        }
+
+        // The session (cache, stats, pool) survives: resubmitting with injection off
+        // measures the failed jobs fresh and hits the cache for the survivors.
+        let healed = session.measure_batch_resilient(&jobs);
+        assert!(healed.iter().all(Result::is_ok), "every job heals on retry");
+        let stats = session.stats();
+        assert_eq!(stats.submitted, 12);
+        assert_eq!(stats.hits, jobs.len() - failed.len(), "survivors were cached");
+
+        // And measure_batch (the panicking wrapper) still works afterwards.
+        let direct = session.measure_batch(&jobs);
+        assert_eq!(direct.len(), jobs.len());
+    }
+
+    #[test]
+    fn a_store_backed_session_answers_a_fresh_session_from_disk() {
+        let dir = crate::store::tests::TempDir::new("session-tier");
+        let bench = tiny_benchmark("persist", 5);
+        let config = CmpSmtConfig::new(2, SmtMode::Smt2);
+
+        let first = ExperimentSession::new(SimPlatform::power7_fast())
+            .with_workers(2)
+            .with_store(Store::open(dir.path(), digest_of()).expect("store opens"));
+        let original = first.measure(&bench, config);
+        assert_eq!(first.stats().misses, 1);
+        assert_eq!(first.store().expect("attached").stats().writes, 1);
+        let cold_line = first.stats().summary_line();
+        drop(first);
+
+        // A brand-new session (fresh memory tier) over the same store answers from
+        // disk: no platform run, yet stats still call it a "unique run" so the stdout
+        // summary is identical to the cold run's.
+        let second = ExperimentSession::new(SimPlatform::power7_fast())
+            .with_workers(2)
+            .with_store(Store::open(dir.path(), digest_of()).expect("store reopens"));
+        let replayed = second.measure(&bench, config);
+        assert_eq!(replayed, original, "disk round-trip is the identity");
+        let stats = second.stats();
+        assert_eq!((stats.misses, stats.hits), (1, 0), "disk hits count as unique runs");
+        let store_stats = second.store().expect("attached").stats();
+        assert_eq!((store_stats.hits, store_stats.misses), (1, 0), "served purely from disk");
+        assert_eq!(
+            stats.summary_line(),
+            cold_line,
+            "cold and warm runs print the identical stdout stats line"
+        );
+    }
+
+    fn digest_of() -> u128 {
+        SimPlatform::power7_fast().uarch().spec_digest
     }
 }

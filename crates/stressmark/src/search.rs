@@ -59,10 +59,13 @@ impl<'a, P: Platform> SessionHandle<'a, P> {
         }
     }
 
-    fn measure_batch(&self, jobs: &[(&MicroBenchmark, CmpSmtConfig)]) -> Vec<Measurement> {
+    fn measure_batch_resilient(
+        &self,
+        jobs: &[(&MicroBenchmark, CmpSmtConfig)],
+    ) -> Vec<Result<Measurement, mp_runtime::JobError>> {
         match self {
-            SessionHandle::Owned(session) => session.measure_batch(jobs),
-            SessionHandle::Shared(session) => session.measure_batch(jobs),
+            SessionHandle::Owned(session) => session.measure_batch_resilient(jobs),
+            SessionHandle::Shared(session) => session.measure_batch_resilient(jobs),
         }
     }
 }
@@ -224,7 +227,11 @@ impl<'a, P: Platform> StressmarkSearch<'a, P> {
                 jobs.push((bench, CmpSmtConfig::new(self.cores, mode)));
             }
         }
-        let measured = self.session.measure_batch(&jobs);
+        // Resilient measurement: one panicking job (a genuinely bad kernel, or an
+        // `MP_FAULTS`-injected failure) fails only its own candidate, which flows into
+        // the searchers' existing quarantine convention (−inf score) instead of
+        // aborting the whole generation.
+        let measured = self.session.measure_batch_resilient(&jobs);
 
         // Assemble per-unique-candidate results, then fan back out to input order.
         let mut measured = measured.into_iter();
@@ -235,12 +242,27 @@ impl<'a, P: Platform> StressmarkSearch<'a, P> {
                 Err(error) => Err(error.clone()),
                 Ok(_) => {
                     let mut best: Option<(f64, f64, SmtMode)> = None;
+                    let mut failure: Option<PassError> = None;
                     for &mode in &self.smt_modes {
-                        let m = measured.next().expect("one measurement per job");
-                        let power = m.average_power();
-                        if best.map(|(p, _, _)| power > p).unwrap_or(true) {
-                            best = Some((power, m.chip_ipc(), mode));
+                        match measured.next().expect("one measurement per job") {
+                            Ok(m) => {
+                                let power = m.average_power();
+                                if best.map(|(p, _, _)| power > p).unwrap_or(true) {
+                                    best = Some((power, m.chip_ipc(), mode));
+                                }
+                            }
+                            Err(error) => {
+                                failure.get_or_insert_with(|| {
+                                    PassError::new("measure", error.to_string())
+                                });
+                            }
                         }
+                    }
+                    if let Some(error) = failure {
+                        // Any failed mode disqualifies the candidate: a partial
+                        // best-over-modes could mis-rank it against fully-measured
+                        // peers.
+                        return Err(error);
                     }
                     let (power, ipc, best_mode) = best.expect("at least one SMT mode is evaluated");
                     Ok(StressmarkResult {
