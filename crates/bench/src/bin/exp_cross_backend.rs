@@ -92,12 +92,10 @@ fn main() {
 
     // The session caches make re-running this report cheap; surface the hit rates.
     println!();
-    for (name, experiments) in &backends {
-        println!("{}", experiments.session().stats().summary_line_for(name));
-        // Per-backend store accounting is stderr-only (each backend's session opens
-        // the shared MP_STORE_DIR root; records never cross backends — the spec digest
-        // in every record header sees to that).
-        experiments.session().report_store();
-    }
-    mp_telemetry::report();
+    // Per-backend store accounting is stderr-only (each backend's session opens the
+    // shared MP_STORE_DIR root; records never cross backends — the spec digest in
+    // every record header sees to that).
+    mp_bench::report::conclude_labeled(
+        backends.iter().map(|(name, experiments)| (name.as_str(), experiments.session())),
+    );
 }

@@ -8,9 +8,5 @@ fn main() {
     let experiments = Experiments::new(scale);
     let study = experiments.model_study();
     println!("{}", experiments.fig6(&study));
-    println!("{}", experiments.session().stats().summary_line());
-    // Store accounting (disk hits/writes/quarantines) is stderr-only, like the
-    // telemetry: stdout must stay byte-identical across cold and warm MP_STORE_DIR runs.
-    experiments.session().report_store();
-    mp_telemetry::report();
+    mp_bench::report::conclude(experiments.session());
 }

@@ -15,10 +15,5 @@ fn main() {
     let spec_max = model_study.spec.iter().map(|s| s.power).fold(f64::NEG_INFINITY, f64::max);
     let stressmark = experiments.stressmark_study(spec_max, &taxonomy.props);
     println!("{}", experiments.fig9(&stressmark));
-    // Scheduling-independent cache statistics: identical for any MP_THREADS setting.
-    println!("{}", experiments.session().stats().summary_line());
-    // Store accounting (disk hits/writes/quarantines) is stderr-only, like the
-    // telemetry: stdout must stay byte-identical across cold and warm MP_STORE_DIR runs.
-    experiments.session().report_store();
-    mp_telemetry::report();
+    mp_bench::report::conclude(experiments.session());
 }

@@ -8,9 +8,5 @@ fn main() {
     let taxonomy = experiments.taxonomy_study();
     println!("{}", experiments.table3(&taxonomy));
     // Scheduling-independent cache statistics: identical for any MP_THREADS setting.
-    println!("{}", experiments.session().stats().summary_line());
-    // Store accounting (disk hits/writes/quarantines) is stderr-only, like the
-    // telemetry: stdout must stay byte-identical across cold and warm MP_STORE_DIR runs.
-    experiments.session().report_store();
-    mp_telemetry::report();
+    mp_bench::report::conclude(experiments.session());
 }

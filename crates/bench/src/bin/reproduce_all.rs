@@ -13,6 +13,5 @@ fn main() {
     // hit/write/quarantine accounting) goes to stderr and the MP_TELEMETRY_* files;
     // stdout above stays byte-identical across MP_THREADS settings and across cold vs
     // warm MP_STORE_DIR runs.
-    experiments.session().report_store();
-    mp_telemetry::report();
+    mp_bench::report::conclude_quietly(experiments.session());
 }

@@ -10,6 +10,7 @@
 //! and the `MP_THREADS` / session-memoization semantics.
 
 pub mod experiments;
+pub mod report;
 pub mod runner;
 pub mod table3;
 

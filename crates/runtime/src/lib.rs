@@ -33,8 +33,9 @@
 pub mod dse;
 pub mod executor;
 pub mod faults;
-mod poison;
+pub mod poison;
 pub mod session;
+pub mod shard;
 pub mod store;
 
 pub use dse::ParallelEvaluator;
@@ -45,6 +46,8 @@ pub use executor::{
 };
 pub use faults::{FaultPlan, FAULTS_ENV};
 pub use session::{
-    ExperimentPlan, ExperimentSession, JobError, PlannedJob, SessionOptions, SessionStats,
+    BatchRunner, ExperimentPlan, ExperimentSession, JobError, PlannedJob, SessionOptions,
+    SessionStats,
 };
+pub use shard::ShardedCache;
 pub use store::{Store, StoreStats, STORE_DIR_ENV};

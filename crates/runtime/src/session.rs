@@ -30,7 +30,6 @@ use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 use microprobe::bootstrap::{Bootstrap, BootstrapOptions, BootstrapRecord};
 use microprobe::ir::MicroBenchmark;
@@ -40,8 +39,9 @@ use mp_power::{SampleKind, WorkloadSample};
 use mp_sim::Measurement;
 use mp_uarch::{CmpSmtConfig, InstrPropsTable};
 
+use crate::shard::ShardedCache;
 use crate::store::{Store, STORE_DIR_ENV};
-use crate::{executor, faults, poison};
+use crate::{executor, faults};
 
 /// A 128-bit content fingerprint of one measurement job.
 ///
@@ -246,6 +246,28 @@ impl std::fmt::Display for JobError {
 
 impl std::error::Error for JobError {}
 
+/// Where a session's cache-missing jobs actually execute.
+///
+/// By default a session simulates misses on its own platform via the in-process
+/// executor; a session with a runner attached
+/// ([`with_batch_runner`](ExperimentSession::with_batch_runner)) delegates them —
+/// that is how `mp_service`'s `RemoteSession` routes misses over the wire to a shared
+/// daemon while both cache tiers, dedup, stats and result assembly stay *this*
+/// session's, byte-identical to in-process execution.
+///
+/// `jobs` and `keys` are parallel slices (one content key per job, as computed by
+/// [`ExperimentSession::job_key`]); implementations must return exactly one result per
+/// job, in order.  Transport or execution failures are per-job [`JobError`]s — a
+/// runner, like the local path, must never panic the whole batch.
+pub trait BatchRunner: Send + Sync {
+    /// Executes the given jobs and returns one result per job, in job order.
+    fn run_batch(
+        &self,
+        jobs: &[(&MicroBenchmark, CmpSmtConfig)],
+        keys: &[u128],
+    ) -> Vec<Result<Measurement, JobError>>;
+}
+
 /// Renders a caught panic payload (the two shapes `panic!` produces, plus a fallback).
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(message) = payload.downcast_ref::<&str>() {
@@ -267,7 +289,8 @@ pub struct ExperimentSession<P: Platform> {
     platform: P,
     workers: Option<usize>,
     store: Option<Store>,
-    cache: Mutex<HashMap<u128, Measurement>>,
+    runner: Option<Box<dyn BatchRunner>>,
+    cache: ShardedCache<Measurement>,
     hits: AtomicUsize,
     misses: AtomicUsize,
     /// Total measured wall time and count of platform runs, feeding the executor's
@@ -300,7 +323,8 @@ impl<P: Platform> ExperimentSession<P> {
             platform,
             workers: options.workers.map(|w| w.max(1)),
             store,
-            cache: Mutex::new(HashMap::new()),
+            runner: None,
+            cache: ShardedCache::new(),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             job_ns: AtomicU64::new(0),
@@ -317,6 +341,14 @@ impl<P: Platform> ExperimentSession<P> {
     /// Attaches (or replaces) the persistent store tier.
     pub fn with_store(mut self, store: Store) -> Self {
         self.store = Some(store);
+        self
+    }
+
+    /// Delegates cache-missing jobs to a [`BatchRunner`] instead of simulating them on
+    /// this process's executor.  Cache tiers, in-batch dedup, statistics and result
+    /// ordering are unchanged — only tier 3 (execution) is rerouted.
+    pub fn with_batch_runner(mut self, runner: impl BatchRunner + 'static) -> Self {
+        self.runner = Some(Box::new(runner));
         self
     }
 
@@ -416,24 +448,28 @@ impl<P: Platform> ExperimentSession<P> {
         let digest = self.platform.uarch().spec_digest;
         let keys: Vec<u128> = jobs.iter().map(|(b, c)| job_key(b, *c, digest)).collect();
 
-        // Tier 1 — memory.  Unique cache misses, in first-appearance order
-        // (deterministic).  Disk probes and platform runs both count as session
-        // "misses" so the stdout stats line is store-independent.
+        // Tier 1 — memory.  One sharded-cache probe per key: a hit is served straight
+        // from its shard in a single lock acquisition, so concurrent submitters only
+        // contend when their keys share a shard.  Unique misses collect in
+        // first-appearance order (deterministic).  Disk probes and platform runs both
+        // count as session "misses" so the stdout stats line is store-independent.
         let telemetry = mp_telemetry::enabled();
         let mut memo_hits = 0u64;
         let mut dedup_hits = 0u64;
+        let mut settled: Vec<Option<Result<Measurement, JobError>>> = vec![None; jobs.len()];
         let mut to_probe: Vec<(u128, usize)> = Vec::new();
         {
-            let cache = poison::lock(&self.cache);
             let mut queued: HashSet<u128> = HashSet::new();
             for (index, key) in keys.iter().enumerate() {
-                if cache.contains_key(key) {
-                    self.hits.fetch_add(1, Ordering::SeqCst);
-                    memo_hits += 1;
-                } else if !queued.insert(*key) {
+                if queued.contains(key) {
                     self.hits.fetch_add(1, Ordering::SeqCst);
                     dedup_hits += 1;
+                } else if let Some(measurement) = self.cache.get(*key) {
+                    self.hits.fetch_add(1, Ordering::SeqCst);
+                    memo_hits += 1;
+                    settled[index] = Some(Ok(measurement));
                 } else {
+                    queued.insert(*key);
                     self.misses.fetch_add(1, Ordering::SeqCst);
                     to_probe.push((*key, index));
                 }
@@ -451,84 +487,64 @@ impl<P: Platform> ExperimentSession<P> {
         // (and therefore a replayed failure) independent of `MP_THREADS`.
         let mut to_measure: Vec<(u128, usize)> = Vec::new();
         if let Some(store) = &self.store {
-            let mut disk_hits: Vec<(u128, Measurement)> = Vec::new();
             for (key, index) in to_probe {
                 match store.load(key) {
-                    Some(measurement) => disk_hits.push((key, measurement)),
+                    Some(measurement) => {
+                        self.cache.insert(key, measurement.clone());
+                        settled[index] = Some(Ok(measurement));
+                    }
                     None => to_measure.push((key, index)),
-                }
-            }
-            if !disk_hits.is_empty() {
-                let mut cache = poison::lock(&self.cache);
-                for (key, measurement) in disk_hits {
-                    cache.insert(key, measurement);
                 }
             }
         } else {
             to_measure = to_probe;
         }
 
-        // Tier 3 — simulate.  Panics are caught *inside* the parallel closure, so a
-        // failing job surfaces as a per-job `Err` while the executor never observes an
-        // unwinding task and the pool survives intact.
+        // Tier 3 — execute.  Local sessions simulate on the in-process executor; a
+        // session with a [`BatchRunner`] attached delegates instead (the remote-client
+        // path).  Either way failures stay per-job and are never cached.
         let mut failures: HashMap<u128, JobError> = HashMap::new();
         if !to_measure.is_empty() {
-            let measured: Vec<Result<Measurement, JobError>> =
-                executor::par_map_with_workers_and_cost(
-                    self.workers(),
-                    self.cost_hint(),
-                    &to_measure,
-                    |&(key, index)| {
-                        let (benchmark, config) = jobs[index];
-                        // Per-job wall time is always measured (two clock reads against
-                        // a simulation run): it feeds the cost hint that decides whether
-                        // the *next* batch is worth farming out at all, and at what
-                        // chunk size.
-                        let start = std::time::Instant::now();
-                        let outcome =
-                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                faults::maybe_panic("session.job");
-                                self.platform.run(benchmark, config)
-                            }));
-                        match outcome {
-                            Ok(measurement) => {
-                                let wall_ns = start.elapsed().as_nanos() as u64;
-                                self.job_ns.fetch_add(wall_ns, Ordering::Relaxed);
-                                self.job_runs.fetch_add(1, Ordering::Relaxed);
-                                if mp_telemetry::enabled() {
-                                    mp_telemetry::histogram("session.job_wall_ns", wall_ns);
-                                    mp_telemetry::histogram(
-                                        "session.job_sim_cycles",
-                                        measurement.cycles(),
-                                    );
-                                }
-                                Ok(measurement)
-                            }
-                            Err(payload) => {
-                                mp_telemetry::counter("session.job_failed", 1);
-                                Err(JobError { key, message: panic_message(payload.as_ref()) })
-                            }
-                        }
-                    },
-                );
-            {
-                let mut cache = poison::lock(&self.cache);
-                for ((key, _), result) in to_measure.iter().zip(&measured) {
-                    match result {
-                        Ok(measurement) => {
-                            cache.insert(*key, measurement.clone());
-                        }
-                        Err(error) => {
-                            failures.insert(*key, error.clone());
-                        }
+            let measured = match &self.runner {
+                Some(runner) => {
+                    let subset: Vec<(&MicroBenchmark, CmpSmtConfig)> =
+                        to_measure.iter().map(|&(_, index)| jobs[index]).collect();
+                    let subset_keys: Vec<u128> = to_measure.iter().map(|&(key, _)| key).collect();
+                    let mut results = runner.run_batch(&subset, &subset_keys);
+                    if results.len() != to_measure.len() {
+                        // A miscounting runner fails its whole batch rather than
+                        // misaligning results with jobs.
+                        let message = format!(
+                            "batch runner returned {} results for {} jobs",
+                            results.len(),
+                            to_measure.len()
+                        );
+                        results = subset_keys
+                            .iter()
+                            .map(|&key| Err(JobError { key, message: message.clone() }))
+                            .collect();
+                    }
+                    results
+                }
+                None => self.simulate_batch(jobs, &to_measure),
+            };
+            for (&(key, index), result) in to_measure.iter().zip(&measured) {
+                match result {
+                    Ok(measurement) => {
+                        self.cache.insert(key, measurement.clone());
+                        settled[index] = Some(Ok(measurement.clone()));
+                    }
+                    Err(error) => {
+                        failures.insert(key, error.clone());
+                        settled[index] = Some(Err(error.clone()));
                     }
                 }
-                if telemetry {
-                    mp_telemetry::gauge("session.memo_entries", cache.len() as f64);
-                }
             }
-            // Persist new measurements outside the cache lock, serially in
-            // first-appearance order (deterministic fault occurrences, see above).
+            if telemetry {
+                mp_telemetry::gauge("session.memo_entries", self.cache.len() as f64);
+            }
+            // Persist new measurements serially in first-appearance order
+            // (deterministic fault occurrences, see above).
             if let Some(store) = &self.store {
                 for ((key, _), result) in to_measure.iter().zip(&measured) {
                     if let Ok(measurement) = result {
@@ -538,16 +554,64 @@ impl<P: Platform> ExperimentSession<P> {
             }
         }
 
-        let cache = poison::lock(&self.cache);
+        // Only in-batch duplicates are still unsettled: resolve them by key against
+        // whatever their first appearance produced.
         keys.iter()
-            .map(|key| match cache.get(key) {
-                Some(measurement) => Ok(measurement.clone()),
-                None => Err(failures
-                    .get(key)
-                    .expect("every job was measured, cached, or recorded as failed")
-                    .clone()),
+            .zip(settled)
+            .map(|(key, slot)| match slot {
+                Some(result) => result,
+                None => match self.cache.get(*key) {
+                    Some(measurement) => Ok(measurement),
+                    None => Err(failures
+                        .get(key)
+                        .expect("every job was measured, cached, or recorded as failed")
+                        .clone()),
+                },
             })
             .collect()
+    }
+
+    /// Tier 3's in-process path: simulates the cache-missing jobs on the executor.
+    /// Panics are caught *inside* the parallel closure, so a failing job surfaces as a
+    /// per-job `Err` while the executor never observes an unwinding task and the pool
+    /// survives intact.
+    fn simulate_batch(
+        &self,
+        jobs: &[(&MicroBenchmark, CmpSmtConfig)],
+        to_measure: &[(u128, usize)],
+    ) -> Vec<Result<Measurement, JobError>> {
+        executor::par_map_with_workers_and_cost(
+            self.workers(),
+            self.cost_hint(),
+            to_measure,
+            |&(key, index)| {
+                let (benchmark, config) = jobs[index];
+                // Per-job wall time is always measured (two clock reads against a
+                // simulation run): it feeds the cost hint that decides whether the
+                // *next* batch is worth farming out at all, and at what chunk size.
+                let start = std::time::Instant::now();
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    faults::maybe_panic("session.job");
+                    self.platform.run(benchmark, config)
+                }));
+                match outcome {
+                    Ok(measurement) => {
+                        let wall_ns = start.elapsed().as_nanos() as u64;
+                        self.job_ns.fetch_add(wall_ns, Ordering::Relaxed);
+                        self.job_runs.fetch_add(1, Ordering::Relaxed);
+                        if mp_telemetry::enabled() {
+                            mp_telemetry::histogram("session.job_wall_ns", wall_ns);
+                            mp_telemetry::histogram("session.job_sim_cycles", measurement.cycles());
+                        }
+                        Ok(measurement)
+                    }
+                    Err(payload) => {
+                        mp_telemetry::counter("session.job_failed", 1);
+                        Err(JobError { key, message: panic_message(payload.as_ref()) })
+                    }
+                }
+            },
+        )
     }
 
     /// Runs a plan and returns one labelled sample per job, in plan order.

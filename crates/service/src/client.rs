@@ -1,0 +1,251 @@
+//! The client side: a [`BatchRunner`] that ships cache misses to a daemon, and
+//! [`RemoteSession`], the drop-in session wrapper the experiment driver uses in
+//! client mode.
+//!
+//! The split of responsibilities is what makes client-mode stdout byte-identical to
+//! in-process runs *by construction*: `RemoteSession` is a plain
+//! [`ExperimentSession`] — same content keys, same memo cache, same dedup, same
+//! stats counting, same result ordering — whose tier-3 execution hook happens to be a
+//! TCP round trip instead of the local executor.  Nothing downstream of the session
+//! can tell the difference.
+
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+use microprobe::ir::MicroBenchmark;
+use microprobe::platform::Platform;
+use mp_runtime::{poison, BatchRunner, ExperimentSession, JobError, SessionOptions};
+use mp_sim::Measurement;
+use mp_uarch::CmpSmtConfig;
+
+use crate::protocol::{self, DaemonStats, FrameError, MessageType, MAX_JOBS_PER_FRAME};
+
+/// Environment variable holding the daemon address (`host:port`).  When set and
+/// non-empty, the experiment driver runs every backend session in client mode.
+pub const SERVICE_ADDR_ENV: &str = "MP_SERVICE_ADDR";
+
+/// A [`BatchRunner`] that executes batches on a measurement daemon over TCP.
+///
+/// Connections are pooled and reused across batches; a transport failure retries the
+/// chunk once on a fresh connection before surfacing per-job errors (a daemon restart
+/// between batches therefore goes unnoticed).  Execution failures reported by the
+/// daemon map straight back to per-job [`JobError`]s, exactly like local panics.
+pub struct RemoteRunner {
+    addr: String,
+    digest: u128,
+    pool: Mutex<Vec<TcpStream>>,
+}
+
+impl RemoteRunner {
+    /// Connects to the daemon at `addr` and verifies its machine-spec digest matches
+    /// `digest` (the client platform's).  The handshake connection is kept for reuse.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the daemon is unreachable, speaks a different
+    /// protocol, or serves a different machine spec.
+    pub fn connect(addr: impl Into<String>, digest: u128) -> Result<Self, String> {
+        let runner = Self { addr: addr.into(), digest, pool: Mutex::new(Vec::new()) };
+        let stats = runner.daemon_stats()?;
+        if stats.digest != digest {
+            return Err(format!(
+                "daemon at {} serves machine-spec digest {:032x}, this client is built for \
+                 {digest:032x} — run both from the same build",
+                runner.addr, stats.digest
+            ));
+        }
+        Ok(runner)
+    }
+
+    /// The daemon address this runner dials.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    fn checkout(&self) -> std::io::Result<TcpStream> {
+        if let Some(stream) = poison::lock(&self.pool).pop() {
+            return Ok(stream);
+        }
+        TcpStream::connect(&*self.addr)
+    }
+
+    fn checkin(&self, stream: TcpStream) {
+        poison::lock(&self.pool).push(stream);
+    }
+
+    /// One request/reply round trip on a pooled connection, with a single retry on a
+    /// fresh connection when the transport fails (stale pooled socket, daemon
+    /// restart).  Returns the reply frame.
+    fn rpc(&self, message: MessageType, payload: &[u8]) -> Result<(MessageType, Vec<u8>), String> {
+        let mut fresh = false;
+        loop {
+            let attempt = self
+                .checkout()
+                .map_err(|error| format!("connect to {}: {error}", self.addr))
+                .and_then(|mut stream| {
+                    protocol::write_frame(&mut stream, message, payload)
+                        .map_err(|error| format!("send to {}: {error}", self.addr))?;
+                    match protocol::read_frame(&mut stream) {
+                        Ok(reply) => {
+                            self.checkin(stream);
+                            Ok(reply)
+                        }
+                        Err(FrameError::Closed) => {
+                            Err(format!("daemon at {} closed the connection", self.addr))
+                        }
+                        Err(error) => Err(format!("receive from {}: {error}", self.addr)),
+                    }
+                });
+            match attempt {
+                Ok(reply) => return Ok(reply),
+                Err(error) if !fresh => {
+                    // Drop every pooled socket — they all predate whatever broke —
+                    // and retry exactly once on a fresh dial.
+                    poison::lock(&self.pool).clear();
+                    fresh = true;
+                    let _ = error;
+                }
+                Err(error) => return Err(error),
+            }
+        }
+    }
+
+    /// Fetches the daemon's identity and cumulative counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the transport or protocol failure.
+    pub fn daemon_stats(&self) -> Result<DaemonStats, String> {
+        match self.rpc(MessageType::StatsRequest, &[])? {
+            (MessageType::StatsReply, payload) => protocol::decode_stats(&payload),
+            (MessageType::ErrorReply, payload) => Err(protocol::decode_error(&payload)?),
+            (other, _) => Err(format!("unexpected reply {other:?} to a stats request")),
+        }
+    }
+
+    /// Asks the daemon to shut down and waits for the acknowledgement.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the transport or protocol failure.
+    pub fn shutdown_daemon(&self) -> Result<(), String> {
+        match self.rpc(MessageType::Shutdown, &[])? {
+            (MessageType::ShutdownAck, _) => Ok(()),
+            (MessageType::ErrorReply, payload) => Err(protocol::decode_error(&payload)?),
+            (other, _) => Err(format!("unexpected reply {other:?} to a shutdown request")),
+        }
+    }
+
+    /// Runs one chunk (≤ [`MAX_JOBS_PER_FRAME`] jobs) through the daemon.
+    fn run_chunk(
+        &self,
+        jobs: &[(&MicroBenchmark, CmpSmtConfig)],
+        keys: &[u128],
+    ) -> Vec<Result<Measurement, JobError>> {
+        let fail_all = |message: &str| -> Vec<Result<Measurement, JobError>> {
+            keys.iter().map(|&key| Err(JobError { key, message: message.to_owned() })).collect()
+        };
+        let payload = protocol::encode_submit_batch(self.digest, jobs, keys);
+        let reply = match self.rpc(MessageType::SubmitBatch, &payload) {
+            Ok(reply) => reply,
+            Err(error) => return fail_all(&error),
+        };
+        let results = match reply {
+            (MessageType::Results, payload) => match protocol::decode_results(&payload) {
+                Ok(results) => results,
+                Err(error) => return fail_all(&format!("undecodable results: {error}")),
+            },
+            (MessageType::ErrorReply, payload) => {
+                let message = protocol::decode_error(&payload)
+                    .unwrap_or_else(|error| format!("undecodable error reply: {error}"));
+                return fail_all(&format!("daemon refused the batch: {message}"));
+            }
+            (other, _) => return fail_all(&format!("unexpected reply {other:?} to a batch")),
+        };
+        if results.len() != keys.len() {
+            return fail_all(&format!(
+                "daemon returned {} results for {} jobs",
+                results.len(),
+                keys.len()
+            ));
+        }
+        results
+            .into_iter()
+            .zip(keys)
+            .map(|(result, &key)| {
+                if result.key != key {
+                    return Err(JobError {
+                        key,
+                        message: format!(
+                            "daemon result key {:032x} does not match job key {key:032x}",
+                            result.key
+                        ),
+                    });
+                }
+                result.outcome.map_err(|message| JobError { key, message })
+            })
+            .collect()
+    }
+}
+
+impl BatchRunner for RemoteRunner {
+    fn run_batch(
+        &self,
+        jobs: &[(&MicroBenchmark, CmpSmtConfig)],
+        keys: &[u128],
+    ) -> Vec<Result<Measurement, JobError>> {
+        let _span = mp_telemetry::span("service.client_batch");
+        let mut results = Vec::with_capacity(jobs.len());
+        for (job_chunk, key_chunk) in
+            jobs.chunks(MAX_JOBS_PER_FRAME).zip(keys.chunks(MAX_JOBS_PER_FRAME))
+        {
+            results.extend(self.run_chunk(job_chunk, key_chunk));
+        }
+        results
+    }
+}
+
+/// An [`ExperimentSession`] whose cache misses execute on a measurement daemon.
+///
+/// Everything observable — keys, dedup, stats, ordering, the stdout summary line — is
+/// the inner session's; only tier-3 execution crosses the wire.  The local store tier
+/// is disabled (persistence lives with the daemon, which would otherwise race N
+/// client processes on one directory).
+pub struct RemoteSession<P: Platform> {
+    session: ExperimentSession<P>,
+}
+
+impl<P: Platform> RemoteSession<P> {
+    /// Connects to the daemon at `addr`, verifying it serves the same machine spec as
+    /// `platform`, and wraps a session routing misses to it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the daemon is unreachable or incompatible.
+    pub fn connect(platform: P, addr: impl Into<String>) -> Result<Self, String> {
+        let digest = platform.uarch().spec_digest;
+        let runner = RemoteRunner::connect(addr, digest)?;
+        let options = SessionOptions { workers: None, store_dir: None };
+        let session = ExperimentSession::with_options(platform, options).with_batch_runner(runner);
+        Ok(Self { session })
+    }
+
+    /// The wrapped session (also reachable through `Deref`).
+    pub fn session(&self) -> &ExperimentSession<P> {
+        &self.session
+    }
+
+    /// Unwraps into the plain session — for drivers that hold an
+    /// [`ExperimentSession`] by value regardless of where execution happens.
+    pub fn into_inner(self) -> ExperimentSession<P> {
+        self.session
+    }
+}
+
+impl<P: Platform> std::ops::Deref for RemoteSession<P> {
+    type Target = ExperimentSession<P>;
+
+    fn deref(&self) -> &Self::Target {
+        &self.session
+    }
+}

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Proves the measurement service is observably invisible: `reproduce_all quick` must
+# produce byte-identical stdout whether it simulates in-process or runs as a client
+# of a shared `mp_serviced` daemon — with one client, with four concurrent clients,
+# against a cold store and against a warm one.
+#
+# The daemon runs at the same scale as the clients (job keys do not cover the
+# simulation scale, so a mismatch would silently serve wrong-scale measurements —
+# this script pins both sides to `quick`).
+#
+# Usage:
+#   scripts/service_determinism.sh [output-dir]
+#
+# Environment:
+#   MP_THREADS   forwarded to both daemon and clients (the CI job sweeps 1 and 8).
+set -euo pipefail
+
+out_dir="${1:-artifacts/service}"
+mkdir -p "$out_dir"
+
+cargo build --release -p mp-bench --bin reproduce_all --bin mp_serviced
+
+daemon_pid=""
+cleanup() {
+  if [[ -n "$daemon_pid" ]] && kill -0 "$daemon_pid" 2>/dev/null; then
+    kill "$daemon_pid" 2>/dev/null || true
+  fi
+}
+trap cleanup EXIT
+
+# Starts mp_serviced (quick scale, persistent store at $1) and sets $daemon_addr.
+start_daemon() {
+  local store_dir="$1" log="$2"
+  : > "$log"
+  MP_STORE_DIR="$store_dir" ./target/release/mp_serviced quick >"$log" 2>"$log.err" &
+  daemon_pid=$!
+  daemon_addr=""
+  for _ in $(seq 1 100); do
+    daemon_addr="$(sed -n 's/^# mp_serviced listening on //p' "$log")"
+    [[ -n "$daemon_addr" ]] && return 0
+    kill -0 "$daemon_pid" 2>/dev/null || { cat "$log.err" >&2; echo "daemon died before listening" >&2; exit 1; }
+    sleep 0.1
+  done
+  echo "daemon never printed its address" >&2
+  exit 1
+}
+
+stop_daemon() {
+  if [[ -n "$daemon_pid" ]]; then
+    kill "$daemon_pid" 2>/dev/null || true
+    wait "$daemon_pid" 2>/dev/null || true
+    daemon_pid=""
+  fi
+}
+
+# The in-process baseline every service-mode run must match byte-for-byte.
+./target/release/reproduce_all quick \
+  > "$out_dir/base.txt" 2> "$out_dir/base.log"
+
+store_dir="$(mktemp -d)"
+
+for phase in cold warm; do
+  start_daemon "$store_dir" "$out_dir/daemon.$phase.log"
+  echo "daemon ($phase store) at $daemon_addr"
+
+  # One client.
+  MP_SERVICE_ADDR="$daemon_addr" ./target/release/reproduce_all quick \
+    > "$out_dir/client1.$phase.txt" 2> "$out_dir/client1.$phase.log"
+  cmp "$out_dir/base.txt" "$out_dir/client1.$phase.txt"
+
+  # Four concurrent clients sharing the (now warm) daemon.
+  pids=()
+  for i in 1 2 3 4; do
+    MP_SERVICE_ADDR="$daemon_addr" ./target/release/reproduce_all quick \
+      > "$out_dir/conc$i.$phase.txt" 2> "$out_dir/conc$i.$phase.log" &
+    pids+=($!)
+  done
+  for pid in "${pids[@]}"; do wait "$pid"; done
+  for i in 1 2 3 4; do
+    cmp "$out_dir/base.txt" "$out_dir/conc$i.$phase.txt"
+  done
+
+  # Kill (not gracefully stop) the daemon: the warm phase restarts on the same
+  # store directory, so it must recover and serve pure disk hits.
+  stop_daemon
+
+  # The cold daemon really persisted: the warm phase is a genuine disk-backed
+  # restart, not a second cold run.
+  if [[ "$phase" == cold ]]; then
+    [[ -n "$(find "$store_dir" -type f -print -quit)" ]] \
+      || { echo "cold daemon wrote nothing to its store" >&2; exit 1; }
+  fi
+done
+
+echo "service determinism: in-process == 1 client == 4 concurrent clients (cold + warm store)"
